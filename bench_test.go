@@ -1,0 +1,198 @@
+package lifl
+
+// One benchmark per table/figure of the paper's evaluation. Each benchmark
+// regenerates its figure's measurement from scratch on every iteration, so
+// `go test -bench=. -benchmem` doubles as the full reproduction harness.
+// The ReportMetric calls surface the figure's headline quantity (seconds of
+// simulated ACT, CPU-hours, ratios) alongside the usual ns/op.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/flwork"
+	"repro/internal/model"
+)
+
+// BenchmarkFig4Hierarchy regenerates Fig. 4: NH vs WH round time on the
+// serverful data plane (one node, eight ResNet-152 trainers).
+func BenchmarkFig4Hierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4()
+		if i == 0 {
+			b.ReportMetric(res.NHRound.Seconds(), "NH-round-s")
+			b.ReportMetric(res.WHRound.Seconds(), "WH-round-s")
+		}
+	}
+}
+
+// BenchmarkFig7Transfer regenerates Fig. 7(a,b): single intra-node transfer
+// latency and CPU for LIFL/SF/SL across the model zoo.
+func BenchmarkFig7Transfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7ab()
+		if i == 0 {
+			last := rows[len(rows)-1] // ResNet-152
+			b.ReportMetric(last.LIFLLat.Seconds(), "LIFL-s")
+			b.ReportMetric(last.SFLat.Seconds()/last.LIFLLat.Seconds(), "SF/LIFL")
+			b.ReportMetric(last.SLLat.Seconds()/last.LIFLLat.Seconds(), "SL/LIFL")
+		}
+	}
+}
+
+// BenchmarkFig7cLIFLTimeline regenerates Fig. 7(c): the LIFL hierarchical
+// round timeline.
+func BenchmarkFig7cLIFLTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7c()
+		if i == 0 {
+			b.ReportMetric(res.Round.Seconds(), "round-s")
+		}
+	}
+}
+
+// BenchmarkFig8ACT regenerates Fig. 8(a-d): the orchestration ablation over
+// 20/60/100 concurrent updates.
+func BenchmarkFig8ACT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells := experiments.Fig8([]int{20, 60, 100})
+		if i == 0 {
+			var slh, full float64
+			for _, c := range cells {
+				if c.Updates != 20 {
+					continue
+				}
+				switch c.Variant {
+				case "SL-H":
+					slh = c.ACT.Seconds()
+				case "+1+2+3+4":
+					full = c.ACT.Seconds()
+				}
+			}
+			b.ReportMetric(slh, "SLH-act-s")
+			b.ReportMetric(full, "LIFL-act-s")
+			b.ReportMetric(slh/full, "reduction")
+		}
+	}
+}
+
+// benchFig9 runs the full §6.2/§6.3 workload for one system+model.
+func benchFig9(b *testing.B, sys core.SystemKind, m model.Spec, active int, class flwork.ClientClass, mc float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(core.RunConfig{
+			System: sys, Model: m, Clients: 2800, ActivePerRound: active,
+			Class: class, TargetAccuracy: 0.70, Nodes: 5, MC: mc, Seed: 1, MaxRounds: 400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.TimeToTarget.Hours(), "wall-h")
+			b.ReportMetric(rep.CPUToTarget.Hours(), "cpu-h")
+		}
+	}
+}
+
+// BenchmarkFig9R18LIFL..SL regenerate Fig. 9(a,b) and the Fig. 10(a-c)
+// series: ResNet-18, 120 active mobile clients.
+func BenchmarkFig9R18LIFL(b *testing.B) {
+	benchFig9(b, core.SystemLIFL, model.ResNet18, 120, flwork.Mobile, 60)
+}
+func BenchmarkFig9R18SF(b *testing.B) {
+	benchFig9(b, core.SystemSF, model.ResNet18, 120, flwork.Mobile, 60)
+}
+func BenchmarkFig9R18SL(b *testing.B) {
+	benchFig9(b, core.SystemSL, model.ResNet18, 120, flwork.Mobile, 60)
+}
+
+// BenchmarkFig9R152LIFL..SL regenerate Fig. 9(c,d) and Fig. 10(d-f):
+// ResNet-152, 15 always-on server clients.
+func BenchmarkFig9R152LIFL(b *testing.B) {
+	benchFig9(b, core.SystemLIFL, model.ResNet152, 15, flwork.Server, 20)
+}
+func BenchmarkFig9R152SF(b *testing.B) {
+	benchFig9(b, core.SystemSF, model.ResNet152, 15, flwork.Server, 20)
+}
+func BenchmarkFig9R152SL(b *testing.B) {
+	benchFig9(b, core.SystemSL, model.ResNet152, 15, flwork.Server, 20)
+}
+
+// BenchmarkFig13Queuing regenerates Fig. 13 / Appendix F: message-queuing
+// overheads of the four pipelines.
+func BenchmarkFig13Queuing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig13()
+		if i == 0 {
+			var liflD, slbD float64
+			for _, r := range rows {
+				if r.Model.Name != model.ResNet152.Name {
+					continue
+				}
+				switch r.Setup {
+				case "LIFL":
+					liflD = r.Delay.Seconds()
+				case "SL-B":
+					slbD = r.Delay.Seconds()
+				}
+			}
+			b.ReportMetric(slbD/liflD, "SLB/LIFL-delay")
+		}
+	}
+}
+
+// BenchmarkPlacement10K regenerates the §6.1 orchestration-overhead bound:
+// locality-aware placement of 10,000 clients (paper: < 17 ms).
+func BenchmarkPlacement10K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Overhead(10_000)
+	}
+}
+
+// BenchmarkEWMA measures the per-estimate cost of the hierarchy planner's
+// smoother (paper: ~0.2 ms per estimate).
+func BenchmarkEWMA(b *testing.B) {
+	r := experiments.Overhead(1_000)
+	_ = r
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.Overhead(1_000)
+	}
+}
+
+// BenchmarkAblationFanIn sweeps the §5.2 leaf fan-in design choice.
+func BenchmarkAblationFanIn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblateFanIn([]int{1, 2, 20})
+		if i == 0 {
+			b.ReportMetric(res[1].ACT.Seconds(), "I2-act-s")
+			b.ReportMetric(res[2].ACT.Seconds(), "I20-act-s")
+		}
+	}
+}
+
+// BenchmarkAblationPlacement compares BestFit vs WorstFit end-to-end.
+func BenchmarkAblationPlacement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblatePlacement()
+		if i == 0 {
+			b.ReportMetric(res[0].ACT.Seconds(), "bestfit-act-s")
+			b.ReportMetric(res[1].ACT.Seconds(), "worstfit-act-s")
+		}
+	}
+}
+
+// BenchmarkAblationEWMA re-derives the α=0.7 choice.
+func BenchmarkAblationEWMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblateEWMA(nil)
+		if i == 0 {
+			for _, r := range res {
+				if r.Alpha == 0.7 {
+					b.ReportMetric(r.MeanAbsError, "err@0.7")
+				}
+			}
+		}
+	}
+}

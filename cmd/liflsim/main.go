@@ -1,0 +1,85 @@
+// Command liflsim regenerates every table and figure of the paper's
+// evaluation from the LIFL reproduction library.
+//
+// Usage:
+//
+//	liflsim fig4      # NH vs WH timelines + LIFL (Fig. 4, Fig. 7(c))
+//	liflsim fig7      # data-plane transfer latency/CPU (Fig. 7(a,b))
+//	liflsim fig8      # orchestration ablation (Fig. 8(a-d))
+//	liflsim fig9r18   # ResNet-18 time/cost-to-accuracy + Fig. 10(a-c)
+//	liflsim fig9r152  # ResNet-152 time/cost-to-accuracy + Fig. 10(d-f)
+//	liflsim fig13     # message-queuing overheads (Appendix F)
+//	liflsim overhead  # orchestration overhead (§6.1)
+//	liflsim all       # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/model"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "experiment seed")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	for _, what := range flag.Args() {
+		if err := run(what, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "liflsim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] {fig4|fig7|fig8|fig9r18|fig9r152|fig13|overhead|appendixe|ablation|verify|verifyfull|all}...")
+}
+
+func run(what string, seed int64) error {
+	switch what {
+	case "fig4":
+		fmt.Print(experiments.FormatFig4(experiments.Fig4(), experiments.Fig7c()))
+	case "fig7":
+		fmt.Print(experiments.FormatFig7(experiments.Fig7ab()))
+	case "fig8":
+		fmt.Print(experiments.FormatFig8(experiments.Fig8(nil)))
+	case "fig9r18":
+		rows := experiments.Fig9(model.ResNet18, seed)
+		fmt.Print(experiments.FormatFig9(rows))
+		fmt.Print(experiments.FormatFig10(experiments.Fig10(rows)))
+	case "fig9r152":
+		rows := experiments.Fig9(model.ResNet152, seed)
+		fmt.Print(experiments.FormatFig9(rows))
+		fmt.Print(experiments.FormatFig10(experiments.Fig10(rows)))
+	case "fig13":
+		fmt.Print(experiments.FormatFig13(experiments.Fig13()))
+	case "overhead":
+		fmt.Print(experiments.FormatOverhead(experiments.Overhead(10_000)))
+	case "appendixe":
+		fmt.Print(experiments.FormatAppendixE(experiments.AppendixE()))
+	case "verify":
+		fmt.Print(experiments.FormatVerify(experiments.Verify(false)))
+	case "verifyfull":
+		fmt.Print(experiments.FormatVerify(experiments.Verify(true)))
+	case "ablation":
+		fmt.Print(experiments.FormatAblations(
+			experiments.AblateFanIn(nil), experiments.AblateEWMA(nil), experiments.AblatePlacement()))
+	case "all":
+		for _, w := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152"} {
+			if err := run(w, seed); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q", what)
+	}
+	return nil
+}

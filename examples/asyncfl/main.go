@@ -1,0 +1,63 @@
+// AsyncFL: the paper's future-work direction (Fig. 11) — asynchronous FL
+// with a fixed training concurrency, comparing eager and lazy aggregation
+// timing plus staleness damping.
+//
+//	go run ./examples/asyncfl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asyncfl"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func main() {
+	for _, eager := range []bool{true, false} {
+		eng := sim.NewEngine()
+		svc, err := asyncfl.New(eng, asyncfl.Config{
+			Goal:              2, // Fig. 11: aggregation goal = 2
+			Concurrency:       4, // Fig. 11: concurrency = 4
+			Eager:             eager,
+			StalenessHalfLife: 2,
+		}, tensor.FromSlice(make([]float32, 64)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Four clients with very different speeds train continuously; each
+		// re-enters as soon as its slot frees (async: no round barrier).
+		speeds := []sim.Duration{8 * sim.Second, 11 * sim.Second, 23 * sim.Second, 47 * sim.Second}
+		rng := sim.NewRNG(11)
+		var loop func(client int)
+		submitted := 0
+		loop = func(client int) {
+			base := svc.Version()
+			eng.After(rng.Jitter(speeds[client], 0.1), func() {
+				if submitted >= 40 {
+					return
+				}
+				submitted++
+				u := tensor.FromSlice(make([]float32, 64))
+				u.Fill(float32(base + 1))
+				if err := svc.Submit(asyncfl.Update{Tensor: u, Weight: 1, BaseVersion: base}); err != nil {
+					log.Fatal(err)
+				}
+				loop(client)
+			})
+		}
+		for c := range speeds {
+			loop(c)
+		}
+		if err := eng.RunUntilIdle(); err != nil {
+			log.Fatal(err)
+		}
+		mode := "eager"
+		if !eager {
+			mode = "lazy"
+		}
+		fmt.Printf("%-5s: %2d versions from %d updates in %v; mean staleness %.2f versions\n",
+			mode, svc.Version(), svc.Received, eng.Now().Round(sim.Second), svc.MeanStaleness())
+	}
+}

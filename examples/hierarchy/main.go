@@ -1,0 +1,21 @@
+// Hierarchy: reproduce the paper's motivating timelines — a ResNet-152
+// round with eight remote trainers on the serverful data plane without
+// hierarchy (Fig. 4 upper), with hierarchy (Fig. 4 lower), and on LIFL's
+// shared-memory data plane (Fig. 7(c)) — rendered as ASCII Gantt charts.
+//
+//	go run ./examples/hierarchy
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	f4 := experiments.Fig4()
+	f7c := experiments.Fig7c()
+	fmt.Print(experiments.FormatFig4(f4, f7c))
+	fmt.Printf("\nhierarchy alone buys %.1fs; LIFL's data plane buys %.1fs more\n",
+		(f4.NHRound - f4.WHRound).Seconds(), (f4.WHRound - f7c.Round).Seconds())
+}

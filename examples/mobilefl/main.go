@@ -1,0 +1,35 @@
+// MobileFL: the paper's ResNet-18 mobile-device workload (§6.2) at reduced
+// scale — hibernating clients with heterogeneous compute, compared across
+// all four systems. Prints a time/cost-to-accuracy table like Fig. 9(a,b).
+//
+//	go run ./examples/mobilefl
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lifl "repro"
+)
+
+func main() {
+	fmt.Println("system  wall(h)  cpu(h)  rounds  reached")
+	for _, sys := range []lifl.SystemKind{lifl.SystemLIFL, lifl.SystemSLH, lifl.SystemSF, lifl.SystemSL} {
+		rep, err := lifl.Run(lifl.RunConfig{
+			System:         sys,
+			Model:          lifl.ResNet18,
+			Clients:        800,
+			ActivePerRound: 48,
+			Class:          lifl.MobileClients,
+			TargetAccuracy: 0.65,
+			MaxRounds:      80,
+			MC:             30,
+			Seed:           21,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s  %7.2f  %6.2f  %6d  %v\n",
+			sys, rep.TimeToTarget.Hours(), rep.CPUToTarget.Hours(), len(rep.Rounds), rep.Reached)
+	}
+}

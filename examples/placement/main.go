@@ -1,0 +1,61 @@
+// Placement: the locality-aware load balancing of §5.1 in isolation —
+// BestFit (LIFL) vs WorstFit ("Least Connection") vs FirstFit bin-packing
+// of model updates onto nodes, plus the hierarchy plans §5.2 derives.
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/internal/autoscaler"
+	"repro/internal/placement"
+	"repro/internal/sim"
+)
+
+func main() {
+	mkNodes := func() []*placement.NodeState {
+		var ns []*placement.NodeState
+		for i := 0; i < 5; i++ {
+			ns = append(ns, &placement.NodeState{
+				Name:     fmt.Sprintf("node-%d", i),
+				MC:       20,
+				ExecTime: 250 * sim.Millisecond,
+			})
+		}
+		return ns
+	}
+	for _, load := range []int{20, 60, 100} {
+		fmt.Printf("== %d concurrent model updates ==\n", load)
+		for _, pol := range []placement.Policy{placement.BestFit{}, placement.WorstFit{}, placement.FirstFit{}} {
+			assign, err := pol.Place(load, mkNodes())
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-9s nodes=%d  %v\n", pol.Name(), placement.NodesUsed(assign),
+				placement.SortedAssignments(assign))
+		}
+		// The hierarchy LIFL plans for the BestFit assignment (fan-in I=2).
+		assign, _ := placement.BestFit{}.Place(load, mkNodes())
+		queues := make(map[string]float64)
+		for n, c := range assign {
+			queues[n] = float64(c)
+		}
+		plans, total := autoscaler.PlanCluster(queues, 2)
+		names := make([]string, 0, len(plans))
+		for n := range plans {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			p := plans[n]
+			if p.Updates == 0 {
+				continue
+			}
+			fmt.Printf("  plan %s: %d leaves, middle=%v (updates=%d)\n", n, p.Leaves, p.Middle, p.Updates)
+		}
+		fmt.Printf("  total aggregators: %d (+1 top)\n\n", total)
+	}
+}

@@ -1,0 +1,48 @@
+// Quickstart: run a small federated-learning workload on LIFL and print
+// per-round results plus the final time-to-accuracy summary.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	lifl "repro"
+)
+
+func main() {
+	rep, err := lifl.Run(lifl.RunConfig{
+		System:         lifl.SystemLIFL,
+		Model:          lifl.ResNet18,
+		Clients:        400, // client population
+		ActivePerRound: 32,  // simultaneously active per round
+		Class:          lifl.MobileClients,
+		TargetAccuracy: 0.60,
+		MaxRounds:      60,
+		Seed:           7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("system=LIFL model=%s\n", rep.Model)
+	for _, r := range rep.Rounds[:min(5, len(rep.Rounds))] {
+		fmt.Printf("round %2d: duration=%6.1fs act=%5.1fs cpu=%5.1fs instances=%d nodes=%d\n",
+			r.Round, (r.End - r.Start).Seconds(), r.ACT.Seconds(),
+			r.CPUTime.Seconds(), r.AggsActive, r.NodesUsed)
+	}
+	fmt.Printf("... %d rounds total\n", len(rep.Rounds))
+	if rep.Reached {
+		fmt.Printf("reached %.0f%% accuracy in %.2f h wall clock, %.2f CPU-hours\n",
+			60.0, rep.TimeToTarget.Hours(), rep.CPUToTarget.Hours())
+	} else {
+		fmt.Println("accuracy target not reached within MaxRounds")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

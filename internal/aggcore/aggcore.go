@@ -1,0 +1,327 @@
+// Package aggcore implements LIFL's aggregator: the step-based processing
+// model of Appendix G (Fig. 14). An aggregator is a multiple-producer,
+// single-consumer pipeline of three steps — Recv (enqueue incoming updates
+// into a FIFO; in LIFL only the shm object key is enqueued), Agg (dequeue
+// and fold one update into the cumulative FedAvg state, repeating until the
+// aggregation goal is met), and Send (emit the aggregate to the designated
+// consumer). Recv and Agg overlap, which is exactly what enables eager
+// aggregation (§5.4); lazy aggregation defers Agg until the whole batch has
+// arrived (Fig. 1).
+//
+// Aggregators are stateless across rounds and use homogenized runtimes, so
+// a warm leaf can be converted into a middle or top aggregator with nothing
+// but a role flip (§5.3).
+package aggcore
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/fedavg"
+	"repro/internal/runtime"
+	"repro/internal/shm"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Role is an aggregator's level in the hierarchy.
+type Role int
+
+// Hierarchy levels (§2.2): leaves absorb client updates, middles combine
+// leaves, the single top produces the new global model.
+const (
+	RoleLeaf Role = iota
+	RoleMiddle
+	RoleTop
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleLeaf:
+		return "leaf"
+	case RoleMiddle:
+		return "middle"
+	case RoleTop:
+		return "top"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Mode selects the aggregation timing of Fig. 1.
+type Mode int
+
+// Eager aggregates every update on arrival; Lazy queues until the goal's
+// worth of updates is present, then aggregates the batch.
+const (
+	Eager Mode = iota
+	Lazy
+)
+
+// Update is one model update flowing through the hierarchy.
+type Update struct {
+	Tensor   *tensor.Tensor
+	Weight   float64
+	Size     uint64 // virtual payload bytes
+	Round    int
+	Producer string
+	// Key/Store are set when the payload is resident in shared memory; the
+	// aggregator releases its reference after folding the update in.
+	Key   shm.Key
+	Store *shm.Store
+}
+
+// release drops the shm reference, if any.
+func (u *Update) release() {
+	if u.Store != nil {
+		if err := u.Store.Release(u.Key); err != nil {
+			panic(fmt.Sprintf("aggcore: releasing %s: %v", u.Key, err))
+		}
+		u.Store = nil
+	}
+}
+
+// Transport ships an aggregator's output to its consumer. LIFL's transport
+// writes to shm and passes keys (or relays via gateways across nodes); the
+// baselines serialize through brokers and sidecars.
+type Transport interface {
+	SendResult(src *Aggregator, out Update, dstID string)
+}
+
+// Aggregator is one instance. All methods must be called from simulation
+// callbacks (single-threaded virtual time).
+type Aggregator struct {
+	ID   string
+	Role Role
+	Node *cluster.Node
+	// Sandbox is the runtime instance hosting this aggregator; nil for
+	// always-on serverful deployments.
+	Sandbox *runtime.Sandbox
+
+	// Goal is the aggregation goal n of Eq. (1): updates to fold before Send.
+	Goal int
+	Mode Mode
+	// DstID names the consumer aggregator; unused when OnComplete is set.
+	DstID string
+	Round int
+
+	Transport Transport
+	// OnComplete, when set (top aggregator), receives the final aggregate
+	// instead of Transport.
+	OnComplete func(*Aggregator, Update)
+
+	Tracer *trace.Recorder
+	// TraceName is the actor label in timelines ("LF1", "Top", ...).
+	TraceName string
+
+	// Proc is the aggregator's single-threaded process: every Recv/Agg/Send
+	// step serializes through it (§5.2 "the steps within a LIFL aggregator
+	// are executed sequentially"). This is what makes a single aggregator's
+	// receive path a bottleneck in Fig. 4's NH baseline.
+	Proc *sim.Station
+
+	algo  fedavg.Algorithm
+	state fedavg.State
+	queue []Update
+	// consumed keeps every folded update (with its shm reference) until
+	// Send: aggregators are stateless, so recovery from a failure replays
+	// the in-place updates into a fresh instance (§3). References release
+	// in bulk at Send.
+	consumed []Update
+	inflight *Update // update currently in the Agg step
+	busy     bool
+	dead     bool // failed instance: ignore in-flight completions
+	done     int  // updates folded into the state this round
+	sent     bool // Send already fired this round
+
+	// Stats.
+	TotalAggregated uint64
+	RoundsCompleted uint64
+}
+
+// New creates an aggregator with the given algorithm. phys/virtual size the
+// accumulator to the model being trained.
+func New(id string, role Role, node *cluster.Node, algo fedavg.Algorithm, phys, virtual int) *Aggregator {
+	a := &Aggregator{
+		ID:        id,
+		Role:      role,
+		Node:      node,
+		Proc:      sim.NewStation(node.Eng, id+"/proc", 1),
+		algo:      algo,
+		state:     algo.NewState(phys, virtual),
+		TraceName: id,
+	}
+	return a
+}
+
+// ExecAs runs work on the aggregator's single-threaded process, attributing
+// cpu CPU time to component on the node. Transports and ingest pipelines use
+// this so destination-side payload processing serializes per aggregator,
+// like the reference implementation's per-process receive loop.
+func (a *Aggregator) ExecAs(component string, demand, cpu sim.Duration, done func(start, end sim.Duration)) {
+	a.Node.ExecFree(component, cpu)
+	a.Proc.Submit(demand, done)
+}
+
+// Pending returns FIFO occupancy (queued, not yet aggregated).
+func (a *Aggregator) Pending() int { return len(a.queue) }
+
+// Done returns updates aggregated this round.
+func (a *Aggregator) Done() int { return a.done }
+
+// Idle reports whether the aggregator has finished its task for the round —
+// the condition under which §5.3 converts it to a higher role.
+func (a *Aggregator) Idle() bool { return a.sent && !a.busy && len(a.queue) == 0 }
+
+// Assign (re)targets the aggregator for a round: its role, goal, consumer,
+// and round number. State is reset; the homogenized runtime needs nothing
+// else (§5.3 "No further change is required as LIFL's aggregator runtime is
+// stateless").
+func (a *Aggregator) Assign(role Role, goal int, dstID string, round int) {
+	if goal <= 0 {
+		panic(fmt.Sprintf("aggcore: %s assigned non-positive goal %d", a.ID, goal))
+	}
+	a.Role = role
+	a.Goal = goal
+	a.DstID = dstID
+	a.Round = round
+	a.state.Reset()
+	a.done = 0
+	a.sent = false
+	if a.Sandbox != nil {
+		// The instance owes this round an output; exempt it from
+		// keep-alive reclamation until Send fires.
+		a.Sandbox.Pinned = true
+	}
+	// Any queued updates for the new assignment stay; stale ones were
+	// consumed by the previous round's goal.
+}
+
+// ConvertRole is Assign plus the small in-place conversion delay of §5.3,
+// after which ready fires. It models the coordinator's role flip of a warm,
+// idle instance (leaf→middle, middle→top).
+func (a *Aggregator) ConvertRole(role Role, goal int, dstID string, round int, ready func()) {
+	a.Node.Eng.After(a.Node.P.RoleConvertDelay, func() {
+		a.Assign(role, goal, dstID, round)
+		if ready != nil {
+			ready()
+		}
+	})
+}
+
+// Receive is the Recv step: enqueue one update (in LIFL, the caller has
+// already placed the payload in shm and only the key reaches the FIFO).
+func (a *Aggregator) Receive(u Update) {
+	a.queue = append(a.queue, u)
+	switch a.Mode {
+	case Eager:
+		a.pump()
+	case Lazy:
+		// Lazy: begin only when the whole goal's worth has arrived.
+		if len(a.queue)+a.done >= a.Goal {
+			a.pump()
+		}
+	}
+}
+
+// pump drives the Agg step: one FIFO entry at a time, sequential (the steps
+// within an aggregator execute sequentially, §5.2).
+func (a *Aggregator) pump() {
+	if a.busy || a.sent || len(a.queue) == 0 {
+		return
+	}
+	if a.Sandbox != nil && a.Sandbox.State() == runtime.StateStarting {
+		return // not ready yet; kicked again via NotifyReady
+	}
+	u := a.queue[0]
+	a.queue = a.queue[1:]
+	a.busy = true
+	a.inflight = &u
+	if a.Sandbox != nil {
+		_ = a.Sandbox.SetBusy()
+	}
+	demand := a.Node.P.AggregateOne(u.Size)
+	a.ExecAs("aggregator", demand, demand, func(start, end sim.Duration) {
+		if a.dead {
+			return // the instance failed mid-step; the update was replayed
+		}
+		a.Tracer.Add(a.TraceName, trace.KindAgg, start, end, a.Round)
+		if err := a.state.Accumulate(u.Tensor, u.Weight); err != nil {
+			panic(fmt.Sprintf("aggcore %s: %v", a.ID, err))
+		}
+		a.consumed = append(a.consumed, u)
+		a.inflight = nil
+		a.done++
+		a.TotalAggregated++
+		a.busy = false
+		if a.done >= a.Goal {
+			a.send()
+			return
+		}
+		if a.Sandbox != nil && len(a.queue) == 0 {
+			_ = a.Sandbox.SetIdle()
+		}
+		a.pump()
+	})
+}
+
+// NotifyReady kicks processing once the hosting sandbox becomes ready (used
+// when updates queued in shm during a cold start).
+func (a *Aggregator) NotifyReady() { a.pump() }
+
+// FailoverUpdates extracts every update the (failed) aggregator was
+// responsible for — queued and already-folded alike, shm references intact —
+// so the control plane can replay them into a stateless replacement. The
+// aggregator is left inert.
+func (a *Aggregator) FailoverUpdates() []Update {
+	out := a.consumed
+	if a.inflight != nil {
+		out = append(out, *a.inflight)
+		a.inflight = nil
+	}
+	out = append(out, a.queue...)
+	a.consumed = nil
+	a.queue = nil
+	a.state.Reset()
+	a.done = 0
+	a.busy = false
+	a.dead = true
+	a.sent = true
+	return out
+}
+
+// send is the Send step: emit the aggregate to the consumer.
+func (a *Aggregator) send() {
+	res, total, err := a.state.Result()
+	if err != nil {
+		panic(fmt.Sprintf("aggcore %s: %v", a.ID, err))
+	}
+	a.sent = true
+	a.RoundsCompleted++
+	// The aggregate is out; the source updates may now be recycled.
+	for i := range a.consumed {
+		a.consumed[i].release()
+	}
+	a.consumed = nil
+	if a.Sandbox != nil {
+		a.Sandbox.Pinned = false
+		_ = a.Sandbox.SetIdle()
+	}
+	out := Update{
+		Tensor:   res,
+		Weight:   total,
+		Size:     res.VirtualBytes(),
+		Round:    a.Round,
+		Producer: a.ID,
+	}
+	if a.OnComplete != nil {
+		a.OnComplete(a, out)
+		return
+	}
+	if a.Transport == nil {
+		panic(fmt.Sprintf("aggcore %s: no transport and no OnComplete", a.ID))
+	}
+	a.Transport.SendResult(a, out, a.DstID)
+}

@@ -1,0 +1,169 @@
+// Package asyncfl implements the asynchronous-FL semantics of Fig. 11
+// (Appendix A) — the paper's stated future-work direction, following
+// PAPAYA's buffered asynchronous aggregation (Huba et al., 2022; Nguyen et
+// al., 2022). Unlike synchronous FL, the service keeps a fixed concurrency
+// of clients training at all times; whenever the aggregation goal k (< the
+// concurrency) is met, the global model advances one version and the slots
+// are refilled — clients that trained against older versions contribute
+// staleness-weighted updates instead of being discarded.
+//
+// Both aggregation timings of Fig. 11 are supported: eager folds each
+// update into the pending version on arrival; lazy parks updates until the
+// goal's worth has queued.
+package asyncfl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fedavg"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// Update is one asynchronous client contribution.
+type Update struct {
+	Tensor *tensor.Tensor
+	Weight float64
+	// BaseVersion is the global model version the client trained against.
+	BaseVersion int
+	Producer    string
+}
+
+// Config parameterizes the asynchronous aggregator.
+type Config struct {
+	// Goal k: updates folded per version bump (Fig. 11 uses 2).
+	Goal int
+	// Concurrency: simultaneously training clients (Fig. 11 uses 4).
+	Concurrency int
+	// Eager selects the Fig. 11(a) timing; false = lazy, Fig. 11(b).
+	Eager bool
+	// StalenessHalfLife damps contributions trained s versions ago by
+	// 2^(−s/half-life); 0 disables damping.
+	StalenessHalfLife float64
+	// Phys/Virtual size the accumulator.
+	Phys, Virtual int
+}
+
+// Service is the asynchronous aggregation service.
+type Service struct {
+	cfg   Config
+	eng   *sim.Engine
+	algo  fedavg.Algorithm
+	state fedavg.State
+
+	version int
+	global  *tensor.Tensor
+	queue   []Update
+
+	// OnVersion fires after every version bump with the new global model.
+	OnVersion func(version int, global *tensor.Tensor)
+
+	// Stats.
+	Received  uint64
+	Folded    uint64
+	Discarded uint64
+	// StalenessSum accumulates version lag for mean-staleness reporting.
+	StalenessSum uint64
+}
+
+// New builds the service around an initial global model.
+func New(eng *sim.Engine, cfg Config, initial *tensor.Tensor) (*Service, error) {
+	if cfg.Goal <= 0 {
+		return nil, errors.New("asyncfl: goal must be positive")
+	}
+	if cfg.Concurrency < cfg.Goal {
+		return nil, fmt.Errorf("asyncfl: concurrency %d below goal %d", cfg.Concurrency, cfg.Goal)
+	}
+	if cfg.Phys == 0 {
+		cfg.Phys = initial.Len()
+		cfg.Virtual = initial.VirtualLen
+	}
+	alg := fedavg.FedAvg{}
+	return &Service{
+		cfg:    cfg,
+		eng:    eng,
+		algo:   alg,
+		state:  alg.NewState(cfg.Phys, cfg.Virtual),
+		global: initial.Clone(),
+	}, nil
+}
+
+// Version returns the current global model version.
+func (s *Service) Version() int { return s.version }
+
+// Global returns the current global model (read-only by convention).
+func (s *Service) Global() *tensor.Tensor { return s.global }
+
+// Pending returns queued-but-unfolded updates (non-zero only under lazy).
+func (s *Service) Pending() int { return len(s.queue) }
+
+// stalenessWeight damps a contribution trained against an old version.
+func (s *Service) stalenessWeight(base int) float64 {
+	lag := s.version - base
+	if lag < 0 {
+		lag = 0
+	}
+	s.StalenessSum += uint64(lag)
+	if s.cfg.StalenessHalfLife <= 0 || lag == 0 {
+		return 1
+	}
+	return math.Exp2(-float64(lag) / s.cfg.StalenessHalfLife)
+}
+
+// Submit delivers one client update to the service.
+func (s *Service) Submit(u Update) error {
+	if u.Weight <= 0 {
+		return fmt.Errorf("asyncfl: non-positive weight %v", u.Weight)
+	}
+	s.Received++
+	if s.cfg.Eager {
+		return s.fold(u)
+	}
+	s.queue = append(s.queue, u)
+	if len(s.queue) >= s.cfg.Goal {
+		batch := s.queue
+		s.queue = nil
+		for _, q := range batch {
+			if err := s.fold(q); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fold accumulates one update and bumps the version at the goal.
+func (s *Service) fold(u Update) error {
+	w := u.Weight * s.stalenessWeight(u.BaseVersion)
+	if w <= 0 {
+		s.Discarded++
+		return nil
+	}
+	if err := s.state.Accumulate(u.Tensor, w); err != nil {
+		return err
+	}
+	s.Folded++
+	if s.state.Count() >= s.cfg.Goal {
+		agg, _, err := s.state.Result()
+		if err != nil {
+			return err
+		}
+		s.state.Reset()
+		s.version++
+		s.global = agg
+		if s.OnVersion != nil {
+			s.OnVersion(s.version, s.global)
+		}
+	}
+	return nil
+}
+
+// MeanStaleness reports the average version lag of received updates.
+func (s *Service) MeanStaleness() float64 {
+	if s.Received == 0 {
+		return 0
+	}
+	return float64(s.StalenessSum) / float64(s.Received)
+}

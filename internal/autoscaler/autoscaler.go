@@ -1,0 +1,143 @@
+// Package autoscaler implements the two scaling designs the paper compares:
+// LIFL's hierarchy-aware planner (§5.2) — which sizes a per-node, two-level
+// k-ary aggregation tree from EWMA-smoothed queue estimates so every level
+// reaches maximal parallelism — and the threshold-based reactive autoscaler
+// of existing serverless platforms (Knative/OpenFaaS style), which scales a
+// single pool of identical functions from a concurrency target and is blind
+// to the hierarchy (§2.3 "Application-agnostic, simple, autoscaling").
+package autoscaler
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMA smooths queue-length estimates: Q̄_t = α·Q̄_{t−1} + (1−α)·Q_t, with
+// α = 0.7 per §5.2. The zero value is unusable; use NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	primed  bool
+	Updates uint64
+}
+
+// NewEWMA builds a smoother with coefficient alpha ∈ [0,1).
+func NewEWMA(alpha float64) *EWMA {
+	if alpha < 0 || alpha >= 1 {
+		panic(fmt.Sprintf("autoscaler: EWMA alpha %v out of [0,1)", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Update folds in an observation and returns the smoothed value. The first
+// observation primes the filter directly.
+func (e *EWMA) Update(x float64) float64 {
+	e.Updates++
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return x
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*x
+	return e.value
+}
+
+// Value returns the current smoothed estimate.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Plan describes the aggregation tree for one node in one re-plan cycle
+// (§5.2: a two-level k-ary tree per node — leaves feeding one "central"
+// middle aggregator — with each node's intermediate update dispatched to the
+// cluster-wide top aggregator).
+type Plan struct {
+	Node string
+	// Updates is the demand the plan was sized for.
+	Updates int
+	// Leaves is the number of leaf aggregators (= ceil(updates / I)).
+	Leaves int
+	// Middle reports whether a middle aggregator is needed (more than one
+	// leaf on the node).
+	Middle bool
+	// LeafGoals[i] is the aggregation goal of leaf i; goals differ by at
+	// most one when I does not divide the demand.
+	LeafGoals []int
+}
+
+// Aggregators returns the number of instances the plan requires on the node.
+func (p Plan) Aggregators() int {
+	n := p.Leaves
+	if p.Middle {
+		n++
+	}
+	return n
+}
+
+// PlanNode sizes the per-node hierarchy for `updates` pending model updates
+// with leaf fan-in I (kept small, e.g. 2, so a leaf waits minimally after
+// its first update, §5.2).
+func PlanNode(node string, updates, fanIn int) Plan {
+	if fanIn <= 0 {
+		panic(fmt.Sprintf("autoscaler: fan-in %d must be positive", fanIn))
+	}
+	if updates <= 0 {
+		return Plan{Node: node}
+	}
+	leaves := (updates + fanIn - 1) / fanIn
+	goals := make([]int, leaves)
+	rem := updates
+	for i := range goals {
+		g := fanIn
+		if rem < g {
+			g = rem
+		}
+		goals[i] = g
+		rem -= g
+	}
+	return Plan{
+		Node:      node,
+		Updates:   updates,
+		Leaves:    leaves,
+		Middle:    leaves > 1,
+		LeafGoals: goals,
+	}
+}
+
+// PlanCluster plans every node given smoothed queue estimates and returns
+// plans keyed by node name plus the total aggregator count.
+func PlanCluster(queues map[string]float64, fanIn int) (map[string]Plan, int) {
+	out := make(map[string]Plan, len(queues))
+	total := 0
+	for node, q := range queues {
+		p := PlanNode(node, int(math.Ceil(q)), fanIn)
+		out[node] = p
+		total += p.Aggregators()
+	}
+	return out, total
+}
+
+// Threshold is the baseline reactive autoscaler: desired replicas =
+// ceil(in-flight / target concurrency), clamped to [min, max]. It knows
+// nothing about hierarchy levels, so scaling a chain of aggregators incurs
+// cascading cold starts (§2.3).
+type Threshold struct {
+	// Target is the per-replica concurrency target (Knative's
+	// containerConcurrency).
+	Target int
+	// Min and Max clamp the replica count.
+	Min, Max int
+}
+
+// Desired returns the replica count for the observed in-flight load.
+func (t Threshold) Desired(inflight int) int {
+	if t.Target <= 0 {
+		panic("autoscaler: threshold target must be positive")
+	}
+	d := (inflight + t.Target - 1) / t.Target
+	if d < t.Min {
+		d = t.Min
+	}
+	if t.Max > 0 && d > t.Max {
+		d = t.Max
+	}
+	return d
+}

@@ -1,0 +1,168 @@
+package autoscaler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEWMAFormulaExact(t *testing.T) {
+	e := NewEWMA(0.7)
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first observation must prime: %v", got)
+	}
+	// Q̄ = 0.7·10 + 0.3·20 = 13.
+	if got := e.Update(20); math.Abs(got-13) > 1e-9 {
+		t.Fatalf("second = %v, want 13", got)
+	}
+	// Q̄ = 0.7·13 + 0.3·3 = 10.
+	if got := e.Update(3); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("third = %v, want 10", got)
+	}
+	if e.Updates != 3 || e.Value() != 10 {
+		t.Fatalf("state: %d %v", e.Updates, e.Value())
+	}
+}
+
+func TestEWMASmoothsSpikes(t *testing.T) {
+	// §5.2: EWMA prevents excess allocation from short-term spikes.
+	e := NewEWMA(0.7)
+	e.Update(10)
+	spike := e.Update(100)
+	if spike > 40 {
+		t.Fatalf("spike insufficiently damped: %v", spike)
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	for _, a := range []float64{-0.1, 1.0, 2.0} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("alpha %v accepted", a)
+				}
+			}()
+			NewEWMA(a)
+		}()
+	}
+}
+
+// Property: the EWMA stays within the min/max of its observations.
+func TestEWMABounded(t *testing.T) {
+	f := func(obs []uint16) bool {
+		if len(obs) == 0 {
+			return true
+		}
+		e := NewEWMA(0.7)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, o := range obs {
+			v := float64(o)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			got := e.Update(v)
+			if got < lo-1e-9 || got > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanNodeShapes(t *testing.T) {
+	// §5.2: two-level k-ary tree, I=2, goals sum to the demand.
+	p := PlanNode("n", 20, 2)
+	if p.Leaves != 10 || !p.Middle {
+		t.Fatalf("plan: %+v", p)
+	}
+	if p.Aggregators() != 11 {
+		t.Fatalf("aggregators = %d", p.Aggregators())
+	}
+	// Odd demand: last leaf gets the remainder.
+	p = PlanNode("n", 5, 2)
+	if p.Leaves != 3 || p.LeafGoals[2] != 1 {
+		t.Fatalf("odd plan: %+v", p)
+	}
+	// Single leaf: no middle needed.
+	p = PlanNode("n", 2, 2)
+	if p.Leaves != 1 || p.Middle {
+		t.Fatalf("small plan: %+v", p)
+	}
+	// Zero demand: empty plan.
+	p = PlanNode("n", 0, 2)
+	if p.Aggregators() != 0 {
+		t.Fatalf("empty plan: %+v", p)
+	}
+}
+
+func TestPlanNodeBadFanInPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	PlanNode("n", 5, 0)
+}
+
+// Property: goals are positive, at most I, and sum to the demand.
+func TestPlanGoalsInvariant(t *testing.T) {
+	f := func(updatesRaw uint8, fanRaw uint8) bool {
+		updates := int(updatesRaw % 200)
+		fanIn := int(fanRaw%6) + 1
+		p := PlanNode("n", updates, fanIn)
+		sum := 0
+		for _, g := range p.LeafGoals {
+			if g <= 0 || g > fanIn {
+				return false
+			}
+			sum += g
+		}
+		if sum != updates {
+			return false
+		}
+		if updates > 0 && p.Leaves != (updates+fanIn-1)/fanIn {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanCluster(t *testing.T) {
+	plans, total := PlanCluster(map[string]float64{"a": 4.2, "b": 0, "c": 1}, 2)
+	if plans["a"].Leaves != 3 { // ceil(4.2)=5 → 3 leaves
+		t.Fatalf("a: %+v", plans["a"])
+	}
+	if plans["b"].Aggregators() != 0 {
+		t.Fatalf("b: %+v", plans["b"])
+	}
+	if plans["c"].Leaves != 1 || plans["c"].Middle {
+		t.Fatalf("c: %+v", plans["c"])
+	}
+	if total != 4+0+1 {
+		t.Fatalf("total = %d", total)
+	}
+}
+
+func TestThresholdDesired(t *testing.T) {
+	th := Threshold{Target: 2, Min: 1, Max: 10}
+	cases := []struct{ in, want int }{{0, 1}, {1, 1}, {2, 1}, {3, 2}, {19, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := th.Desired(c.in); got != c.want {
+			t.Errorf("desired(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestThresholdZeroTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Threshold{}.Desired(1)
+}

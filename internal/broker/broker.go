@@ -1,0 +1,132 @@
+// Package broker implements the stateful message broker that serverless FL
+// baselines interpose between functions (§2.3, Fig. 2(b), Fig. 5): a
+// persistent store-and-forward component that buffers model updates while
+// aggregators spawn, and relays messages because ephemeral functions cannot
+// hold direct routes. Every pass through the broker costs an extra copy in,
+// a copy out, and buffer memory — the "+MB" share of Fig. 7(a).
+package broker
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// Message is one buffered payload.
+type Message struct {
+	Topic    string
+	Size     uint64
+	Payload  interface{} // opaque to the broker (a *tensor.Tensor in practice)
+	Enqueued sim.Duration
+}
+
+// Broker is a persistent broker process pinned to one node. It reserves an
+// always-on memory footprint and charges CPU per relayed byte. All relaying
+// serializes through the broker's single process — under load, the broker
+// is a store-and-forward bottleneck, which is exactly the §2.3 complaint.
+type Broker struct {
+	Node *cluster.Node
+	proc *sim.Station
+
+	queues   map[string][]Message
+	subs     map[string]func(Message)
+	buffered uint64 // bytes currently resident in broker queues
+	peak     uint64
+
+	// Stats.
+	Published uint64
+	Delivered uint64
+	// QueueDelay accumulates time messages spent parked in broker queues.
+	QueueDelay sim.Duration
+}
+
+// New creates a broker on the given node.
+func New(n *cluster.Node) *Broker {
+	return &Broker{
+		Node:   n,
+		proc:   sim.NewStation(n.Eng, n.Name+"/broker", 1),
+		queues: make(map[string][]Message),
+		subs:   make(map[string]func(Message)),
+	}
+}
+
+// exec runs broker work on the broker's single-threaded process.
+func (b *Broker) exec(demand, cpu sim.Duration, done func()) {
+	b.Node.ExecFree("broker", cpu)
+	b.proc.Submit(demand, func(_, _ sim.Duration) { done() })
+}
+
+// Mediate charges one broker pass for an out-of-band payload (e.g. global
+// model distribution in serverless FL, where every client download flows
+// through the broker). done fires when the broker has relayed it.
+func (b *Broker) Mediate(size uint64, done func()) {
+	lat, cpu := b.Node.P.BrokerHop(size)
+	b.exec(lat, cpu, done)
+}
+
+// Publish stores a message then forwards it to the topic's subscriber if one
+// is attached; otherwise it stays queued until Subscribe. The store-and-
+// forward CPU/latency cost is charged on ingestion; delivery to a subscriber
+// charges the dispatch half.
+func (b *Broker) Publish(topic string, size uint64, payload interface{}) {
+	b.Published++
+	lat, cpu := b.Node.P.BrokerHop(size)
+	// Ingestion half: copy into the broker's buffer.
+	b.exec(lat/2, cpu/2, func() {
+		m := Message{Topic: topic, Size: size, Payload: payload, Enqueued: b.Node.Eng.Now()}
+		b.buffered += size
+		if b.buffered > b.peak {
+			b.peak = b.buffered
+		}
+		b.queues[topic] = append(b.queues[topic], m)
+		b.pump(topic)
+	})
+}
+
+// Subscribe attaches the topic's consumer and drains anything queued.
+// A topic has at most one subscriber (point-to-point queue semantics, as
+// used for function chaining).
+func (b *Broker) Subscribe(topic string, fn func(Message)) {
+	b.subs[topic] = fn
+	b.pump(topic)
+}
+
+// Unsubscribe detaches the consumer (aggregator terminated); messages queue
+// up again until the next Subscribe.
+func (b *Broker) Unsubscribe(topic string) { delete(b.subs, topic) }
+
+// pump delivers queued messages to the subscriber, one dispatch cost each.
+func (b *Broker) pump(topic string) {
+	fn := b.subs[topic]
+	if fn == nil {
+		return
+	}
+	for len(b.queues[topic]) > 0 {
+		m := b.queues[topic][0]
+		b.queues[topic] = b.queues[topic][1:]
+		lat, cpu := b.Node.P.BrokerHop(m.Size)
+		// Dispatch half: copy out of the broker toward the consumer.
+		b.exec(lat/2, cpu/2, func() {
+			b.buffered -= m.Size
+			b.Delivered++
+			b.QueueDelay += b.Node.Eng.Now() - m.Enqueued
+			fn(m)
+		})
+	}
+}
+
+// QueueLen returns messages parked on the topic.
+func (b *Broker) QueueLen(topic string) int { return len(b.queues[topic]) }
+
+// Buffered returns bytes currently resident in broker queues.
+func (b *Broker) Buffered() uint64 { return b.buffered }
+
+// PeakBuffered returns the high-water mark of broker-resident bytes — the
+// broker's contribution to the Fig. 13(b) memory cost.
+func (b *Broker) PeakBuffered() uint64 { return b.peak }
+
+// String implements fmt.Stringer.
+func (b *Broker) String() string {
+	return fmt.Sprintf("broker@%s{topics=%d buffered=%dB}", b.Node.Name, len(b.queues), b.buffered)
+}

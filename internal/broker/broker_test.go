@@ -1,0 +1,141 @@
+package broker
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+func rig() (*sim.Engine, *cluster.Node, *Broker) {
+	eng := sim.NewEngine()
+	c := cluster.New(eng, sim.NewRNG(1), costmodel.Default(), 1)
+	return eng, c.Nodes[0], New(c.Nodes[0])
+}
+
+func TestPublishThenSubscribeDrains(t *testing.T) {
+	eng, _, b := rig()
+	b.Publish("t", 1000, "m1")
+	b.Publish("t", 1000, "m2")
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueLen("t") != 2 {
+		t.Fatalf("queued = %d", b.QueueLen("t"))
+	}
+	if b.Buffered() != 2000 {
+		t.Fatalf("buffered = %d", b.Buffered())
+	}
+	var got []string
+	b.Subscribe("t", func(m Message) { got = append(got, m.Payload.(string)) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "m1" || got[1] != "m2" {
+		t.Fatalf("drained = %v (FIFO order required)", got)
+	}
+	if b.Buffered() != 0 || b.QueueLen("t") != 0 {
+		t.Fatal("buffer not drained")
+	}
+	if b.Published != 2 || b.Delivered != 2 {
+		t.Fatalf("counters: %d/%d", b.Published, b.Delivered)
+	}
+}
+
+func TestSubscribeFirstDeliversOnPublish(t *testing.T) {
+	eng, _, b := rig()
+	var got string
+	b.Subscribe("t", func(m Message) { got = m.Payload.(string) })
+	b.Publish("t", 10, "hello")
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got != "hello" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUnsubscribeQueuesAgain(t *testing.T) {
+	eng, _, b := rig()
+	b.Subscribe("t", func(Message) {})
+	b.Unsubscribe("t")
+	b.Publish("t", 10, "x")
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueLen("t") != 1 {
+		t.Fatal("message should park after unsubscribe")
+	}
+}
+
+func TestQueueDelayMeasured(t *testing.T) {
+	eng, _, b := rig()
+	b.Publish("t", 10, "x")
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Subscribe one minute later: the parked message accrues queue delay.
+	eng.After(sim.Minute, func() {
+		b.Subscribe("t", func(Message) {})
+	})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if b.QueueDelay < sim.Minute {
+		t.Fatalf("queue delay = %v", b.QueueDelay)
+	}
+}
+
+func TestBrokerSerializesLikeOneProcess(t *testing.T) {
+	eng, n, b := rig()
+	// Many large publishes: total time must be ≈ serialized through the
+	// broker's single-server station, not parallel on the 64-core node.
+	const k = 8
+	size := uint64(200 << 20)
+	hop, _ := n.P.BrokerHop(size)
+	b.Subscribe("t", func(Message) {})
+	for i := 0; i < k; i++ {
+		b.Publish("t", size, i)
+	}
+	start := eng.Now()
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := eng.Now() - start
+	if elapsed < sim.Duration(k-1)*hop {
+		t.Fatalf("broker parallelized: %v for %d hops of %v", elapsed, k, hop)
+	}
+}
+
+func TestMediateChargesOneHop(t *testing.T) {
+	eng, n, b := rig()
+	var done sim.Duration
+	b.Mediate(100<<20, func() { done = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := n.P.BrokerHop(100 << 20)
+	if done != want {
+		t.Fatalf("mediate = %v, want %v", done, want)
+	}
+	if n.CPUTime("broker") == 0 {
+		t.Fatal("no CPU attribution")
+	}
+}
+
+func TestPeakBuffered(t *testing.T) {
+	eng, _, b := rig()
+	b.Publish("t", 500, nil)
+	b.Publish("t", 700, nil)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	b.Subscribe("t", func(Message) {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if b.PeakBuffered() != 1200 {
+		t.Fatalf("peak = %d", b.PeakBuffered())
+	}
+}

@@ -1,0 +1,73 @@
+package checkpoint
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+func TestSaveAsyncCompletesInBackground(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(eng, 1e9)                // 1 GB/s uplink
+	m := tensor.NewVirtual(4, 250_000_000) // 1 GB virtual
+	var savedAt sim.Duration
+	s.SaveAsync(3, m, func(r Record) { savedAt = r.SavedAt })
+	if s.InFlight != 1 {
+		t.Fatalf("in-flight = %d", s.InFlight)
+	}
+	// The request returns immediately; durability comes ~1s later.
+	if _, err := s.Latest(); !errors.Is(err, ErrNone) {
+		t.Fatal("checkpoint durable before upload finished")
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if savedAt < sim.Second {
+		t.Fatalf("durable at %v, upload should take ≈1s", savedAt)
+	}
+	rec, err := s.Latest()
+	if err != nil || rec.Round != 3 {
+		t.Fatalf("latest: %+v %v", rec, err)
+	}
+	if s.InFlight != 0 || s.Completed != 1 || s.Count() != 1 {
+		t.Fatalf("accounting: %d/%d/%d", s.InFlight, s.Completed, s.Count())
+	}
+}
+
+func TestSnapshotIsolatesFromLaterMutation(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(eng, 1e12)
+	m := tensor.FromSlice([]float32{1, 2, 3})
+	s.SaveAsync(1, m, nil)
+	m.Data[0] = 99 // the aggregator moves on; the checkpoint must not see it
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Model.Data[0] != 1 {
+		t.Fatal("checkpoint aliased live model")
+	}
+}
+
+func TestLatestReturnsNewest(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(eng, 1e12)
+	for r := 1; r <= 3; r++ {
+		s.SaveAsync(r, tensor.New(2), nil)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Latest()
+	if err != nil || rec.Round != 3 {
+		t.Fatalf("latest = %+v", rec)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("count = %d", s.Count())
+	}
+}

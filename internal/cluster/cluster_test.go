@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+func newTestNode() (*sim.Engine, *Node) {
+	eng := sim.NewEngine()
+	n := NewNode(eng, sim.NewRNG(1), "n0", costmodel.Default())
+	return eng, n
+}
+
+func TestExecAttributesCPUByComponent(t *testing.T) {
+	eng, n := newTestNode()
+	n.Exec("gateway", 2*sim.Second, nil)
+	n.Exec("aggregator", 3*sim.Second, nil)
+	n.Exec("aggregator", 1*sim.Second, nil)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if n.CPUTime("gateway") != 2*sim.Second {
+		t.Fatalf("gateway = %v", n.CPUTime("gateway"))
+	}
+	if n.CPUTime("aggregator") != 4*sim.Second {
+		t.Fatalf("aggregator = %v", n.CPUTime("aggregator"))
+	}
+	if n.TotalCPUTime() != 6*sim.Second {
+		t.Fatalf("total = %v", n.TotalCPUTime())
+	}
+	bd := n.CPUBreakdown()
+	if len(bd) != 2 || bd[0].Component != "aggregator" || bd[1].Component != "gateway" {
+		t.Fatalf("breakdown = %v", bd)
+	}
+}
+
+func TestExecAttributedSeparatesDemandFromCharge(t *testing.T) {
+	eng, n := newTestNode()
+	var end sim.Duration
+	n.ExecAttributed("x", 2*sim.Second, 5*sim.Second, func(_, e sim.Duration) { end = e })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 2*sim.Second {
+		t.Fatalf("occupancy = %v, want demand 2s", end)
+	}
+	if n.CPUTime("x") != 5*sim.Second {
+		t.Fatalf("charge = %v, want 5s", n.CPUTime("x"))
+	}
+}
+
+func TestKernelStackContention(t *testing.T) {
+	eng, n := newTestNode()
+	// Saturate the kernel stack (parallelism 8) with 16 equal traversals:
+	// completion must take two batches.
+	var last sim.Duration
+	for i := 0; i < 16; i++ {
+		n.KernelExec("net", sim.Second, sim.Second, func(_, end sim.Duration) {
+			if end > last {
+				last = end
+			}
+		})
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if last != 2*sim.Second {
+		t.Fatalf("16 traversals over 8-wide stack finished at %v, want 2s", last)
+	}
+}
+
+func TestReservationAccounting(t *testing.T) {
+	eng, n := newTestNode()
+	n.Reserve("sf", 2.5)
+	eng.At(10*sim.Second, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ReservedCPUTime(); got != 25*sim.Second {
+		t.Fatalf("reserved = %v, want 25s (2.5 cores × 10s)", got)
+	}
+	n.Unreserve("sf")
+	eng.At(20*sim.Second, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ReservedCPUTime(); got != 25*sim.Second {
+		t.Fatalf("reservation accrued after release: %v", got)
+	}
+}
+
+func TestDuplicateReservationPanics(t *testing.T) {
+	_, n := newTestNode()
+	n.Reserve("sf", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Reserve("sf", 1)
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	_, n := newTestNode()
+	n.AllocMem(1 << 30)
+	n.AllocMem(2 << 30)
+	if n.MemUsed() != 3<<30 {
+		t.Fatalf("used = %d", n.MemUsed())
+	}
+	n.FreeMem(1 << 30)
+	if n.MemUsed() != 2<<30 || n.MemPeak() != 3<<30 {
+		t.Fatalf("used=%d peak=%d", n.MemUsed(), n.MemPeak())
+	}
+}
+
+func TestMemoryOverflowPanics(t *testing.T) {
+	_, n := newTestNode()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected OOM panic")
+		}
+	}()
+	n.AllocMem(200 << 30) // beyond 192 GB
+}
+
+func TestFreeTooMuchPanics(t *testing.T) {
+	_, n := newTestNode()
+	n.AllocMem(10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.FreeMem(11)
+}
+
+func TestClusterConstruction(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, sim.NewRNG(1), costmodel.Default(), 5)
+	if len(c.Nodes) != 5 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	if c.Node("node-3") == nil || c.Node("node-9") != nil {
+		t.Fatal("lookup by name broken")
+	}
+	c.Nodes[0].Exec("a", sim.Second, nil)
+	c.Nodes[1].Exec("b", 2*sim.Second, nil)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalCPUTime() != 3*sim.Second {
+		t.Fatalf("cluster total = %v", c.TotalCPUTime())
+	}
+	c.Nodes[2].Reserve("r", 1)
+	eng.At(eng.Now()+4*sim.Second, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalReservedCPUTime() != 4*sim.Second {
+		t.Fatalf("cluster reserved = %v", c.TotalReservedCPUTime())
+	}
+}
+
+func TestExecFreeDoesNotOccupyCores(t *testing.T) {
+	eng, n := newTestNode()
+	n.ExecFree("ebpf", 100*sim.Hour) // attribution only
+	var start sim.Duration
+	n.CPU.Submit(sim.Second, func(s, _ sim.Duration) { start = s })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 0 {
+		t.Fatal("ExecFree blocked the core pool")
+	}
+	if n.CPUTime("ebpf") != 100*sim.Hour {
+		t.Fatal("ExecFree lost attribution")
+	}
+}

@@ -1,0 +1,123 @@
+// Package coordinator implements the cluster-wide control-plane pieces that
+// sit between the FL job designer and the serverless control plane (Fig. 3):
+// client selection with over-provisioning, keep-alive failure detection for
+// clients (§3), round lifecycle bookkeeping, and the opportunistic
+// aggregator-reuse policy of §5.3.
+package coordinator
+
+import (
+	"sort"
+
+	"repro/internal/aggcore"
+	"repro/internal/sim"
+)
+
+// ClientID names an FL client.
+type ClientID string
+
+// Selector performs the selector role of §2.2: choosing a diverse set of
+// participants each round. Diversity comes from uniform sampling over the
+// available population (the paper delegates smarter participant selection —
+// Oort etc. — to orthogonal work).
+type Selector struct {
+	rng *sim.RNG
+	// OverProvision is the extra fraction of clients selected beyond the
+	// aggregation goal to absorb failures (§3 "enhances resilience by
+	// over-provisioning the number of clients").
+	OverProvision float64
+}
+
+// NewSelector builds a selector with the given over-provisioning fraction.
+func NewSelector(rng *sim.RNG, overProvision float64) *Selector {
+	return &Selector{rng: rng, OverProvision: overProvision}
+}
+
+// Select draws clients for a round with aggregation goal n: n·(1+op)
+// uniformly without replacement (capped by availability). The result is
+// deterministic for a given RNG state.
+func (s *Selector) Select(available []ClientID, goal int) []ClientID {
+	want := goal + int(float64(goal)*s.OverProvision+0.5)
+	if want > len(available) {
+		want = len(available)
+	}
+	idx := s.rng.Perm(len(available))[:want]
+	sort.Ints(idx)
+	out := make([]ClientID, want)
+	for i, j := range idx {
+		out[i] = available[j]
+	}
+	return out
+}
+
+// Heartbeats tracks client keep-alives; a client whose last beat is older
+// than the timeout is declared failed and its slot is covered by the
+// over-provisioned population.
+type Heartbeats struct {
+	eng     *sim.Engine
+	timeout sim.Duration
+	last    map[ClientID]sim.Duration
+}
+
+// NewHeartbeats builds a tracker with the given timeout.
+func NewHeartbeats(eng *sim.Engine, timeout sim.Duration) *Heartbeats {
+	return &Heartbeats{eng: eng, timeout: timeout, last: make(map[ClientID]sim.Duration)}
+}
+
+// Beat records a keep-alive from c now.
+func (h *Heartbeats) Beat(c ClientID) { h.last[c] = h.eng.Now() }
+
+// Failed returns clients whose beats have expired, sorted.
+func (h *Heartbeats) Failed() []ClientID {
+	now := h.eng.Now()
+	var out []ClientID
+	for c, t := range h.last {
+		if now-t > h.timeout {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Forget drops a client (round ended or reassigned).
+func (h *Heartbeats) Forget(c ClientID) { delete(h.last, c) }
+
+// Round tracks the lifecycle of one global-model round.
+type Round struct {
+	Number  int
+	Goal    int
+	Started sim.Duration
+	Ended   sim.Duration
+	// Received counts client updates that reached the aggregation service.
+	Received int
+	// Complete reports the round produced a new global model version.
+	Complete bool
+}
+
+// ACT returns the aggregation completion time of the round.
+func (r *Round) ACT() sim.Duration { return r.Ended - r.Started }
+
+// ReusePicker implements §5.3: prefer converting a warm, idle aggregator
+// that has completed its task over cold-starting a new instance for a
+// higher level.
+type ReusePicker struct {
+	// Conversions counts successful reuses (for Fig. 8(c)-style reporting).
+	Conversions uint64
+}
+
+// PickIdle returns the first aggregator (in slice order) that has completed
+// its aggregation task and is idle, or nil. The paper picks "a leaf
+// aggregator that has already completed its aggregation task and is idle"
+// for middle duty, and "the first middle aggregator that completes its local
+// aggregation" for top duty — callers pass the candidate set accordingly.
+func (rp *ReusePicker) PickIdle(cands []*aggcore.Aggregator) *aggcore.Aggregator {
+	for _, a := range cands {
+		if a != nil && a.Idle() {
+			return a
+		}
+	}
+	return nil
+}
+
+// MarkConversion records a successful role conversion.
+func (rp *ReusePicker) MarkConversion() { rp.Conversions++ }

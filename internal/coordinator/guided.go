@@ -1,0 +1,141 @@
+package coordinator
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// GuidedSelector implements Oort-style guided participant selection (Lai et
+// al., OSDI'21) — the client-selection line of work the paper cites as
+// complementary to LIFL (§7). Each client's utility combines statistical
+// utility (how informative its data is, proxied here by sample count and
+// observed loss contribution) with system utility (how fast it returns
+// updates), and selection balances exploitation of high-utility clients with
+// exploration of unseen ones.
+type GuidedSelector struct {
+	rng *sim.RNG
+	// ExplorationFrac is the slice of each round reserved for clients that
+	// have never participated (Oort's exploration).
+	ExplorationFrac float64
+	// RoundPenalty decays the utility of recently used clients to spread
+	// participation.
+	RoundPenalty float64
+
+	stats map[ClientID]*clientStats
+	round int
+}
+
+type clientStats struct {
+	statUtil  float64
+	sysUtil   float64
+	lastUsed  int
+	everUsed  bool
+	timesUsed int
+}
+
+// NewGuidedSelector builds a selector with Oort-like defaults.
+func NewGuidedSelector(rng *sim.RNG) *GuidedSelector {
+	return &GuidedSelector{
+		rng:             rng,
+		ExplorationFrac: 0.2,
+		RoundPenalty:    0.5,
+		stats:           make(map[ClientID]*clientStats),
+	}
+}
+
+// Observe records a completed participation: samples is the client's c_k,
+// latency its round-trip time, loss the (proxy) training loss it reported.
+func (g *GuidedSelector) Observe(c ClientID, samples int, latency sim.Duration, loss float64) {
+	st := g.stat(c)
+	st.everUsed = true
+	st.timesUsed++
+	st.lastUsed = g.round
+	// Oort's statistical utility: |B| · sqrt(sum loss² / |B|) ∝ sqrt(|B|·loss).
+	st.statUtil = float64(samples) * math.Sqrt(math.Max(loss, 1e-6))
+	if latency > 0 {
+		st.sysUtil = 1 / latency.Seconds()
+	}
+}
+
+func (g *GuidedSelector) stat(c ClientID) *clientStats {
+	st, ok := g.stats[c]
+	if !ok {
+		st = &clientStats{}
+		g.stats[c] = st
+	}
+	return st
+}
+
+// utility scores one candidate for the current round.
+func (g *GuidedSelector) utility(c ClientID) float64 {
+	st := g.stat(c)
+	if !st.everUsed {
+		return 0 // handled by the exploration slice
+	}
+	u := st.statUtil * (0.5 + 0.5*math.Min(st.sysUtil, 1))
+	// Recency penalty: clients used last round are temporarily demoted.
+	age := g.round - st.lastUsed
+	if age < 1 {
+		age = 0
+	}
+	decay := 1 - g.RoundPenalty*math.Exp2(-float64(age))
+	return u * decay
+}
+
+// Select picks n participants: the exploration slice uniformly from
+// never-used clients, the rest by utility (exploitation).
+func (g *GuidedSelector) Select(available []ClientID, n int) []ClientID {
+	g.round++
+	if n > len(available) {
+		n = len(available)
+	}
+	var unseen, seen []ClientID
+	for _, c := range available {
+		if g.stat(c).everUsed {
+			seen = append(seen, c)
+		} else {
+			unseen = append(unseen, c)
+		}
+	}
+	nExplore := int(float64(n)*g.ExplorationFrac + 0.5)
+	if nExplore > len(unseen) {
+		nExplore = len(unseen)
+	}
+	out := make([]ClientID, 0, n)
+	perm := g.rng.Perm(len(unseen))
+	for _, i := range perm[:nExplore] {
+		out = append(out, unseen[i])
+	}
+	// Exploit: highest utility first, deterministic tie-break by ID.
+	sort.Slice(seen, func(i, j int) bool {
+		ui, uj := g.utility(seen[i]), g.utility(seen[j])
+		if ui != uj {
+			return ui > uj
+		}
+		return seen[i] < seen[j]
+	})
+	for _, c := range seen {
+		if len(out) == n {
+			break
+		}
+		out = append(out, c)
+	}
+	// Backfill from unseen if exploitation ran short.
+	for _, i := range perm[nExplore:] {
+		if len(out) == n {
+			break
+		}
+		out = append(out, unseen[i])
+	}
+	for _, c := range out {
+		st := g.stat(c)
+		st.everUsed = true
+		st.lastUsed = g.round
+	}
+	return out
+}
+
+// TimesUsed reports how often a client has participated.
+func (g *GuidedSelector) TimesUsed(c ClientID) int { return g.stat(c).timesUsed }

@@ -1,0 +1,301 @@
+// Package core is the top of the LIFL library: it assembles a complete FL
+// platform (system under test + client population + learning curve) and
+// runs synchronous FedAvg training to a target accuracy, collecting every
+// metric the paper's evaluation reports — time-to-accuracy, cost-to-
+// accuracy, per-round ACT and CPU, arrival-rate and active-aggregator time
+// series. The examples and the experiment harness are thin layers over
+// this package; the root package lifl re-exports it for downstream users.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coordinator"
+	"repro/internal/costmodel"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/systems"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// SystemKind selects the system under test.
+type SystemKind string
+
+// The four systems of §6.
+const (
+	SystemLIFL SystemKind = "lifl" // full LIFL (all flags)
+	SystemSLH  SystemKind = "slh"  // LIFL data plane, conventional control plane
+	SystemSF   SystemKind = "sf"   // serverful baseline
+	SystemSL   SystemKind = "sl"   // serverless baseline
+)
+
+// RunConfig parameterizes a full FL training run (the Fig. 9/10 workloads).
+type RunConfig struct {
+	System SystemKind
+	Model  model.Spec
+	// Clients is the total population (the paper: 2,800 from FedScale).
+	Clients int
+	// ActivePerRound is the number of simultaneously active clients
+	// (120 for ResNet-18, 15 for ResNet-152).
+	ActivePerRound int
+	// Class selects mobile (hibernating) or server (always-on) clients.
+	Class flwork.ClientClass
+	// TargetAccuracy stops the run when reached (the paper uses 0.70).
+	TargetAccuracy float64
+	// MaxRounds bounds the run regardless of accuracy.
+	MaxRounds int
+	// Nodes is the aggregation-service node count (paper: 5).
+	Nodes int
+	// MC is per-node max service capacity (Appendix E).
+	MC   float64
+	Seed int64
+	// FailureRate is the probability a selected client dies mid-round
+	// (battery, lost connectivity). Failures are detected by keep-alive
+	// heartbeats (§3) and covered by over-provisioned standbys, so rounds
+	// still aggregate ActivePerRound updates.
+	FailureRate float64
+	// Params overrides the platform cost model (zero = Default()).
+	Params costmodel.Params
+	// Flags overrides LIFL's ablation switches (LIFL default: all on).
+	Flags *systems.Flags
+	// Tracer, when set, records task spans.
+	Tracer *trace.Recorder
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.System == "" {
+		c.System = SystemLIFL
+	}
+	if c.Model.Params == 0 {
+		c.Model = model.ResNet18
+	}
+	if c.Clients == 0 {
+		c.Clients = 2800
+	}
+	if c.ActivePerRound == 0 {
+		c.ActivePerRound = 120
+	}
+	if c.TargetAccuracy == 0 {
+		c.TargetAccuracy = 0.70
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 500
+	}
+	if c.Nodes == 0 {
+		c.Nodes = 5
+	}
+	if c.MC == 0 {
+		c.MC = 20
+	}
+	if c.Params.CoresPerNode == 0 {
+		c.Params = costmodel.Default()
+	}
+	return c
+}
+
+// AccPoint is one point of the accuracy trajectory.
+type AccPoint struct {
+	Round    int
+	Time     sim.Duration
+	CPUTime  sim.Duration
+	Accuracy float64
+}
+
+// Report is the outcome of a training run.
+type Report struct {
+	System SystemKind
+	Model  model.Spec
+	Rounds []systems.RoundResult
+	Acc    []AccPoint
+	// TimeToTarget and CPUToTarget are wall-clock and cumulative CPU cost
+	// at the round where accuracy first crossed the target (zero if never).
+	TimeToTarget sim.Duration
+	CPUToTarget  sim.Duration
+	Reached      bool
+	// ArrivalsPerMinute is the Fig. 10(a,d) series.
+	ArrivalsPerMinute []float64
+	// ActiveAggs samples instances per round (Fig. 10(b,e)).
+	ActiveAggs []int
+	// CPUPerRound is CPU seconds per round (Fig. 10(c,f)).
+	CPUPerRound []float64
+	// FinalGlobal is the trained model.
+	FinalGlobal *tensor.Tensor
+}
+
+// Platform couples an engine, a system and a population.
+type Platform struct {
+	Cfg   RunConfig
+	Eng   *sim.Engine
+	Sys   systems.Service
+	Pop   *flwork.Population
+	Curve flwork.Curve
+
+	// Beats tracks client keep-alives; FailuresDetected counts clients the
+	// monitor declared dead across the run.
+	Beats            *coordinator.Heartbeats
+	FailuresDetected int
+
+	arrivalMinutes map[int]int
+}
+
+// NewPlatform assembles everything for a run.
+func NewPlatform(cfg RunConfig) (*Platform, error) {
+	cfg = cfg.withDefaults()
+	eng := sim.NewEngine()
+	scfg := systems.Config{
+		Nodes:  cfg.Nodes,
+		Model:  cfg.Model,
+		Params: cfg.Params,
+		Seed:   cfg.Seed,
+		MC:     cfg.MC,
+		Tracer: cfg.Tracer,
+	}
+	var sys systems.Service
+	switch cfg.System {
+	case SystemLIFL:
+		scfg.Flags = systems.AllFlags()
+		if cfg.Flags != nil {
+			scfg.Flags = *cfg.Flags
+		}
+		sys = systems.NewLIFL(eng, scfg)
+	case SystemSLH:
+		sys = systems.NewLIFL(eng, scfg) // zero Flags = SL-H
+	case SystemSF:
+		// Static fleet sized for peak concurrency with leaf fan-in 2.
+		scfg.SFLeaves = (cfg.ActivePerRound + 1) / 2
+		sys = systems.NewSF(eng, scfg)
+	case SystemSL:
+		sys = systems.NewSL(eng, scfg)
+	default:
+		return nil, fmt.Errorf("core: unknown system %q", cfg.System)
+	}
+	pop := flwork.NewPopulation(eng, flwork.Config{
+		NumClients: cfg.Clients,
+		Model:      cfg.Model,
+		Class:      cfg.Class,
+		Seed:       cfg.Seed + 1,
+	})
+	return &Platform{
+		Cfg:            cfg,
+		Eng:            eng,
+		Sys:            sys,
+		Pop:            pop,
+		Curve:          flwork.CurveFor(cfg.Model),
+		Beats:          coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
+		arrivalMinutes: make(map[int]int),
+	}, nil
+}
+
+// Run executes rounds until the accuracy target or MaxRounds.
+func (p *Platform) Run() (*Report, error) {
+	cfg := p.Cfg
+	rng := sim.NewRNG(cfg.Seed + 2)
+	rep := &Report{System: cfg.System, Model: cfg.Model}
+	for r := 1; r <= cfg.MaxRounds; r++ {
+		jobs := p.roundJobs(rng, r)
+		var result *systems.RoundResult
+		p.Sys.RunRound(r, jobs, func(res systems.RoundResult) { result = &res })
+		// Advance only until the round completes: pending keep-alive expiry
+		// checks must not stall the next round's start (they fire naturally
+		// as later rounds run).
+		for result == nil && p.Eng.Step() {
+		}
+		if result == nil {
+			return nil, errors.New("core: round did not complete")
+		}
+		rep.Rounds = append(rep.Rounds, *result)
+		rep.ActiveAggs = append(rep.ActiveAggs, p.Sys.ActiveAggregators())
+		rep.CPUPerRound = append(rep.CPUPerRound, result.CPUTime.Seconds())
+		acc := p.Curve.At(r)
+		rep.Acc = append(rep.Acc, AccPoint{
+			Round:    r,
+			Time:     p.Eng.Now(),
+			CPUTime:  p.Sys.CPUTime(),
+			Accuracy: acc,
+		})
+		if !rep.Reached && acc >= cfg.TargetAccuracy {
+			rep.Reached = true
+			rep.TimeToTarget = p.Eng.Now()
+			rep.CPUToTarget = p.Sys.CPUTime()
+			break
+		}
+	}
+	p.Sys.Finalize()
+	rep.FinalGlobal = p.Sys.Global()
+	rep.ArrivalsPerMinute = p.arrivalSeries()
+	return rep, nil
+}
+
+// roundJobs selects the round's active clients and builds their jobs,
+// recording scheduled arrival minutes for the Fig. 10 arrival series. The
+// selector over-provisions; clients that fail (per FailureRate) are caught
+// by the heartbeat monitor and replaced by standbys, so the aggregation
+// goal is still met (§3 resilience).
+func (p *Platform) roundJobs(rng *sim.RNG, round int) []systems.ClientJob {
+	cfg := p.Cfg
+	n := cfg.ActivePerRound
+	// Walk the shuffled population until the goal's worth of live clients
+	// is found; everyone contacted beats once, the dead ones expire.
+	perm := rng.Perm(len(p.Pop.Clients))
+	var idx []int
+	for _, i := range perm {
+		c := p.Pop.Clients[i]
+		p.Beats.Beat(coordinator.ClientID(c.ID))
+		if cfg.FailureRate > 0 && rng.Float64() < cfg.FailureRate {
+			// The client dies before uploading; its heartbeat will expire
+			// and the monitor reports it, while a standby takes its slot.
+			p.FailuresDetected++
+			continue
+		}
+		p.Beats.Forget(coordinator.ClientID(c.ID))
+		idx = append(idx, i)
+		if len(idx) == n {
+			break
+		}
+	}
+	jobs := make([]systems.ClientJob, 0, len(idx))
+	base := p.Eng.Now()
+	for _, i := range idx {
+		c := p.Pop.Clients[i]
+		// Hibernation gates availability *between* rounds (the selector only
+		// picks active clients); within a round the delay is training time.
+		delay := p.Pop.TrainTime(c)
+		minute := int((base + delay) / sim.Minute)
+		p.arrivalMinutes[minute]++
+		jobs = append(jobs, systems.ClientJob{
+			ID:     c.ID,
+			Delay:  delay,
+			Weight: float64(c.Samples),
+			MakeUpdate: func(g *tensor.Tensor) *tensor.Tensor {
+				return p.Pop.LocalUpdate(c, g, round)
+			},
+		})
+	}
+	return jobs
+}
+
+func (p *Platform) arrivalSeries() []float64 {
+	maxMin := 0
+	for m := range p.arrivalMinutes {
+		if m > maxMin {
+			maxMin = m
+		}
+	}
+	out := make([]float64, maxMin+1)
+	for m, c := range p.arrivalMinutes {
+		out[m] = float64(c)
+	}
+	return out
+}
+
+// Run is the one-call entry point: assemble a platform and train.
+func Run(cfg RunConfig) (*Report, error) {
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func TestSmallRunAllSystems(t *testing.T) {
+	for _, kind := range []SystemKind{SystemLIFL, SystemSLH, SystemSF, SystemSL} {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			rep, err := Run(RunConfig{
+				System:         kind,
+				Model:          model.ResNet18,
+				Clients:        200,
+				ActivePerRound: 24,
+				Class:          flwork.Mobile,
+				MaxRounds:      3,
+				TargetAccuracy: 0.99, // never reached in 3 rounds
+				Seed:           42,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", kind, err)
+			}
+			if len(rep.Rounds) != 3 {
+				t.Fatalf("%s: got %d rounds", kind, len(rep.Rounds))
+			}
+			for _, r := range rep.Rounds {
+				if r.Updates != 24 {
+					t.Errorf("%s round %d: %d updates", kind, r.Round, r.Updates)
+				}
+				t.Logf("%s round %d: time=%v act=%v cpu=%v aggs=%d nodes=%d created=%d",
+					kind, r.Round, (r.End - r.Start).Round(sim.Millisecond*100), r.ACT.Round(sim.Millisecond*100),
+					r.CPUTime.Round(sim.Millisecond*100), r.AggsActive, r.NodesUsed, r.AggsCreated)
+			}
+		})
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/systems"
+)
+
+func smallCfg(kind SystemKind) RunConfig {
+	return RunConfig{
+		System:         kind,
+		Model:          model.ResNet18,
+		Clients:        300,
+		ActivePerRound: 16,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.50,
+		MaxRounds:      60,
+		MC:             30,
+		Seed:           9,
+	}
+}
+
+func TestRunReachesTargetAndReportsConsistently(t *testing.T) {
+	rep, err := Run(smallCfg(SystemLIFL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached {
+		t.Fatal("target not reached")
+	}
+	if rep.TimeToTarget <= 0 || rep.CPUToTarget <= 0 {
+		t.Fatalf("targets: %v %v", rep.TimeToTarget, rep.CPUToTarget)
+	}
+	// Accuracy and CPU must be monotone over rounds; time strictly so.
+	for i := 1; i < len(rep.Acc); i++ {
+		if rep.Acc[i].Time <= rep.Acc[i-1].Time {
+			t.Fatal("time not increasing")
+		}
+		if rep.Acc[i].CPUTime < rep.Acc[i-1].CPUTime {
+			t.Fatal("CPU not monotone")
+		}
+	}
+	if len(rep.Rounds) != len(rep.Acc) || len(rep.ActiveAggs) != len(rep.Rounds) {
+		t.Fatal("series lengths disagree")
+	}
+	// Arrival series accounts for every scheduled upload.
+	var arrivals float64
+	for _, v := range rep.ArrivalsPerMinute {
+		arrivals += v
+	}
+	if int(arrivals) != 16*len(rep.Rounds) {
+		t.Fatalf("arrival series sums to %v, want %d", arrivals, 16*len(rep.Rounds))
+	}
+	if rep.FinalGlobal == nil {
+		t.Fatal("no final model")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	a, err := Run(smallCfg(SystemLIFL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallCfg(SystemLIFL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TimeToTarget != b.TimeToTarget || a.CPUToTarget != b.CPUToTarget {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v",
+			a.TimeToTarget, a.CPUToTarget, b.TimeToTarget, b.CPUToTarget)
+	}
+	d, err := a.FinalGlobal.MaxAbsDiff(b.FinalGlobal)
+	if err != nil || d != 0 {
+		t.Fatalf("models differ: %v %v", d, err)
+	}
+}
+
+func TestFailureRateStillMeetsGoal(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	cfg.FailureRate = 0.25
+	cfg.MaxRounds = 5
+	cfg.TargetAccuracy = 0.99
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Rounds {
+		if r.Updates != cfg.ActivePerRound {
+			t.Fatalf("round %d aggregated %d updates despite standbys", r.Round, r.Updates)
+		}
+	}
+	if p.FailuresDetected == 0 {
+		t.Fatal("no failures recorded at 25% failure rate")
+	}
+	if len(p.Beats.Failed()) == 0 {
+		t.Fatal("heartbeat monitor saw no expired clients")
+	}
+}
+
+func TestUnknownSystemErrors(t *testing.T) {
+	cfg := smallCfg("nonsense")
+	if _, err := NewPlatform(cfg); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+}
+
+// Cost-accounting semantics: SF reports reservation-based cost, so an
+// identical workload must cost more CPU on SF than on LIFL.
+func TestSFCostsMoreThanLIFL(t *testing.T) {
+	lifl, err := Run(smallCfg(SystemLIFL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf, err := Run(smallCfg(SystemSF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.CPUToTarget <= lifl.CPUToTarget {
+		t.Fatalf("SF %v not more expensive than LIFL %v", sf.CPUToTarget, lifl.CPUToTarget)
+	}
+}
+
+// SL is the slowest and most expensive of the three (the paper's headline).
+func TestSystemOrdering(t *testing.T) {
+	var wall, cpu = map[SystemKind]float64{}, map[SystemKind]float64{}
+	for _, kind := range []SystemKind{SystemLIFL, SystemSF, SystemSL} {
+		rep, err := Run(smallCfg(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Reached {
+			t.Fatalf("%s: target not reached", kind)
+		}
+		wall[kind] = rep.TimeToTarget.Hours()
+		cpu[kind] = rep.CPUToTarget.Hours()
+	}
+	if !(wall[SystemLIFL] < wall[SystemSF] && wall[SystemSF] < wall[SystemSL]) {
+		t.Fatalf("wall ordering violated: %v", wall)
+	}
+	if !(cpu[SystemLIFL] < cpu[SystemSF] && cpu[SystemSF] < cpu[SystemSL]) {
+		t.Fatalf("cpu ordering violated: %v", cpu)
+	}
+}
+
+// SL-H sits between SL and LIFL: it has LIFL's data plane but the baseline
+// control plane.
+func TestSLHBetweenLIFLAndSL(t *testing.T) {
+	lifl, err := Run(smallCfg(SystemLIFL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slh, err := Run(smallCfg(SystemSLH))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Run(smallCfg(SystemSL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slh.TimeToTarget < lifl.TimeToTarget {
+		t.Fatalf("SL-H (%v) beat full LIFL (%v)", slh.TimeToTarget, lifl.TimeToTarget)
+	}
+	if slh.TimeToTarget > sl.TimeToTarget {
+		t.Fatalf("SL-H (%v) slower than SL (%v) despite the shm data plane", slh.TimeToTarget, sl.TimeToTarget)
+	}
+}
+
+// Appendix B: checkpoints happen in the background and are durable.
+func TestCheckpointsWrittenDuringRun(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	cfg.MaxRounds = 25
+	cfg.TargetAccuracy = 0.99
+	p, err := NewPlatform(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	lifl := p.Sys.(*systems.LIFL)
+	if lifl.Ckpt.Requested == 0 {
+		t.Fatal("no checkpoints requested over 25 rounds (period 10)")
+	}
+	if lifl.Ckpt.Count() == 0 {
+		t.Fatal("no checkpoint became durable")
+	}
+	rec, err := lifl.Ckpt.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Round%10 != 0 {
+		t.Fatalf("checkpoint at round %d, period is 10", rec.Round)
+	}
+}

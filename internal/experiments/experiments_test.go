@@ -1,0 +1,260 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// These are reproduction regression tests: each pins the qualitative claim
+// of one paper figure so calibration drift is caught immediately.
+
+func TestFig7ReproducesPaperRatios(t *testing.T) {
+	rows := Fig7ab()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r152 := rows[2]
+	// LIFL 0.76 s ± 10% (paper Fig. 7(a)).
+	if s := r152.LIFLLat.Seconds(); s < 0.68 || s > 0.84 {
+		t.Errorf("LIFL transfer = %.3fs, want ≈0.76", s)
+	}
+	if r := r152.SFLat.Seconds() / r152.LIFLLat.Seconds(); r < 2.5 || r > 3.5 {
+		t.Errorf("SF/LIFL = %.2f, want ≈3", r)
+	}
+	if r := r152.SLLat.Seconds() / r152.LIFLLat.Seconds(); r < 5.0 || r > 6.6 {
+		t.Errorf("SL/LIFL = %.2f, want ≈5.8", r)
+	}
+	// Fig. 7(b): LIFL ≈ 2.45 Gcycles; SL ≈ 20 G.
+	if g := r152.LIFLCycles / 1e9; g < 2.2 || g > 2.7 {
+		t.Errorf("LIFL CPU = %.2f G, want ≈2.45", g)
+	}
+	if g := r152.SLCycles / 1e9; g < 17 || g > 24 {
+		t.Errorf("SL CPU = %.2f G, want ≈20", g)
+	}
+	// Latency grows with model size for every system.
+	for i := 1; i < 3; i++ {
+		if rows[i].LIFLLat <= rows[i-1].LIFLLat || rows[i].SLLat <= rows[i-1].SLLat {
+			t.Error("latency not monotone in model size")
+		}
+	}
+	if !strings.Contains(FormatFig7(rows), "ResNet-152") {
+		t.Error("format misses model rows")
+	}
+}
+
+func TestFig4HierarchyAloneBarelyHelps(t *testing.T) {
+	res := Fig4()
+	// The §4.1 finding: WH ≈ NH (within 15%), because the serverful data
+	// plane throttles the hierarchy.
+	ratio := res.NHRound.Seconds() / res.WHRound.Seconds()
+	if ratio < 0.87 || ratio > 1.20 {
+		t.Errorf("NH/WH = %.2f — hierarchy alone should change little", ratio)
+	}
+	l := Fig7c()
+	// Fig. 7(c): LIFL's data plane makes the same hierarchy faster than
+	// both NH and WH.
+	if l.Round >= res.WHRound || l.Round >= res.NHRound {
+		t.Errorf("LIFL round %v not fastest (NH %v, WH %v)", l.Round, res.NHRound, res.WHRound)
+	}
+	out := FormatFig4(res, l)
+	for _, actor := range []string{"LF1", "LF4", "Top"} {
+		if !strings.Contains(out, actor) {
+			t.Errorf("timeline missing %s", actor)
+		}
+	}
+}
+
+func TestFig8ReproducesOrchestrationShape(t *testing.T) {
+	cells := Fig8([]int{20, 100})
+	get := func(v string, l int) Fig8Cell {
+		for _, c := range cells {
+			if c.Variant == v && c.Updates == l {
+				return c
+			}
+		}
+		t.Fatalf("missing %s/%d", v, l)
+		return Fig8Cell{}
+	}
+	slh20, full20 := get("SL-H", 20), get("+1+2+3+4", 20)
+	// Orchestration wins clearly at packable load...
+	if r := slh20.ACT.Seconds() / full20.ACT.Seconds(); r < 1.4 {
+		t.Errorf("orchestration gain %.2fx at 20 updates, want >1.4x", r)
+	}
+	// ... and the benefit shrinks at saturation (Fig. 8's 100-update
+	// regime: "the service capacity of all five nodes would be maxed out").
+	slh100, full100 := get("SL-H", 100), get("+1+2+3+4", 100)
+	r20 := slh20.ACT.Seconds() / full20.ACT.Seconds()
+	r100 := slh100.ACT.Seconds() / full100.ACT.Seconds()
+	if r100 >= r20 {
+		t.Errorf("benefit did not shrink: %.2fx at 20 vs %.2fx at 100", r20, r100)
+	}
+	// Nodes used: 1 at 20 updates, 5 at 100 (Fig. 8(d)).
+	if full20.Nodes != 1 || full100.Nodes != 5 {
+		t.Errorf("nodes used = %d/%d, want 1/5", full20.Nodes, full100.Nodes)
+	}
+	if slh20.Nodes != 5 {
+		t.Errorf("SL-H nodes = %d, want 5", slh20.Nodes)
+	}
+	// CPU and creations decline with the full stack.
+	if full20.CPUTime >= slh20.CPUTime {
+		t.Error("no CPU saving")
+	}
+	if full20.AggsMade >= slh20.AggsMade {
+		t.Error("no creation saving")
+	}
+	if !strings.Contains(FormatFig8(cells), "Fig.8(a)") {
+		t.Error("format broken")
+	}
+}
+
+func TestFig13ReproducesQueuingShape(t *testing.T) {
+	rows := Fig13()
+	byKey := map[string]Fig13Row{}
+	for _, r := range rows {
+		byKey[r.Setup+"/"+r.Model.Name] = r
+	}
+	m := model.ResNet152.Name
+	lifl, mono := byKey["LIFL/"+m], byKey["SF-mono/"+m]
+	micro, slb := byKey["SF-micro/"+m], byKey["SL-B/"+m]
+	// Appendix F: LIFL is equivalent to SF-mono (the only extra cost is the
+	// sub-millisecond key pass + eBPF event).
+	if d := (lifl.Delay - mono.Delay).Seconds(); d < 0 || d > 0.001 {
+		t.Errorf("LIFL vs SF-mono delay gap = %vs", d)
+	}
+	if d := (lifl.CPU - mono.CPU).Seconds(); d < 0 || d > 0.001 {
+		t.Errorf("LIFL vs SF-mono CPU gap = %vs", d)
+	}
+	if lifl.MemBytes != mono.MemBytes {
+		t.Errorf("memory: %d vs %d", lifl.MemBytes, mono.MemBytes)
+	}
+	// Memory: SL-B = 3×, SF-micro = 2×.
+	if slb.MemBytes != 3*lifl.MemBytes || micro.MemBytes != 2*lifl.MemBytes {
+		t.Errorf("memory multipliers: %d/%d/%d", lifl.MemBytes, micro.MemBytes, slb.MemBytes)
+	}
+	// Delay/CPU ordering: LIFL < SL-B < SF-micro.
+	if !(lifl.Delay < slb.Delay && slb.Delay < micro.Delay) {
+		t.Errorf("delay ordering: %v %v %v", lifl.Delay, slb.Delay, micro.Delay)
+	}
+	if !(lifl.CPU < slb.CPU && slb.CPU < micro.CPU) {
+		t.Errorf("cpu ordering: %v %v %v", lifl.CPU, slb.CPU, micro.CPU)
+	}
+}
+
+func TestOverheadWithinPaperBounds(t *testing.T) {
+	r := Overhead(10_000)
+	if ms := r.PlacementWall.Milliseconds(); ms > 17 {
+		t.Errorf("placement of 10K clients took %dms, paper bound is 17ms", ms)
+	}
+	if r.EWMAPerEstim.Milliseconds() > 0 { // sub-millisecond required
+		t.Errorf("EWMA estimate took %v", r.EWMAPerEstim)
+	}
+	if !strings.Contains(FormatOverhead(r), "10000 clients") {
+		t.Error("format broken")
+	}
+}
+
+// The ablation sweeps must justify the paper's design choices from our own
+// implementation.
+func TestAblationsJustifyPaperChoices(t *testing.T) {
+	// §5.2: small fan-in beats a single serial leaf; I=2 is near-optimal.
+	fan := AblateFanIn([]int{1, 2, 20})
+	if fan[1].ACT >= fan[2].ACT {
+		t.Errorf("I=2 (%v) not better than I=20 serial leaf (%v)", fan[1].ACT, fan[2].ACT)
+	}
+	// §5.2: α=0.7 beats both no smoothing and over-smoothing.
+	ewma := AblateEWMA([]float64{0, 0.7, 0.9})
+	if !(ewma[1].MeanAbsError < ewma[0].MeanAbsError && ewma[1].MeanAbsError < ewma[2].MeanAbsError) {
+		t.Errorf("α=0.7 not optimal: %+v", ewma)
+	}
+	// §5.1: BestFit beats WorstFit on ACT, nodes, and CPU.
+	pol := AblatePlacement()
+	best, worst := pol[0], pol[1]
+	if best.ACT >= worst.ACT || best.Nodes >= worst.Nodes || best.CPU >= worst.CPU {
+		t.Errorf("BestFit does not dominate: %+v vs %+v", best, worst)
+	}
+	if out := FormatAblations(fan, ewma, pol); !strings.Contains(out, "α=0.7") {
+		t.Error("format broken")
+	}
+}
+
+// Appendix E: the service-time curve must show a clean saturation knee and
+// the derived MC must land in the regime the paper configures (20).
+func TestAppendixEDerivesMC(t *testing.T) {
+	res := AppendixE()
+	if len(res.Points) < 4 {
+		t.Fatalf("only %d probe points", len(res.Points))
+	}
+	// E non-decreasing-ish up to the knee; the last point saturated.
+	last := res.Points[len(res.Points)-1]
+	if !last.Saturated {
+		t.Fatal("no saturation knee found by k=12/s")
+	}
+	if last.ExecTime <= 2*res.Points[0].ExecTime {
+		t.Fatal("knee criterion not met at the marked point")
+	}
+	if res.MC < 12 || res.MC > 40 {
+		t.Fatalf("derived MC = %.0f, want in the paper's ~20 regime", res.MC)
+	}
+	if !strings.Contains(FormatAppendixE(res), "saturation knee") {
+		t.Error("format broken")
+	}
+}
+
+// The fast reproduction gates must all hold.
+func TestVerifyGatesHold(t *testing.T) {
+	checks := Verify(false)
+	if len(checks) < 10 {
+		t.Fatalf("only %d gates", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("gate %q: paper %s, measured %s", c.Name, c.Paper, c.Measured)
+		}
+	}
+	if out := FormatVerify(checks); !strings.Contains(out, "reproduction gates hold") {
+		t.Error("format broken")
+	}
+}
+
+func TestFig9ReproducesWorkloadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload run")
+	}
+	rows := Fig9(model.ResNet18, 1)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	bySys := map[string]Fig9Row{}
+	for _, r := range rows {
+		if !r.Reached {
+			t.Fatalf("%s did not reach 70%%", r.System)
+		}
+		bySys[string(r.System)] = r
+	}
+	lifl, sf, sl := bySys["lifl"], bySys["sf"], bySys["sl"]
+	// Fig. 9(a): LIFL < SF < SL in wall-clock.
+	if !(lifl.TimeTo70 < sf.TimeTo70 && sf.TimeTo70 < sl.TimeTo70) {
+		t.Errorf("wall ordering: %v %v %v", lifl.TimeTo70, sf.TimeTo70, sl.TimeTo70)
+	}
+	// Fig. 9(b): SL costs several times LIFL's CPU.
+	if r := sl.CPUTo70.Hours() / lifl.CPUTo70.Hours(); r < 3.5 {
+		t.Errorf("SL/LIFL CPU = %.1fx, want >3.5x (paper 5.8x)", r)
+	}
+	// LIFL lands near the paper's 0.9 h / 4.5 CPUh.
+	if h := lifl.TimeTo70.Hours(); h < 0.7 || h > 1.2 {
+		t.Errorf("LIFL wall = %.2fh, paper 0.9h", h)
+	}
+	if h := lifl.CPUTo70.Hours(); h < 3.4 || h > 5.6 {
+		t.Errorf("LIFL CPU = %.2fh, paper 4.5h", h)
+	}
+	// Fig. 10 series present and coherent.
+	series := Fig10(rows)
+	if len(series) != 3 || len(series[0].CPUPerRound) != lifl.Rounds {
+		t.Fatalf("fig10 series malformed")
+	}
+	if !strings.Contains(FormatFig9(rows), "ResNet-18") || !strings.Contains(FormatFig10(series), "lifl") {
+		t.Error("formatting broken")
+	}
+}

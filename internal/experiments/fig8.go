@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/systems"
+)
+
+// Fig8Variant is one line of Fig. 8: a feature prefix of LIFL's
+// orchestration applied on top of the SL-H baseline.
+type Fig8Variant struct {
+	Label string
+	Flags systems.Flags
+}
+
+// Fig8Variants lists the paper's five configurations in order.
+func Fig8Variants() []Fig8Variant {
+	return []Fig8Variant{
+		{Label: "SL-H", Flags: systems.Flags{}},
+		{Label: "+1", Flags: systems.Flags{LocalityPlacement: true}},
+		{Label: "+1+2", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true}},
+		{Label: "+1+2+3", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true, Reuse: true}},
+		{Label: "+1+2+3+4", Flags: systems.AllFlags()},
+	}
+}
+
+// Fig8Cell is one (variant, load) measurement.
+type Fig8Cell struct {
+	Variant  string
+	Updates  int
+	ACT      sim.Duration // Fig. 8(a)
+	CPUTime  sim.Duration // Fig. 8(b)
+	AggsMade int          // Fig. 8(c)
+	Nodes    int          // Fig. 8(d)
+}
+
+// Fig8 reproduces the orchestration ablation: 5 nodes, MC=20, ResNet-152,
+// batches of 20/60/100 model updates arriving at the service together.
+// Every cell runs on a fresh cluster (cold platform), as the microbenchmark
+// focuses on "the importance of having warm aggregators based on the
+// pre-planned hierarchy".
+func Fig8(loads []int) []Fig8Cell {
+	if len(loads) == 0 {
+		loads = []int{20, 60, 100}
+	}
+	var out []Fig8Cell
+	for _, v := range Fig8Variants() {
+		for _, load := range loads {
+			out = append(out, fig8Cell(v, load))
+		}
+	}
+	return out
+}
+
+func fig8Cell(v Fig8Variant, load int) Fig8Cell {
+	eng := sim.NewEngine()
+	s := systems.NewLIFL(eng, systems.Config{
+		Nodes: 5,
+		Model: model.ResNet152,
+		MC:    20,
+		Seed:  88,
+		Flags: v.Flags,
+	})
+	// Updates land in the in-place queues directly (§6.1: "we assume the
+	// estimated Q is equal to the actual queue length"), but their arrivals
+	// are spread over time like real trainer uploads (§5.4: "the arrival of
+	// local model updates from trainers can be spread over a relatively
+	// long duration") — this is what gives eager aggregation its edge.
+	jobs := injectedJobs(load, sim.Duration(load)*200*sim.Millisecond, 1)
+	var res systems.RoundResult
+	s.RunRound(0, jobs, func(r systems.RoundResult) { res = r })
+	if err := eng.RunUntilIdle(); err != nil {
+		panic(err)
+	}
+	if res.Updates != load {
+		panic(fmt.Sprintf("fig8 %s/%d: aggregated %d", v.Label, load, res.Updates))
+	}
+	return Fig8Cell{
+		Variant:  v.Label,
+		Updates:  load,
+		ACT:      res.ACT,
+		CPUTime:  res.CPUTime,
+		AggsMade: res.AggsCreated,
+		Nodes:    res.NodesUsed,
+	}
+}
+
+// FormatFig8 renders the four panels as tables.
+func FormatFig8(cells []Fig8Cell) string {
+	loads := []int{}
+	seen := map[int]bool{}
+	for _, c := range cells {
+		if !seen[c.Updates] {
+			seen[c.Updates] = true
+			loads = append(loads, c.Updates)
+		}
+	}
+	get := func(v string, l int) Fig8Cell {
+		for _, c := range cells {
+			if c.Variant == v && c.Updates == l {
+				return c
+			}
+		}
+		panic("missing cell")
+	}
+	var b strings.Builder
+	for _, panel := range []struct {
+		title string
+		val   func(Fig8Cell) string
+	}{
+		{"Fig.8(a) Aggregation Completion Time (s)", func(c Fig8Cell) string { return fmt.Sprintf("%8.1f", c.ACT.Seconds()) }},
+		{"Fig.8(b) Cumulative CPU time (s)", func(c Fig8Cell) string { return fmt.Sprintf("%8.1f", c.CPUTime.Seconds()) }},
+		{"Fig.8(c) # aggregators created", func(c Fig8Cell) string { return fmt.Sprintf("%8d", c.AggsMade) }},
+		{"Fig.8(d) # nodes used", func(c Fig8Cell) string { return fmt.Sprintf("%8d", c.Nodes) }},
+	} {
+		fmt.Fprintf(&b, "%s\n%-10s", panel.title, "updates")
+		for _, v := range Fig8Variants() {
+			fmt.Fprintf(&b, "%10s", v.Label)
+		}
+		b.WriteString("\n")
+		for _, l := range loads {
+			fmt.Fprintf(&b, "%-10d", l)
+			for _, v := range Fig8Variants() {
+				fmt.Fprintf(&b, "%10s", strings.TrimSpace(panel.val(get(v.Label, l))))
+			}
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

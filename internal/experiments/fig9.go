@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Fig9Row is one system's end-to-end workload outcome for one model:
+// time-to-accuracy (Fig. 9(a,c)) and cost-to-accuracy (Fig. 9(b,d)).
+type Fig9Row struct {
+	System   core.SystemKind
+	Model    model.Spec
+	Reached  bool
+	TimeTo70 sim.Duration
+	CPUTo70  sim.Duration
+	Rounds   int
+	Report   *core.Report
+}
+
+// fig9Config builds the §6.2 workload for the given model: ResNet-18 with
+// 120 simultaneously active mobile clients, or ResNet-152 with 15 always-on
+// server clients; both select from 2,800 FedScale-like clients.
+func fig9Config(sys core.SystemKind, m model.Spec, seed int64) core.RunConfig {
+	cfg := core.RunConfig{
+		System:         sys,
+		Model:          m,
+		Clients:        2800,
+		TargetAccuracy: 0.70,
+		Nodes:          5,
+		Seed:           seed,
+	}
+	switch m.Name {
+	case model.ResNet18.Name:
+		cfg.ActivePerRound = 120
+		cfg.Class = flwork.Mobile
+		cfg.MC = 60 // smaller updates → higher per-node capacity (App. E)
+		cfg.MaxRounds = 400
+	default:
+		cfg.ActivePerRound = 15
+		cfg.Class = flwork.Server
+		cfg.MC = 20
+		cfg.MaxRounds = 400
+	}
+	return cfg
+}
+
+// Fig9 runs the full workload for the three systems on one model.
+func Fig9(m model.Spec, seed int64) []Fig9Row {
+	var rows []Fig9Row
+	for _, sys := range []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL} {
+		rep, err := core.Run(fig9Config(sys, m, seed))
+		if err != nil {
+			panic(fmt.Sprintf("fig9 %s: %v", sys, err))
+		}
+		rows = append(rows, Fig9Row{
+			System:   sys,
+			Model:    m,
+			Reached:  rep.Reached,
+			TimeTo70: rep.TimeToTarget,
+			CPUTo70:  rep.CPUToTarget,
+			Rounds:   len(rep.Rounds),
+			Report:   rep,
+		})
+	}
+	return rows
+}
+
+// FormatFig9 renders time/cost-to-accuracy with the paper's reference
+// numbers alongside.
+func FormatFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	paper := map[string]map[core.SystemKind][2]float64{
+		model.ResNet18.Name:  {core.SystemLIFL: {0.9, 4.5}, core.SystemSF: {1.4, 8.0}, core.SystemSL: {2.4, 26.0}},
+		model.ResNet152.Name: {core.SystemLIFL: {1.9, 4.76}, core.SystemSF: {2.2, 6.81}, core.SystemSL: {3.2, 20.4}},
+	}
+	fmt.Fprintf(&b, "Fig.9 — time/cost to 70%% accuracy, %s\n", rows[0].Model.Name)
+	fmt.Fprintf(&b, "%-6s %9s %12s %9s %12s %7s\n", "system", "wall(h)", "paper-wall", "cpu(h)", "paper-cpu", "rounds")
+	for _, r := range rows {
+		ref := paper[r.Model.Name][r.System]
+		status := ""
+		if !r.Reached {
+			status = "  (target not reached)"
+		}
+		fmt.Fprintf(&b, "%-6s %9.2f %12.1f %9.2f %12.1f %7d%s\n",
+			string(r.System), r.TimeTo70.Hours(), ref[0], r.CPUTo70.Hours(), ref[1], r.Rounds, status)
+	}
+	return b.String()
+}
+
+// Fig10Series extracts the Fig. 10 time series from a workload report.
+type Fig10Series struct {
+	System            core.SystemKind
+	ArrivalsPerMinute []float64
+	ActiveAggs        []int
+	CPUPerRound       []float64
+}
+
+// Fig10 derives the three per-system series from Fig. 9 runs.
+func Fig10(rows []Fig9Row) []Fig10Series {
+	out := make([]Fig10Series, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, Fig10Series{
+			System:            r.System,
+			ArrivalsPerMinute: r.Report.ArrivalsPerMinute,
+			ActiveAggs:        r.Report.ActiveAggs,
+			CPUPerRound:       r.Report.CPUPerRound,
+		})
+	}
+	return out
+}
+
+// FormatFig10 prints compact series summaries (first 10 rounds + steady
+// state) matching the shape of Fig. 10's panels.
+func FormatFig10(series []Fig10Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%s:\n", s.System)
+		fmt.Fprintf(&b, "  arrivals/min (first 10m): %s\n", fmtFloats(s.ArrivalsPerMinute, 10))
+		fmt.Fprintf(&b, "  active aggs  (per round): %s\n", fmtInts(s.ActiveAggs, 10))
+		fmt.Fprintf(&b, "  cpu s/round  (per round): %s\n", fmtFloats(s.CPUPerRound, 10))
+	}
+	return b.String()
+}
+
+func fmtFloats(v []float64, n int) string {
+	if len(v) > n {
+		v = v[:n]
+	}
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%.0f", x)
+	}
+	return strings.Join(parts, " ")
+}
+
+func fmtInts(v []int, n int) string {
+	if len(v) > n {
+		v = v[:n]
+	}
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Check is one paper-vs-measured gate of the reproduction.
+type Check struct {
+	Name     string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// Verify runs the fast calibration gates (everything except the full
+// Fig. 9 workloads unless full is true) and reports pass/fail against the
+// paper's numbers. This is the one-command answer to "does the
+// reproduction still hold?".
+func Verify(full bool) []Check {
+	var out []Check
+	add := func(name, paper, measured string, pass bool) {
+		out = append(out, Check{Name: name, Paper: paper, Measured: measured, Pass: pass})
+	}
+
+	// Fig. 7 — data-plane calibration.
+	rows := Fig7ab()
+	r := rows[2]
+	lifl := r.LIFLLat.Seconds()
+	sfR := r.SFLat.Seconds() / lifl
+	slR := r.SLLat.Seconds() / lifl
+	add("Fig7a LIFL R152 transfer", "0.76 s", fmt.Sprintf("%.2f s", lifl), lifl > 0.68 && lifl < 0.84)
+	add("Fig7a SF/LIFL ratio", "3x", fmt.Sprintf("%.1fx", sfR), sfR > 2.5 && sfR < 3.5)
+	add("Fig7a SL/LIFL ratio", "5.8x", fmt.Sprintf("%.1fx", slR), slR > 5.0 && slR < 6.6)
+	g := r.LIFLCycles / 1e9
+	add("Fig7b LIFL CPU", "2.45 Gcycles", fmt.Sprintf("%.2f G", g), g > 2.2 && g < 2.7)
+
+	// Fig. 4 — hierarchy alone ≈ no gain; LIFL data plane wins.
+	f4 := Fig4()
+	f7c := Fig7c()
+	nhwh := f4.NHRound.Seconds() / f4.WHRound.Seconds()
+	add("Fig4 NH≈WH", "59.8 vs 57 s (~1.05x)", fmt.Sprintf("%.2fx", nhwh), nhwh > 0.85 && nhwh < 1.25)
+	add("Fig7c LIFL fastest round", "44.9 s < 57 s", fmt.Sprintf("%.1f s < %.1f s", f7c.Round.Seconds(), f4.WHRound.Seconds()),
+		f7c.Round < f4.WHRound)
+
+	// Fig. 8 — orchestration ablation shape.
+	cells := Fig8([]int{20, 100})
+	var slh20, full20, full100 Fig8Cell
+	for _, c := range cells {
+		switch {
+		case c.Variant == "SL-H" && c.Updates == 20:
+			slh20 = c
+		case c.Variant == "+1+2+3+4" && c.Updates == 20:
+			full20 = c
+		case c.Variant == "+1+2+3+4" && c.Updates == 100:
+			full100 = c
+		}
+	}
+	gain := slh20.ACT.Seconds() / full20.ACT.Seconds()
+	add("Fig8a orchestration gain @20", ">2x (compound)", fmt.Sprintf("%.1fx", gain), gain > 1.4)
+	add("Fig8d nodes used 20/100", "1 / 5", fmt.Sprintf("%d / %d", full20.Nodes, full100.Nodes),
+		full20.Nodes == 1 && full100.Nodes == 5)
+
+	// Fig. 13 — queuing pipeline shape.
+	f13 := Fig13()
+	var liflQ, monoQ, microQ, slbQ Fig13Row
+	for _, row := range f13 {
+		if row.Model.Name != model.ResNet152.Name {
+			continue
+		}
+		switch row.Setup {
+		case "LIFL":
+			liflQ = row
+		case "SF-mono":
+			monoQ = row
+		case "SF-micro":
+			microQ = row
+		case "SL-B":
+			slbQ = row
+		}
+	}
+	add("Fig13 LIFL ≈ SF-mono", "equivalent", fmt.Sprintf("Δ %.0f ms", (liflQ.Delay-monoQ.Delay).Seconds()*1000),
+		(liflQ.Delay-monoQ.Delay).Seconds() < 0.001)
+	add("Fig13 SL-B memory", "3x", fmt.Sprintf("%.1fx", float64(slbQ.MemBytes)/float64(liflQ.MemBytes)),
+		slbQ.MemBytes == 3*liflQ.MemBytes)
+	add("Fig13 delay order", "LIFL < SL-B < SF-micro",
+		fmt.Sprintf("%.2f < %.2f < %.2f s", liflQ.Delay.Seconds(), slbQ.Delay.Seconds(), microQ.Delay.Seconds()),
+		liflQ.Delay < slbQ.Delay && slbQ.Delay < microQ.Delay)
+
+	// §6.1 overhead bounds.
+	ovh := Overhead(10_000)
+	add("Placement 10K clients", "<17 ms", fmt.Sprintf("%d ms", ovh.PlacementWall.Milliseconds()),
+		ovh.PlacementWall.Milliseconds() <= 17)
+
+	if full {
+		for _, m := range []model.Spec{model.ResNet18, model.ResNet152} {
+			f9 := Fig9(m, 1)
+			var liflW, sfW, slW float64
+			var liflC, slC float64
+			for _, row := range f9 {
+				switch row.System {
+				case core.SystemLIFL:
+					liflW, liflC = row.TimeTo70.Hours(), row.CPUTo70.Hours()
+				case core.SystemSF:
+					sfW = row.TimeTo70.Hours()
+				case core.SystemSL:
+					slW, slC = row.TimeTo70.Hours(), row.CPUTo70.Hours()
+				}
+			}
+			add(fmt.Sprintf("Fig9 %s wall order", m.Name), "LIFL < SF < SL",
+				fmt.Sprintf("%.2f < %.2f < %.2f h", liflW, sfW, slW), liflW < sfW && sfW < slW)
+			add(fmt.Sprintf("Fig9 %s SL/LIFL CPU", m.Name), ">4x",
+				fmt.Sprintf("%.1fx", slC/liflC), slC/liflC > 3.5)
+		}
+	}
+	return out
+}
+
+// FormatVerify renders the gate table.
+func FormatVerify(checks []Check) string {
+	var b strings.Builder
+	pass := 0
+	for _, c := range checks {
+		mark := "FAIL"
+		if c.Pass {
+			mark = "ok"
+			pass++
+		}
+		fmt.Fprintf(&b, "%-32s paper: %-24s measured: %-24s %s\n", c.Name, c.Paper, c.Measured, mark)
+	}
+	fmt.Fprintf(&b, "%d/%d reproduction gates hold\n", pass, len(checks))
+	return b.String()
+}

@@ -1,0 +1,164 @@
+// Package fedavg implements the aggregation algorithms of Eq. (1):
+// w_i = f({(w_i^k, A_i^k)}). FedAvg (McMahan et al., 2017) uses
+// f = Σ w_i^k c_i^k / T_i with T_i = Σ c_i^k, where the auxiliary
+// information A_i^k is the per-client sample count c_i^k.
+//
+// The State abstraction supports *cumulative* (eager) accumulation — the
+// property the paper exploits for eager aggregation (§2.1: "the eager method
+// is feasible for FedAvg with cumulative averaging") — and is hierarchical:
+// an intermediate aggregate carries its total weight T, so a parent
+// aggregating children's outputs weighted by their T values reproduces the
+// flat weighted mean exactly (property-tested in fedavg_test.go).
+package fedavg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ErrEmpty is returned when a result is requested before any accumulation.
+var ErrEmpty = errors.New("fedavg: no updates accumulated")
+
+// Algorithm constructs fresh accumulator states.
+type Algorithm interface {
+	Name() string
+	// NewState returns an empty accumulator for vectors with the given
+	// physical and virtual lengths.
+	NewState(phys, virtual int) State
+}
+
+// State is a cumulative aggregation accumulator.
+type State interface {
+	// Accumulate folds one (update, weight) pair in. Weight must be
+	// positive; for client updates it is the sample count c_k, for
+	// intermediate updates the child's total weight.
+	Accumulate(t *tensor.Tensor, weight float64) error
+	// Result returns the aggregate so far and its total weight. The
+	// returned tensor is owned by the caller (safe to publish immutably).
+	Result() (*tensor.Tensor, float64, error)
+	// Count returns how many updates have been folded in.
+	Count() int
+	// Reset clears the accumulator for reuse in the next round.
+	Reset()
+}
+
+// FedAvg is the weighted-averaging algorithm of the paper's evaluation.
+type FedAvg struct{}
+
+// Name implements Algorithm.
+func (FedAvg) Name() string { return "fedavg" }
+
+// NewState implements Algorithm.
+func (FedAvg) NewState(phys, virtual int) State {
+	return &fedAvgState{
+		sum:     make([]float64, phys),
+		phys:    phys,
+		virtual: virtual,
+	}
+}
+
+// fedAvgState keeps Σ w_k·x_k in float64 for numerical stability and the
+// running Σ w_k; Result divides once.
+type fedAvgState struct {
+	sum     []float64
+	total   float64
+	count   int
+	phys    int
+	virtual int
+}
+
+func (s *fedAvgState) Accumulate(t *tensor.Tensor, weight float64) error {
+	if t.Len() != s.phys {
+		return fmt.Errorf("%w: update len %d, accumulator len %d", tensor.ErrShape, t.Len(), s.phys)
+	}
+	if weight <= 0 {
+		return fmt.Errorf("fedavg: non-positive weight %v", weight)
+	}
+	for i, v := range t.Data {
+		s.sum[i] += weight * float64(v)
+	}
+	s.total += weight
+	s.count++
+	return nil
+}
+
+func (s *fedAvgState) Result() (*tensor.Tensor, float64, error) {
+	if s.count == 0 {
+		return nil, 0, ErrEmpty
+	}
+	out := tensor.NewVirtual(s.phys, s.virtual)
+	for i, v := range s.sum {
+		out.Data[i] = float32(v / s.total)
+	}
+	return out, s.total, nil
+}
+
+func (s *fedAvgState) Count() int { return s.count }
+
+func (s *fedAvgState) Reset() {
+	for i := range s.sum {
+		s.sum[i] = 0
+	}
+	s.total = 0
+	s.count = 0
+}
+
+// ServerOpt post-processes the aggregated update into the next global model.
+// FedAvg simply adopts the aggregate; adaptive server optimizers (Reddi et
+// al., 2020) treat (global − aggregate) as a pseudo-gradient. These are the
+// "FL algorithm" extension point the paper calls orthogonal to LIFL (§7).
+type ServerOpt interface {
+	Name() string
+	// Apply returns the next global model given the previous one and the
+	// round's aggregate. Implementations must not mutate their inputs.
+	Apply(global, aggregate *tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Adopt is plain FedAvg: the aggregate becomes the global model.
+type Adopt struct{}
+
+// Name implements ServerOpt.
+func (Adopt) Name() string { return "adopt" }
+
+// Apply implements ServerOpt.
+func (Adopt) Apply(_, aggregate *tensor.Tensor) (*tensor.Tensor, error) {
+	return aggregate.Clone(), nil
+}
+
+// FedAdagrad is an adaptive server optimizer: accumulates squared
+// pseudo-gradients and scales the server step (Reddi et al., 2020).
+type FedAdagrad struct {
+	LR  float64 // server learning rate η
+	Tau float64 // adaptivity floor τ
+	v   []float64
+}
+
+// Name implements ServerOpt.
+func (o *FedAdagrad) Name() string { return "fedadagrad" }
+
+// Apply implements ServerOpt.
+func (o *FedAdagrad) Apply(global, aggregate *tensor.Tensor) (*tensor.Tensor, error) {
+	if global.Len() != aggregate.Len() {
+		return nil, fmt.Errorf("%w: global %d vs aggregate %d", tensor.ErrShape, global.Len(), aggregate.Len())
+	}
+	if o.LR == 0 {
+		o.LR = 0.1
+	}
+	if o.Tau == 0 {
+		o.Tau = 1e-3
+	}
+	if o.v == nil {
+		o.v = make([]float64, global.Len())
+	}
+	out := global.Clone()
+	for i := range out.Data {
+		// Pseudo-gradient Δ = aggregate − global.
+		d := float64(aggregate.Data[i]) - float64(global.Data[i])
+		o.v[i] += d * d
+		out.Data[i] += float32(o.LR * d / (math.Sqrt(o.v[i]) + o.Tau))
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package flwork
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func pop(class ClientClass, n int) *Population {
+	eng := sim.NewEngine()
+	m := model.ResNet18
+	if class == Server {
+		m = model.ResNet152
+	}
+	return NewPopulation(eng, Config{NumClients: n, Model: m, Class: class, Seed: 5})
+}
+
+func TestPopulationDeterministic(t *testing.T) {
+	a, b := pop(Mobile, 100), pop(Mobile, 100)
+	for i := range a.Clients {
+		if a.Clients[i].Samples != b.Clients[i].Samples || a.Clients[i].Speed != b.Clients[i].Speed {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSampleCountsHeavyTailed(t *testing.T) {
+	p := pop(Mobile, 2800)
+	lo, hi := 1<<30, 0
+	for _, c := range p.Clients {
+		if c.Samples <= 0 {
+			t.Fatalf("client %s has %d samples", c.ID, c.Samples)
+		}
+		if c.Samples < lo {
+			lo = c.Samples
+		}
+		if c.Samples > hi {
+			hi = c.Samples
+		}
+	}
+	if hi < 4*lo {
+		t.Fatalf("no tail: min %d max %d", lo, hi)
+	}
+	if hi > 2000 {
+		t.Fatalf("tail uncapped: %d", hi)
+	}
+}
+
+func TestTrainTimesPositiveAndHeterogeneous(t *testing.T) {
+	p := pop(Mobile, 200)
+	seen := make(map[sim.Duration]bool)
+	for _, c := range p.Clients[:50] {
+		d := p.TrainTime(c)
+		if d <= 0 {
+			t.Fatalf("train time %v", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) < 25 {
+		t.Fatalf("train times too uniform: %d distinct of 50", len(seen))
+	}
+}
+
+func TestHibernationOnlyForMobiles(t *testing.T) {
+	mp := pop(Mobile, 10)
+	sp := pop(Server, 10)
+	anyPositive := false
+	for i := 0; i < 100; i++ {
+		if mp.Hibernation(mp.Clients[0]) > 0 {
+			anyPositive = true
+		}
+		if d := sp.Hibernation(sp.Clients[0]); d != 0 {
+			t.Fatalf("server client hibernated %v", d)
+		}
+	}
+	if !anyPositive {
+		t.Fatal("mobile hibernation never positive")
+	}
+	// Bounded by [0, 60s] per §6.2.
+	for i := 0; i < 1000; i++ {
+		if d := mp.Hibernation(mp.Clients[0]); d >= 60*sim.Second {
+			t.Fatalf("hibernation %v out of [0,60s)", d)
+		}
+	}
+}
+
+func TestLocalUpdatePerturbationDecays(t *testing.T) {
+	p := pop(Mobile, 5)
+	g := model.ResNet18.NewTensor()
+	early := p.LocalUpdate(p.Clients[0], g, 1)
+	late := p.LocalUpdate(p.Clients[0], g, 100)
+	if err := early.Sub(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.Sub(g); err != nil {
+		t.Fatal(err)
+	}
+	if late.Norm2() >= early.Norm2() {
+		t.Fatalf("perturbation did not decay: %v vs %v", late.Norm2(), early.Norm2())
+	}
+}
+
+func TestLocalUpdateClientSpecific(t *testing.T) {
+	p := pop(Mobile, 5)
+	g := model.ResNet18.NewTensor()
+	a := p.LocalUpdate(p.Clients[0], g, 1)
+	b := p.LocalUpdate(p.Clients[1], g, 1)
+	d, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("different clients produced identical updates")
+	}
+}
+
+func TestCurveCalibration(t *testing.T) {
+	// The paper's workloads: ResNet-18 hits 70% near round 80 (0.9 h at
+	// ≈40 s rounds), ResNet-152 near round 152 (1.9 h at ≈45 s).
+	r18 := CurveFor(model.ResNet18).RoundsToAccuracy(0.70)
+	if r18 < 70 || r18 > 90 {
+		t.Fatalf("ResNet-18 rounds to 70%% = %d, want ≈80", r18)
+	}
+	r152 := CurveFor(model.ResNet152).RoundsToAccuracy(0.70)
+	if r152 < 135 || r152 > 170 {
+		t.Fatalf("ResNet-152 rounds to 70%% = %d, want ≈152", r152)
+	}
+}
+
+func TestCurveSaturatesBelowAmax(t *testing.T) {
+	c := CurveFor(model.ResNet34)
+	if c.RoundsToAccuracy(c.Amax+0.05) != -1 {
+		t.Fatal("curve exceeded its asymptote")
+	}
+	if c.At(0) > 0.1 {
+		t.Fatalf("initial accuracy %v", c.At(0))
+	}
+}
+
+// Property: accuracy is within (0,1) and the 0.70 crossing is unique-ish
+// (once crossed with margin, it stays crossed).
+func TestCurveCrossingStable(t *testing.T) {
+	f := func(tauRaw uint8) bool {
+		c := Curve{Amax: 0.8, Tau: float64(tauRaw%100) + 5}
+		crossed := false
+		for r := 1; r < 2000; r++ {
+			a := c.At(r)
+			if a <= 0 || a >= 1 {
+				return false
+			}
+			if a >= 0.75 {
+				crossed = true
+			}
+			if crossed && a < 0.70 {
+				return false // fell back below after a clear crossing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewServer(eng)
+	s.Record("acc", 0.5)
+	eng.After(sim.Minute, func() { s.Record("acc", 0.7) })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	ser := s.Series("acc")
+	if len(ser.Points) != 2 {
+		t.Fatalf("points = %d", len(ser.Points))
+	}
+	if ser.Last().V != 0.7 || ser.Last().T != sim.Minute {
+		t.Fatalf("last = %+v", ser.Last())
+	}
+	if got := s.Names(); len(got) != 1 || got[0] != "acc" {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestSeriesBucketize(t *testing.T) {
+	eng := sim.NewEngine()
+	s := &Series{}
+	s.Add(10*sim.Second, 1)
+	s.Add(50*sim.Second, 1)
+	s.Add(70*sim.Second, 1)
+	s.Add(3*sim.Minute, 5)
+	got := s.Bucketize(sim.Minute, 3*sim.Minute)
+	want := []float64{2, 1, 0, 5}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+	_ = eng
+}
+
+func TestMeterSlidingWindow(t *testing.T) {
+	eng := sim.NewEngine()
+	m := NewMeter(eng, sim.Minute)
+	for i := 0; i < 30; i++ {
+		i := i
+		eng.At(sim.Duration(i)*2*sim.Second, func() { m.Mark() })
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// At t=58s all 30 events are inside the 60s window: rate = 0.5/s.
+	if got := m.Rate(); got < 0.49 || got > 0.51 {
+		t.Fatalf("rate = %v", got)
+	}
+	// An hour later the window is empty.
+	eng.After(sim.Hour, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rate() != 0 || m.Count() != 0 {
+		t.Fatalf("stale window: rate=%v count=%d", m.Rate(), m.Count())
+	}
+	if m.Total != 30 {
+		t.Fatalf("total = %d", m.Total)
+	}
+}
+
+func TestRollingAvg(t *testing.T) {
+	r := NewRollingAvg(3)
+	if r.Mean() != 0 || r.Samples() != 0 {
+		t.Fatal("empty average")
+	}
+	r.Add(2 * sim.Second)
+	r.Add(4 * sim.Second)
+	if r.Mean() != 3*sim.Second || r.Samples() != 2 {
+		t.Fatalf("mean = %v over %d", r.Mean(), r.Samples())
+	}
+	r.Add(6 * sim.Second)
+	r.Add(8 * sim.Second) // evicts the 2s sample
+	if r.Mean() != 6*sim.Second || r.Samples() != 3 {
+		t.Fatalf("rolled mean = %v over %d", r.Mean(), r.Samples())
+	}
+}
+
+func TestServerMeterAndAvgCaching(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewServer(eng)
+	if s.Meter("x", sim.Minute) != s.Meter("x", sim.Hour) {
+		t.Fatal("meter not cached by name")
+	}
+	if s.Avg("y", 5) != s.Avg("y", 10) {
+		t.Fatal("avg not cached by name")
+	}
+}
+
+func TestGuards(t *testing.T) {
+	eng := sim.NewEngine()
+	for _, f := range []func(){
+		func() { NewMeter(eng, 0) },
+		func() { NewRollingAvg(0) },
+		func() { (&Series{}).Bucketize(0, sim.Minute) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

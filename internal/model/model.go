@@ -1,0 +1,117 @@
+// Package model defines the model zoo used throughout the paper's
+// evaluation: ResNet-18 (~44 MB), ResNet-34 (~83 MB) and ResNet-152
+// (~232 MB). A Spec records the true parameter count — which drives every
+// data-plane cost in the simulator — and the physical down-scale factor used
+// for the real aggregation arithmetic (see internal/tensor).
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Spec describes one trainable model.
+type Spec struct {
+	Name string
+	// Params is the true number of float32 parameters.
+	Params int
+	// PhysScale divides Params to obtain the physical vector length used
+	// for in-process arithmetic. 1 means full physical fidelity.
+	PhysScale int
+	// Layers lists per-layer parameter counts (sums to Params); used by the
+	// gateway's serialization pipeline to charge per-tensor overheads.
+	Layers []int
+}
+
+// Bytes returns the model-update payload size in bytes (4 B per parameter),
+// the quantity the paper quotes (ResNet-152 ≈ 232 MB).
+func (s Spec) Bytes() uint64 { return uint64(s.Params) * 4 }
+
+// PhysLen returns the physical vector length carrying the arithmetic.
+func (s Spec) PhysLen() int {
+	if s.PhysScale <= 1 {
+		return s.Params
+	}
+	n := s.Params / s.PhysScale
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// NewTensor allocates a zero update vector for this model.
+func (s Spec) NewTensor() *tensor.Tensor {
+	return tensor.NewVirtual(s.PhysLen(), s.Params)
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s(%.1fMB)", s.Name, float64(s.Bytes())/(1<<20))
+}
+
+// resnetLayers builds a plausible per-layer parameter breakdown for a ResNet
+// with the given stage widths and block counts. The exact split does not
+// matter for any experiment (only the total does); it exists so the
+// serialization pipeline can charge realistic per-tensor costs.
+func resnetLayers(total int, nLayers int) []int {
+	// Geometric-ish growth: later layers hold most parameters, like real
+	// ResNets where the 512-channel stage dominates.
+	weights := make([]float64, nLayers)
+	var sum float64
+	for i := range weights {
+		w := 1.0
+		for j := 0; j < i/(nLayers/4+1); j++ {
+			w *= 2.2
+		}
+		weights[i] = w
+		sum += w
+	}
+	layers := make([]int, nLayers)
+	acc := 0
+	for i, w := range weights {
+		layers[i] = int(float64(total) * w / sum)
+		acc += layers[i]
+	}
+	layers[nLayers-1] += total - acc // absorb rounding
+	return layers
+}
+
+// The paper's three models. Parameter counts are chosen so the payload sizes
+// match the quoted ~44 MB / ~83 MB / ~232 MB (float32).
+var (
+	// ResNet18 is the mobile-client workload model (Fig. 9(a,b)).
+	ResNet18 = Spec{
+		Name:      "ResNet-18",
+		Params:    11_534_336, // 44 MiB
+		PhysScale: 4096,
+		Layers:    resnetLayers(11_534_336, 62),
+	}
+	// ResNet34 appears in the data-plane microbenchmarks (Fig. 7, Fig. 13).
+	ResNet34 = Spec{
+		Name:      "ResNet-34",
+		Params:    21_757_952, // 83 MiB
+		PhysScale: 4096,
+		Layers:    resnetLayers(21_757_952, 110),
+	}
+	// ResNet152 is the heavyweight workload model (Fig. 4, 7, 8, 9(c,d)).
+	ResNet152 = Spec{
+		Name:      "ResNet-152",
+		Params:    60_817_408, // 232 MiB
+		PhysScale: 4096,
+		Layers:    resnetLayers(60_817_408, 514),
+	}
+)
+
+// All lists the zoo in ascending size order (M1, M2, M3 in Appendix F).
+var All = []Spec{ResNet18, ResNet34, ResNet152}
+
+// ByName returns the spec with the given name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("model: unknown model %q", name)
+}

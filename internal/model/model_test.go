@@ -1,0 +1,84 @@
+package model
+
+import "testing"
+
+func TestZooSizesMatchPaper(t *testing.T) {
+	// The paper quotes ~44 MB, ~83 MB, ~232 MB.
+	cases := []struct {
+		spec Spec
+		mb   float64
+	}{
+		{ResNet18, 44},
+		{ResNet34, 83},
+		{ResNet152, 232},
+	}
+	for _, c := range cases {
+		got := float64(c.spec.Bytes()) / (1 << 20)
+		if got < c.mb-1 || got > c.mb+1 {
+			t.Errorf("%s: %.1f MB, want ~%v MB", c.spec.Name, got, c.mb)
+		}
+	}
+}
+
+func TestLayersSumToParams(t *testing.T) {
+	for _, s := range All {
+		sum := 0
+		for _, l := range s.Layers {
+			sum += l
+		}
+		if sum != s.Params {
+			t.Errorf("%s: layers sum %d != params %d", s.Name, sum, s.Params)
+		}
+		for i, l := range s.Layers {
+			if l < 0 {
+				t.Errorf("%s: layer %d negative (%d)", s.Name, i, l)
+			}
+		}
+	}
+}
+
+func TestPhysLenScaling(t *testing.T) {
+	for _, s := range All {
+		pl := s.PhysLen()
+		if pl < 1 {
+			t.Errorf("%s: physical length %d", s.Name, pl)
+		}
+		if s.PhysScale > 1 && pl >= s.Params {
+			t.Errorf("%s: physical length not scaled down (%d)", s.Name, pl)
+		}
+	}
+	full := Spec{Name: "x", Params: 100, PhysScale: 1}
+	if full.PhysLen() != 100 {
+		t.Errorf("unscaled spec should have full physical length")
+	}
+	tiny := Spec{Name: "y", Params: 10, PhysScale: 100}
+	if tiny.PhysLen() != 1 {
+		t.Errorf("physical length must floor at 1, got %d", tiny.PhysLen())
+	}
+}
+
+func TestNewTensorGeometry(t *testing.T) {
+	u := ResNet152.NewTensor()
+	if u.Len() != ResNet152.PhysLen() {
+		t.Fatalf("physical %d", u.Len())
+	}
+	if u.VirtualBytes() != ResNet152.Bytes() {
+		t.Fatalf("virtual bytes %d != %d", u.VirtualBytes(), ResNet152.Bytes())
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, err := ByName("ResNet-34")
+	if err != nil || s.Name != "ResNet-34" {
+		t.Fatalf("ByName: %v %v", s, err)
+	}
+	if _, err := ByName("VGG-16"); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestStringIncludesSize(t *testing.T) {
+	if got := ResNet18.String(); got != "ResNet-18(44.0MB)" {
+		t.Fatalf("String = %q", got)
+	}
+}

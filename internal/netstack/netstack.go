@@ -1,0 +1,128 @@
+// Package netstack models kernel-based networking between FL components:
+// the loopback path used by serverful gRPC channels between co-located
+// aggregators, and the NIC path for cross-node transfers. All CPU-bound
+// stages (serialization, protocol processing, copies) contend on the node's
+// core pool, which reproduces the contention the paper measures in Fig. 4
+// when co-located leaf aggregators exchange updates with the top aggregator
+// over the kernel.
+package netstack
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+// Transfer describes one payload movement.
+type Transfer struct {
+	Size     uint64 // payload bytes
+	NTensors int    // layer tensors, for per-tensor serialization overhead
+	// Component receives the CPU attribution on both ends.
+	Component string
+}
+
+// Loopback moves a payload between two processes on the same node over the
+// kernel TCP/IP stack (the SF data plane): serialize → TX traversal → RX
+// traversal → deserialize. done fires when the receiver has the payload.
+func Loopback(n *cluster.Node, t Transfer, done func()) {
+	p := n.P
+	serLat, serCPU := p.Serialize(t.Size, t.NTensors)
+	txLat, txCPU := p.KernelTraversal(t.Size)
+	rxLat, rxCPU := p.KernelTraversal(t.Size)
+	desLat, desCPU := p.Deserialize(t.Size, t.NTensors)
+
+	n.ExecAttributed(t.Component, serLat, serCPU, func(_, _ sim.Duration) {
+		n.KernelExec(t.Component, txLat, txCPU, func(_, _ sim.Duration) {
+			n.KernelExec(t.Component, rxLat, rxCPU, func(_, _ sim.Duration) {
+				n.ExecAttributed(t.Component, desLat, desCPU, func(_, _ sim.Duration) {
+					if done != nil {
+						done()
+					}
+				})
+			})
+		})
+	})
+}
+
+// CrossNode moves a payload from src to dst over the NIC: serialize + kernel
+// TX on src, wire time through src egress then dst ingress, kernel RX +
+// deserialize on dst. done fires on delivery at dst.
+func CrossNode(src, dst *cluster.Node, t Transfer, done func()) {
+	p := src.P
+	serLat, serCPU := p.Serialize(t.Size, t.NTensors)
+	txLat, txCPU := p.KernelTraversal(t.Size)
+	rxLat, rxCPU := p.KernelTraversal(t.Size)
+	desLat, desCPU := p.Deserialize(t.Size, t.NTensors)
+
+	src.ExecAttributed(t.Component, serLat, serCPU, func(_, _ sim.Duration) {
+		src.KernelExec(t.Component, txLat, txCPU, func(_, _ sim.Duration) {
+			src.Egress.Transfer(t.Size, func(_, _ sim.Duration) {
+				dst.Ingress.Transfer(t.Size, func(_, _ sim.Duration) {
+					dst.KernelExec(t.Component, rxLat, rxCPU, func(_, _ sim.Duration) {
+						dst.ExecAttributed(t.Component, desLat, desCPU, func(_, _ sim.Duration) {
+							if done != nil {
+								done()
+							}
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// IngressFromExternal models a payload arriving from outside the cluster
+// (an FL client upload): wire time on the node's ingress NIC followed by
+// kernel RX processing. The sender's cost is outside the system under test
+// (§Appendix F: "we exclude the overhead on the client-side").
+func IngressFromExternal(dst *cluster.Node, t Transfer, done func()) {
+	p := dst.P
+	rxLat, rxCPU := p.KernelTraversal(t.Size)
+	dst.Ingress.Transfer(t.Size, func(_, _ sim.Duration) {
+		dst.KernelExec(t.Component, rxLat, rxCPU, func(_, _ sim.Duration) {
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// EgressToExternal models sending a payload to an external client (global
+// model distribution): serialize + kernel TX, then wire time on egress.
+func EgressToExternal(src *cluster.Node, t Transfer, done func()) {
+	p := src.P
+	serLat, serCPU := p.Serialize(t.Size, t.NTensors)
+	txLat, txCPU := p.KernelTraversal(t.Size)
+	src.ExecAttributed(t.Component, serLat, serCPU, func(_, _ sim.Duration) {
+		src.KernelExec(t.Component, txLat, txCPU, func(_, _ sim.Duration) {
+			src.Egress.Transfer(t.Size, func(_, _ sim.Duration) {
+				if done != nil {
+					done()
+				}
+			})
+		})
+	})
+}
+
+// LoopbackLatency returns the unloaded one-transfer latency of the loopback
+// path — useful for calibration tests against Fig. 7(a).
+func LoopbackLatency(p costmodel.Params, size uint64, nTensors int) sim.Duration {
+	serLat, _ := p.Serialize(size, nTensors)
+	txLat, _ := p.KernelTraversal(size)
+	rxLat, _ := p.KernelTraversal(size)
+	desLat, _ := p.Deserialize(size, nTensors)
+	return serLat + txLat + rxLat + desLat
+}
+
+// CrossNodeLatency returns the unloaded cross-node latency (§6.1 quotes
+// ≈4.2 s for a ResNet-152 update on the 10 GbE testbed).
+func CrossNodeLatency(p costmodel.Params, size uint64, nTensors int) sim.Duration {
+	serLat, _ := p.Serialize(size, nTensors)
+	txLat, _ := p.KernelTraversal(size)
+	rxLat, _ := p.KernelTraversal(size)
+	desLat, _ := p.Deserialize(size, nTensors)
+	// The payload occupies the sender's egress NIC and the receiver's
+	// ingress NIC in turn (store-and-forward at the switch).
+	wire := 2 * p.WireTime(size)
+	return serLat + txLat + wire + 2*p.NICLatency + rxLat + desLat
+}

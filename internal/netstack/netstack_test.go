@@ -1,0 +1,125 @@
+package netstack
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func twoNodes() (*sim.Engine, *cluster.Cluster) {
+	eng := sim.NewEngine()
+	return eng, cluster.New(eng, sim.NewRNG(1), costmodel.Default(), 2)
+}
+
+func TestLoopbackUnloadedLatencyMatchesAnalytic(t *testing.T) {
+	eng, c := twoNodes()
+	m := model.ResNet152
+	tr := Transfer{Size: m.Bytes(), NTensors: 1, Component: "x"}
+	var done sim.Duration
+	Loopback(c.Nodes[0], tr, func() { done = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := LoopbackLatency(c.P, m.Bytes(), 1)
+	if done != want {
+		t.Fatalf("loopback = %v, analytic %v", done, want)
+	}
+	// Fig. 7(a): the serverful loopback for ResNet-152 ≈ 2.3 s.
+	if done < 2100*sim.Millisecond || done > 2500*sim.Millisecond {
+		t.Fatalf("loopback = %v, want ≈2.3s", done)
+	}
+}
+
+func TestCrossNodeUnloadedLatency(t *testing.T) {
+	eng, c := twoNodes()
+	m := model.ResNet152
+	tr := Transfer{Size: m.Bytes(), NTensors: 1, Component: "x"}
+	var done sim.Duration
+	CrossNode(c.Nodes[0], c.Nodes[1], tr, func() { done = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	want := CrossNodeLatency(c.P, m.Bytes(), 1)
+	if done != want {
+		t.Fatalf("cross-node = %v, analytic %v", done, want)
+	}
+	if done <= LoopbackLatency(c.P, m.Bytes(), 1) {
+		t.Fatal("cross-node must cost more than loopback (adds wire time)")
+	}
+}
+
+func TestCrossNodeChargesBothNodes(t *testing.T) {
+	eng, c := twoNodes()
+	tr := Transfer{Size: 1 << 20, NTensors: 1, Component: "x"}
+	CrossNode(c.Nodes[0], c.Nodes[1], tr, nil)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes[0].CPUTime("x") == 0 || c.Nodes[1].CPUTime("x") == 0 {
+		t.Fatal("both endpoints must pay CPU")
+	}
+	if c.Nodes[0].Egress.Bytes() != 1<<20 || c.Nodes[1].Ingress.Bytes() != 1<<20 {
+		t.Fatal("wire bytes not accounted")
+	}
+}
+
+func TestIngressFromExternalOnlyChargesReceiver(t *testing.T) {
+	eng, c := twoNodes()
+	tr := Transfer{Size: 1 << 20, NTensors: 1, Component: "ing"}
+	var fired bool
+	IngressFromExternal(c.Nodes[0], tr, func() { fired = true })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("callback missing")
+	}
+	if c.Nodes[0].Ingress.Bytes() != 1<<20 {
+		t.Fatal("ingress wire not charged")
+	}
+	if c.Nodes[0].Egress.Bytes() != 0 {
+		t.Fatal("egress should be untouched")
+	}
+}
+
+func TestEgressToExternal(t *testing.T) {
+	eng, c := twoNodes()
+	tr := Transfer{Size: 1 << 20, NTensors: 1, Component: "eg"}
+	var fired bool
+	EgressToExternal(c.Nodes[0], tr, func() { fired = true })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired || c.Nodes[0].Egress.Bytes() != 1<<20 {
+		t.Fatal("egress transfer missing")
+	}
+}
+
+// The Fig. 4 mechanism: enough concurrent loopbacks saturate the node's
+// kernel stack, so the batch takes longer than any single transfer even on
+// a 64-core node.
+func TestLoopbackKernelContention(t *testing.T) {
+	eng, c := twoNodes()
+	n := c.Nodes[0]
+	m := model.ResNet152
+	tr := Transfer{Size: m.Bytes(), NTensors: 1, Component: "x"}
+	single := LoopbackLatency(c.P, m.Bytes(), 1)
+	const batch = 24 // 48 traversals over an 8-wide stack
+	var last sim.Duration
+	for i := 0; i < batch; i++ {
+		Loopback(n, tr, func() {
+			if eng.Now() > last {
+				last = eng.Now()
+			}
+		})
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if last < 2*single {
+		t.Fatalf("no contention visible: batch finished at %v, single = %v", last, single)
+	}
+}

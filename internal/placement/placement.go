@@ -1,0 +1,198 @@
+// Package placement implements LIFL's locality-aware load balancing (§5.1):
+// assigning incoming model updates (equivalently, selected clients) to
+// worker nodes. LIFL treats the task as bin-packing — concentrate updates
+// onto as few nodes as possible without exceeding each node's residual
+// service capacity, so that shared-memory processing covers the maximum
+// share of traffic and inter-node transfers are minimized. BestFit is
+// LIFL's policy; WorstFit reproduces Knative's "Least Connection" spreading
+// and FirstFit is the locality-agnostic low-complexity strawman.
+package placement
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// NodeState is the balancer's view of one worker node at decision time.
+type NodeState struct {
+	Name string
+	// MC is the maximum service capacity MC_i: model updates the node can
+	// aggregate simultaneously (computed offline, Appendix E).
+	MC float64
+	// Arrival is k_{i,t}, the current arrival rate of updates routed to the
+	// node (updates/sec).
+	Arrival float64
+	// ExecTime is E_{i,t}, the average time to aggregate one update.
+	ExecTime sim.Duration
+	// Assigned counts updates placed on the node by the current decision
+	// (occupancy added on top of the measured load).
+	Assigned int
+}
+
+// Residual returns RC_{i,t} = MC_i − k_{i,t}·E_{i,t} − Assigned: how many
+// more updates the node can absorb.
+func (n *NodeState) Residual() float64 {
+	return n.MC - n.Arrival*n.ExecTime.Seconds() - float64(n.Assigned)
+}
+
+// QueueEstimate returns Q_{i,t} = k_{i,t}·E_{i,t}, the coarse-grained queue
+// length estimate of §5.1.
+func (n *NodeState) QueueEstimate() float64 {
+	return n.Arrival * n.ExecTime.Seconds()
+}
+
+// ErrCapacity is returned when the cluster cannot absorb the demand.
+var ErrCapacity = errors.New("placement: demand exceeds cluster residual capacity")
+
+// Policy assigns count identical updates to nodes, returning per-node counts
+// keyed by node name. Implementations must not mutate the input slice order.
+type Policy interface {
+	Name() string
+	// Place distributes count updates; it may exceed residual capacity only
+	// when the whole cluster is saturated (overflow spreads round-robin,
+	// matching the paper's "service capacity of all nodes fully consumed"
+	// regime for 100 updates in Fig. 8).
+	Place(count int, nodes []*NodeState) (map[string]int, error)
+}
+
+// BestFit is LIFL's locality-aware policy: each update goes to the feasible
+// node with the *smallest* positive residual capacity, concentrating load
+// onto the fewest nodes (§5.1).
+type BestFit struct{}
+
+// Name implements Policy.
+func (BestFit) Name() string { return "bestfit" }
+
+// Place implements Policy.
+func (BestFit) Place(count int, nodes []*NodeState) (map[string]int, error) {
+	return packGeneric(count, nodes, func(cands []*NodeState) *NodeState {
+		var best *NodeState
+		for _, n := range cands {
+			if n.Residual() < 1 {
+				continue
+			}
+			if best == nil || n.Residual() < best.Residual() ||
+				(n.Residual() == best.Residual() && n.Name < best.Name) {
+				best = n
+			}
+		}
+		return best
+	})
+}
+
+// WorstFit spreads each update to the node with the *largest* residual
+// capacity — the behaviour of Knative's "Least Connection" load balancing
+// used by the SL-H baseline (§6.1).
+type WorstFit struct{}
+
+// Name implements Policy.
+func (WorstFit) Name() string { return "worstfit" }
+
+// Place implements Policy.
+func (WorstFit) Place(count int, nodes []*NodeState) (map[string]int, error) {
+	return packGeneric(count, nodes, func(cands []*NodeState) *NodeState {
+		var best *NodeState
+		for _, n := range cands {
+			if n.Residual() < 1 {
+				continue
+			}
+			if best == nil || n.Residual() > best.Residual() ||
+				(n.Residual() == best.Residual() && n.Name < best.Name) {
+				best = n
+			}
+		}
+		return best
+	})
+}
+
+// FirstFit takes the first node (by input order) with room — minimal search
+// complexity, no locality awareness.
+type FirstFit struct{}
+
+// Name implements Policy.
+func (FirstFit) Name() string { return "firstfit" }
+
+// Place implements Policy.
+func (FirstFit) Place(count int, nodes []*NodeState) (map[string]int, error) {
+	return packGeneric(count, nodes, func(cands []*NodeState) *NodeState {
+		for _, n := range cands {
+			if n.Residual() >= 1 {
+				return n
+			}
+		}
+		return nil
+	})
+}
+
+// packGeneric runs the per-update selection loop shared by the policies,
+// falling back to round-robin overflow when every node is saturated.
+func packGeneric(count int, nodes []*NodeState, pick func([]*NodeState) *NodeState) (map[string]int, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("placement: negative count %d", count)
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("placement: no nodes")
+	}
+	out := make(map[string]int)
+	overflow := 0
+	for i := 0; i < count; i++ {
+		n := pick(nodes)
+		if n == nil {
+			// Saturated: spread the overflow evenly so no node melts down.
+			n = nodes[overflow%len(nodes)]
+			overflow++
+		}
+		n.Assigned++
+		out[n.Name]++
+	}
+	return out, nil
+}
+
+// NodesUsed counts nodes that received at least one update.
+func NodesUsed(assign map[string]int) int {
+	n := 0
+	for _, c := range assign {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedAssignments renders the assignment deterministically for logs.
+func SortedAssignments(assign map[string]int) []string {
+	names := make([]string, 0, len(assign))
+	for n := range assign {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, fmt.Sprintf("%s:%d", n, assign[n]))
+	}
+	return out
+}
+
+// MaxCapacityOffline reproduces Appendix E: increase the offered arrival
+// rate k until the measured execution time inflates significantly (the node
+// saturates), then MC = k′·E′. probe(k) must return the average execution
+// time observed at arrival rate k.
+func MaxCapacityOffline(probe func(k float64) sim.Duration, kStart, kStep, inflate float64) float64 {
+	if kStart <= 0 || kStep <= 0 {
+		panic("placement: non-positive probe parameters")
+	}
+	base := probe(kStart)
+	k := kStart
+	for i := 0; i < 10_000; i++ {
+		next := k + kStep
+		e := probe(next)
+		if float64(e) > inflate*float64(base) {
+			return next * e.Seconds()
+		}
+		k = next
+	}
+	return k * probe(k).Seconds()
+}

@@ -1,0 +1,202 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func nodes5(mc float64) []*NodeState {
+	out := make([]*NodeState, 5)
+	for i := range out {
+		out[i] = &NodeState{
+			Name:     string(rune('a' + i)),
+			MC:       mc,
+			ExecTime: 250 * sim.Millisecond,
+		}
+	}
+	return out
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func TestBestFitPacksMinimumNodes(t *testing.T) {
+	// The Fig. 8(d) result: 20/60/100 updates onto MC=20 nodes use 1/3/5.
+	for _, c := range []struct{ load, want int }{{20, 1}, {60, 3}, {100, 5}} {
+		assign, err := BestFit{}.Place(c.load, nodes5(20))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := NodesUsed(assign); got != c.want {
+			t.Fatalf("load %d: used %d nodes, want %d (%v)", c.load, got, c.want, assign)
+		}
+		if sum(assign) != c.load {
+			t.Fatalf("load %d: placed %d", c.load, sum(assign))
+		}
+	}
+}
+
+func TestWorstFitSpreadsLikeLeastConnection(t *testing.T) {
+	assign, err := WorstFit{}.Place(20, nodes5(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if NodesUsed(assign) != 5 {
+		t.Fatalf("WorstFit used %d nodes, want all 5", NodesUsed(assign))
+	}
+	for n, c := range assign {
+		if c != 4 {
+			t.Fatalf("uneven spread: %s=%d", n, c)
+		}
+	}
+}
+
+func TestFirstFitFillsInOrder(t *testing.T) {
+	ns := nodes5(20)
+	assign, err := FirstFit{}.Place(25, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["a"] != 20 || assign["b"] != 5 {
+		t.Fatalf("FirstFit order broken: %v", assign)
+	}
+}
+
+func TestResidualAccountsForLoadAndAssignments(t *testing.T) {
+	n := &NodeState{Name: "x", MC: 20, Arrival: 8, ExecTime: sim.Second}
+	if got := n.Residual(); got != 12 {
+		t.Fatalf("residual = %v", got)
+	}
+	n.Assigned = 5
+	if got := n.Residual(); got != 7 {
+		t.Fatalf("residual with assignments = %v", got)
+	}
+	if got := n.QueueEstimate(); got != 8 {
+		t.Fatalf("queue estimate = %v", got)
+	}
+}
+
+func TestLoadedNodesAreAvoided(t *testing.T) {
+	ns := nodes5(20)
+	ns[0].Arrival = 20 // saturated: residual 15... 20·0.25s = 5 used, 15 left
+	ns[0].ExecTime = sim.Second
+	// Node a has residual 0; BestFit must skip it.
+	assign, err := BestFit{}.Place(10, ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["a"] != 0 {
+		t.Fatalf("placed on saturated node: %v", assign)
+	}
+}
+
+func TestOverflowSpreadsRoundRobin(t *testing.T) {
+	assign, err := BestFit{}.Place(120, nodes5(20)) // 20 over capacity
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(assign) != 120 {
+		t.Fatalf("lost updates: %d", sum(assign))
+	}
+	for n, c := range assign {
+		if c < 20 || c > 28 {
+			t.Fatalf("overflow unbalanced: %s=%d", n, c)
+		}
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	if _, err := (BestFit{}).Place(-1, nodes5(20)); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := (BestFit{}).Place(1, nil); err == nil {
+		t.Fatal("no nodes accepted")
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	a, _ := BestFit{}.Place(7, nodes5(20))
+	b, _ := BestFit{}.Place(7, nodes5(20))
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("non-deterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSortedAssignments(t *testing.T) {
+	got := SortedAssignments(map[string]int{"b": 2, "a": 1})
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("sorted = %v", got)
+	}
+}
+
+// Property: every policy conserves the demand and respects capacity unless
+// the whole cluster is saturated.
+func TestPoliciesConserveDemand(t *testing.T) {
+	f := func(loadRaw uint8, mcRaw uint8) bool {
+		load := int(loadRaw % 120)
+		mc := float64(mcRaw%30) + 1
+		for _, pol := range []Policy{BestFit{}, WorstFit{}, FirstFit{}} {
+			assign, err := pol.Place(load, nodes5(mc))
+			if err != nil {
+				return false
+			}
+			if sum(assign) != load {
+				return false
+			}
+			// Under capacity, no node may exceed MC.
+			if float64(load) <= 5*mc {
+				for _, c := range assign {
+					if float64(c) > mc {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: BestFit never uses more nodes than WorstFit.
+func TestBestFitUsesNoMoreNodesThanWorstFit(t *testing.T) {
+	f := func(loadRaw uint8) bool {
+		load := int(loadRaw%100) + 1
+		bf, err1 := BestFit{}.Place(load, nodes5(20))
+		wf, err2 := WorstFit{}.Place(load, nodes5(20))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return NodesUsed(bf) <= NodesUsed(wf)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxCapacityOffline(t *testing.T) {
+	// Appendix E: execution time inflates sharply once k exceeds the knee.
+	knee := 40.0
+	probe := func(k float64) sim.Duration {
+		if k <= knee {
+			return 500 * sim.Millisecond
+		}
+		return 5 * sim.Second
+	}
+	mc := MaxCapacityOffline(probe, 5, 5, 2.0)
+	// MC = k′·E′ at the saturation point: 45 × 5 s would be the naive
+	// reading; the estimate must at least detect the knee region.
+	if mc < 20 {
+		t.Fatalf("MC estimate %v missed the knee", mc)
+	}
+}

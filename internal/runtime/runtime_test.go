@@ -1,0 +1,218 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/sim"
+)
+
+func rig() (*sim.Engine, *cluster.Node, *Manager) {
+	eng := sim.NewEngine()
+	c := cluster.New(eng, sim.NewRNG(1), costmodel.Default(), 1)
+	return eng, c.Nodes[0], NewManager(c.Nodes[0])
+}
+
+func TestColdStartDelayAndCPU(t *testing.T) {
+	eng, n, m := rig()
+	var readyAt sim.Duration
+	m.Start("leaf", func(sb *Sandbox) { readyAt = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if readyAt != n.P.ColdStartDelay {
+		t.Fatalf("ready at %v, want %v", readyAt, n.P.ColdStartDelay)
+	}
+	if m.ColdStarts != 1 || m.WarmStarts != 0 || m.Created != 1 {
+		t.Fatalf("counters: %d/%d/%d", m.ColdStarts, m.WarmStarts, m.Created)
+	}
+	if n.CPUTime("runtime") == 0 {
+		t.Fatal("cold start consumed no CPU")
+	}
+	if n.MemUsed() < n.P.AggregatorMemBytes {
+		t.Fatal("sandbox memory not charged")
+	}
+}
+
+func TestWarmStartReusesIdleSandboxOfSameKind(t *testing.T) {
+	eng, n, m := rig()
+	var first *Sandbox
+	m.Start("leaf", func(sb *Sandbox) { first = sb })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = first.SetIdle()
+	var second *Sandbox
+	var readyAt sim.Duration
+	start := eng.Now()
+	m.Start("leaf", func(sb *Sandbox) { second = sb; readyAt = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Fatal("warm pool did not hand back the idle instance")
+	}
+	if readyAt-start != n.P.WarmStartDelay {
+		t.Fatalf("warm start took %v", readyAt-start)
+	}
+	if m.WarmStarts != 1 || m.Created != 1 {
+		t.Fatalf("counters: warm=%d created=%d", m.WarmStarts, m.Created)
+	}
+}
+
+func TestWarmPoolIsKindKeyed(t *testing.T) {
+	eng, _, m := rig()
+	var leaf *Sandbox
+	m.Start("leaf", func(sb *Sandbox) { leaf = sb })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = leaf.SetIdle()
+	// A "middle" deployment must NOT get the idle leaf pod.
+	var mid *Sandbox
+	m.Start("middle", func(sb *Sandbox) { mid = sb })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if mid == leaf {
+		t.Fatal("cross-kind warm reuse must not happen (that's LIFL's §5.3 feature, not the platform's)")
+	}
+	if m.Created != 2 {
+		t.Fatalf("created = %d", m.Created)
+	}
+}
+
+func TestKeepAliveReaping(t *testing.T) {
+	eng, n, m := rig()
+	var sb *Sandbox
+	reclaimed := false
+	m.Start("leaf", func(s *Sandbox) { sb = s })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	sb.OnReclaim = func(*Sandbox) { reclaimed = true }
+	_ = sb.SetIdle()
+	eng.After(n.P.KeepAliveIdle+sim.Second, func() { m.ReapIdle() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.State() != StateTerminated || !reclaimed || m.Reclaimed != 1 {
+		t.Fatalf("reap failed: state=%v reclaimed=%v", sb.State(), reclaimed)
+	}
+	if m.LiveCount() != 0 {
+		t.Fatalf("live = %d", m.LiveCount())
+	}
+}
+
+func TestPinnedSandboxSurvivesReaping(t *testing.T) {
+	eng, n, m := rig()
+	var sb *Sandbox
+	m.Start("leaf", func(s *Sandbox) { sb = s })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sb.SetIdle()
+	sb.Pinned = true
+	eng.After(n.P.KeepAliveIdle*3, func() { m.ReapIdle() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.State() == StateTerminated {
+		t.Fatal("pinned sandbox reaped while owing round output")
+	}
+	// Unpinned, it goes on the next sweep.
+	sb.Pinned = false
+	m.ReapIdle()
+	if sb.State() != StateTerminated {
+		t.Fatal("unpinned expired sandbox should be reaped")
+	}
+}
+
+func TestDisableKeepAlive(t *testing.T) {
+	eng, n, m := rig()
+	m.DisableKeepAlive = true
+	var sb *Sandbox
+	m.Start("leaf", func(s *Sandbox) { sb = s })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	_ = sb.SetIdle()
+	eng.After(n.P.KeepAliveIdle*10, func() { m.ReapIdle() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if sb.State() == StateTerminated {
+		t.Fatal("always-on manager reaped an instance")
+	}
+}
+
+func TestBusyIdleTransitions(t *testing.T) {
+	eng, _, m := rig()
+	var sb *Sandbox
+	m.Start("leaf", func(s *Sandbox) { sb = s })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sb.SetBusy(); err != nil || sb.State() != StateBusy {
+		t.Fatalf("busy: %v %v", sb.State(), err)
+	}
+	if err := sb.SetIdle(); err != nil || sb.State() != StateIdle {
+		t.Fatalf("idle: %v %v", sb.State(), err)
+	}
+	m.Terminate(sb)
+	if err := sb.SetBusy(); err == nil {
+		t.Fatal("busy on terminated sandbox must error")
+	}
+}
+
+func TestUpkeepSettlement(t *testing.T) {
+	eng, n, m := rig()
+	m.Start("leaf", nil)
+	// nil-ready Start: readiness callback optional? Guard: use a no-op.
+	_ = eng
+	eng.After(100*sim.Second, func() { m.SettleUpkeep() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	got := n.CPUTime("runtime-upkeep")
+	want := sim.Duration(float64(100*sim.Second-0) * n.P.RuntimeUpkeepCPUFrac)
+	if got < want-sim.Second || got > want {
+		t.Fatalf("upkeep = %v, want ≈%v", got, want)
+	}
+}
+
+func TestTerminateAll(t *testing.T) {
+	eng, n, m := rig()
+	for i := 0; i < 3; i++ {
+		m.Start("leaf", func(*Sandbox) {})
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	m.TerminateAll()
+	if m.LiveCount() != 0 {
+		t.Fatalf("live = %d", m.LiveCount())
+	}
+	if n.MemUsed() != 0 {
+		t.Fatalf("memory leaked: %d", n.MemUsed())
+	}
+}
+
+func TestIdleCount(t *testing.T) {
+	eng, _, m := rig()
+	var sbs []*Sandbox
+	for i := 0; i < 3; i++ {
+		m.Start("leaf", func(sb *Sandbox) { sbs = append(sbs, sb) })
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IdleCount() != 3 {
+		t.Fatalf("idle = %d", m.IdleCount())
+	}
+	_ = sbs[0].SetBusy()
+	if m.IdleCount() != 2 {
+		t.Fatalf("idle = %d", m.IdleCount())
+	}
+}

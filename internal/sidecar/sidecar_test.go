@@ -1,0 +1,129 @@
+package sidecar
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/costmodel"
+	"repro/internal/ebpf"
+	"repro/internal/sim"
+)
+
+func rig() (*sim.Engine, *cluster.Node) {
+	eng := sim.NewEngine()
+	c := cluster.New(eng, sim.NewRNG(1), costmodel.Default(), 1)
+	return eng, c.Nodes[0]
+}
+
+func TestContainerInterceptCostsLatencyAndCPU(t *testing.T) {
+	eng, n := rig()
+	sc := NewContainer(n, "agg-1")
+	var done sim.Duration
+	sc.Intercept(100<<20, func() { done = eng.Now() })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	wantLat, _ := n.P.SidecarHop(100 << 20)
+	if done != wantLat {
+		t.Fatalf("intercept latency = %v, want %v", done, wantLat)
+	}
+	if n.CPUTime("sidecar") == 0 {
+		t.Fatal("no sidecar CPU charged")
+	}
+	if sc.Intercepts != 1 {
+		t.Fatalf("intercepts = %d", sc.Intercepts)
+	}
+}
+
+func TestContainerIdleDrainAccrues(t *testing.T) {
+	eng, n := rig()
+	sc := NewContainer(n, "agg-1")
+	eng.After(100*sim.Second, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Finalize()
+	want := sim.Duration(float64(100*sim.Second) * n.P.SidecarIdleCPUFrac)
+	if got := n.CPUTime("sidecar-idle"); got != want {
+		t.Fatalf("idle drain = %v, want %v", got, want)
+	}
+	// Finalize is idempotent at the same instant.
+	sc.Finalize()
+	if got := n.CPUTime("sidecar-idle"); got != want {
+		t.Fatalf("double settle: %v", got)
+	}
+}
+
+func TestContainerMemoryLifecycle(t *testing.T) {
+	eng, n := rig()
+	before := n.MemUsed()
+	sc := NewContainer(n, "agg-1")
+	if n.MemUsed() != before+n.P.SidecarMemBytes {
+		t.Fatal("sidecar memory not charged")
+	}
+	sc.Stop()
+	if n.MemUsed() != before {
+		t.Fatal("sidecar memory not freed on stop")
+	}
+	sc.Stop() // idempotent
+	if n.MemUsed() != before {
+		t.Fatal("double stop freed twice")
+	}
+	_ = eng
+}
+
+func TestEBPFSidecarZeroIdleCost(t *testing.T) {
+	eng, n := rig()
+	e := NewEBPF(n)
+	eng.After(sim.Hour, func() {})
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if n.TotalCPUTime() != 0 {
+		t.Fatalf("eBPF sidecar consumed %v while idle", n.TotalCPUTime())
+	}
+	_ = e
+}
+
+func TestEBPFSidecarPerEventCost(t *testing.T) {
+	eng, n := rig()
+	e := NewEBPF(n)
+	n.SockMap.Register("top", func(ebpf.Message) {})
+	sock, err := e.OnSend(ebpf.Message{SrcID: "leaf", DstID: "top", Size: 16}, sim.Second)
+	if err != nil || sock == nil {
+		t.Fatalf("OnSend: %v %v", sock, err)
+	}
+	want := costmodel.Cycles(n.P.EBPFMetricsCycles)
+	if got := n.CPUTime("ebpf-sidecar"); got != want {
+		t.Fatalf("per-event cost = %v, want %v", got, want)
+	}
+	// Metrics are collected and drainable.
+	if got := e.Drain(); len(got) != 1 || got[0].ExecTime != sim.Second {
+		t.Fatalf("drain = %v", got)
+	}
+	_ = eng
+}
+
+func TestEBPFSidecarUnknownDst(t *testing.T) {
+	_, n := rig()
+	e := NewEBPF(n)
+	if _, err := e.OnSend(ebpf.Message{DstID: "ghost"}, 0); err == nil {
+		t.Fatal("expected error for unknown destination")
+	}
+}
+
+// The paper's comparison: for one message, the container sidecar costs
+// orders of magnitude more CPU than the eBPF sidecar.
+func TestContainerVsEBPFPerMessageCost(t *testing.T) {
+	eng, n := rig()
+	sc := NewContainer(n, "a")
+	sc.Intercept(232<<20, nil)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	container := n.CPUTime("sidecar")
+	ebpfCost := costmodel.Cycles(n.P.EBPFMetricsCycles)
+	if container < 1000*ebpfCost {
+		t.Fatalf("container %v vs eBPF %v: expected ≫1000x gap", container, ebpfCost)
+	}
+}

@@ -1,0 +1,140 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All LIFL experiments run on virtual time: components schedule callbacks on
+// an Engine, contend for multi-core CPU Stations and bandwidth Queues, and
+// the engine executes events in strict (time, sequence) order. Determinism
+// comes from the total event order plus seeded randomness (see RNG); running
+// the same experiment twice yields byte-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Duration is virtual simulated time measured from the start of a run.
+// It aliases time.Duration so callers can use natural literals (3 * sim.Second).
+type Duration = time.Duration
+
+// Convenience re-exports so simulation code does not need to import time.
+const (
+	Nanosecond  = time.Nanosecond
+	Microsecond = time.Microsecond
+	Millisecond = time.Millisecond
+	Second      = time.Second
+	Minute      = time.Minute
+	Hour        = time.Hour
+)
+
+// event is a scheduled callback. seq breaks ties so that events scheduled
+// earlier run earlier when their times are equal, making runs deterministic.
+type event struct {
+	at  Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event scheduler. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     Duration
+	seq     uint64
+	events  eventHeap
+	stopped bool
+
+	// Executed counts events run so far; useful for runaway detection in tests.
+	Executed uint64
+	// MaxEvents aborts Run with an error when exceeded (0 = unlimited).
+	MaxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Duration { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a modelling bug, and silently clamping would
+// corrupt causality.
+func (e *Engine) At(t Duration, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) { e.At(e.now+d, fn) }
+
+// Pending reports the number of scheduled-but-unexecuted events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step executes the single earliest pending event and returns true, or
+// returns false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, Stop is called, or the clock
+// would pass until (inclusive). Pass a negative until to run to completion.
+func (e *Engine) Run(until Duration) error {
+	if until < 0 {
+		until = Duration(math.MaxInt64)
+	}
+	e.stopped = false
+	for !e.stopped && len(e.events) > 0 {
+		if e.events[0].at > until {
+			e.now = until
+			return nil
+		}
+		if e.MaxEvents > 0 && e.Executed >= e.MaxEvents {
+			return fmt.Errorf("sim: exceeded MaxEvents=%d at t=%v", e.MaxEvents, e.now)
+		}
+		e.Step()
+	}
+	if e.now < until && until != Duration(math.MaxInt64) {
+		e.now = until
+	}
+	return nil
+}
+
+// RunUntilIdle executes all pending events with no time bound.
+func (e *Engine) RunUntilIdle() error { return e.Run(-1) }

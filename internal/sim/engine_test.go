@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3*Second, func() { order = append(order, 3) })
+	e.At(1*Second, func() { order = append(order, 1) })
+	e.At(2*Second, func() { order = append(order, 2) })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 3*Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineTieBreaksBySequence(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(Second, func() { order = append(order, i) })
+	}
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5*Second, func() {})
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.At(Second, func() {})
+}
+
+func TestEngineAfterIsRelative(t *testing.T) {
+	e := NewEngine()
+	var at Duration
+	e.At(10*Second, func() {
+		e.After(5*Second, func() { at = e.Now() })
+	})
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15*Second {
+		t.Fatalf("After fired at %v, want 15s", at)
+	}
+}
+
+func TestEngineRunUntilBound(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1*Second, func() { fired++ })
+	e.At(10*Second, func() { fired++ })
+	if err := e.Run(5 * Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 5*Second {
+		t.Fatalf("clock should land on the bound, got %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	if err := e.Run(-1); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after completion", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(1*Second, func() { fired++; e.Stop() })
+	e.At(2*Second, func() { fired++ })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("Stop did not halt the loop (fired=%d)", fired)
+	}
+}
+
+func TestEngineMaxEventsGuard(t *testing.T) {
+	e := NewEngine()
+	e.MaxEvents = 10
+	var loop func()
+	loop = func() { e.After(Second, loop) }
+	e.After(Second, loop)
+	if err := e.RunUntilIdle(); err == nil {
+		t.Fatal("runaway loop not caught")
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.At(1*Second, func() { n++ })
+	e.At(2*Second, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue should return false")
+	}
+}
+
+// Determinism: the same schedule built twice executes identically.
+func TestEngineDeterminism(t *testing.T) {
+	build := func() []Duration {
+		e := NewEngine()
+		rng := NewRNG(99)
+		var fires []Duration
+		var add func(depth int)
+		add = func(depth int) {
+			if depth > 3 {
+				return
+			}
+			e.After(rng.Uniform(Second), func() {
+				fires = append(fires, e.Now())
+				add(depth + 1)
+				add(depth + 1)
+			})
+		}
+		add(0)
+		if err := e.RunUntilIdle(); err != nil {
+			t.Fatal(err)
+		}
+		return fires
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatalf("different event counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any batch of non-negative delays, the engine visits them in
+// sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var seen []Duration
+		for _, d := range delays {
+			d := Duration(d) * Millisecond
+			e.At(d, func() { seen = append(seen, e.Now()) })
+		}
+		if err := e.RunUntilIdle(); err != nil {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "fmt"
+
+// Queue models a single FIFO bandwidth server: a network link, NIC direction,
+// or broker channel that serves byte payloads at a fixed rate with a fixed
+// per-transfer latency. Transfers are serialized, which is exactly the
+// contention the paper observes when several co-located aggregators push
+// model updates through one kernel network path (§4.1, Fig. 4).
+type Queue struct {
+	eng  *Engine
+	name string
+
+	// bytesPerSec is the service rate. latency is added once per transfer.
+	bytesPerSec float64
+	latency     Duration
+
+	nextFree Duration
+
+	// Accounting.
+	bytes     uint64
+	transfers uint64
+	busy      Duration
+}
+
+// NewQueue creates a bandwidth server. bytesPerSec must be positive.
+func NewQueue(eng *Engine, name string, bytesPerSec float64, latency Duration) *Queue {
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("sim: queue %q needs positive rate", name))
+	}
+	return &Queue{eng: eng, name: name, bytesPerSec: bytesPerSec, latency: latency}
+}
+
+// ServiceTime returns how long size bytes occupy the server, excluding
+// queueing and the per-transfer latency.
+func (q *Queue) ServiceTime(size uint64) Duration {
+	return Duration(float64(size) / q.bytesPerSec * float64(Second))
+}
+
+// Transfer enqueues size bytes. done, if non-nil, fires when the last byte
+// has been delivered (after queueing, service, and latency). The scheduled
+// (start, end) pair is returned immediately.
+func (q *Queue) Transfer(size uint64, done func(start, end Duration)) (Duration, Duration) {
+	now := q.eng.Now()
+	start := q.nextFree
+	if start < now {
+		start = now
+	}
+	svc := q.ServiceTime(size)
+	q.nextFree = start + svc
+	end := q.nextFree + q.latency
+
+	q.bytes += size
+	q.transfers++
+	q.busy += svc
+	if done != nil {
+		q.eng.At(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// Backlog returns how long a transfer submitted now would wait before service.
+func (q *Queue) Backlog() Duration {
+	if b := q.nextFree - q.eng.Now(); b > 0 {
+		return b
+	}
+	return 0
+}
+
+// Bytes returns the total bytes accepted so far.
+func (q *Queue) Bytes() uint64 { return q.bytes }
+
+// Transfers returns the number of transfers accepted so far.
+func (q *Queue) Transfers() uint64 { return q.transfers }
+
+// BusyTime returns the total service time spent (link occupancy).
+func (q *Queue) BusyTime() Duration { return q.busy }
+
+// Name returns the queue's diagnostic name.
+func (q *Queue) Name() string { return q.name }

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps a seeded PRNG so every experiment's randomness (client
+// hibernation intervals, training-time jitter, shm key generation) is
+// reproducible. It intentionally does not expose the global rand source.
+type RNG struct {
+	r *rand.Rand
+}
+
+// NewRNG returns a deterministic generator for the given seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform value in [0,1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform int in [0,n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (g *RNG) Int63() int64 { return g.r.Int63() }
+
+// NormFloat64 returns a standard normal sample.
+func (g *RNG) NormFloat64() float64 { return g.r.NormFloat64() }
+
+// ExpFloat64 returns an exponential sample with mean 1.
+func (g *RNG) ExpFloat64() float64 { return g.r.ExpFloat64() }
+
+// Uniform returns a uniform Duration in [0, max).
+func (g *RNG) Uniform(max Duration) Duration {
+	if max <= 0 {
+		return 0
+	}
+	return Duration(g.r.Int63n(int64(max)))
+}
+
+// Jitter returns d scaled by a factor drawn uniformly from
+// [1-frac, 1+frac]; frac must be in [0,1).
+func (g *RNG) Jitter(d Duration, frac float64) Duration {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*g.r.Float64()-1)
+	return Duration(float64(d) * f)
+}
+
+// LogNormal returns a sample with the given median and sigma of the
+// underlying normal — used for heavy-tailed trainer compute times.
+func (g *RNG) LogNormal(median float64, sigma float64) float64 {
+	return median * math.Exp(sigma*g.r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0,n).
+func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements via swap.
+func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// Bytes fills b with random bytes.
+func (g *RNG) Bytes(b []byte) {
+	g.r.Read(b) // never returns an error per math/rand contract
+}

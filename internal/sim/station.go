@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Station models a pool of identical servers (CPU cores) with FIFO admission:
+// a submitted job begins on the earliest-free server, no earlier than its
+// submission time, and runs non-preemptively for its service demand. This is
+// the classic multi-server FIFO approximation used to model per-node CPU
+// contention — the effect behind Fig. 4 of the paper, where co-located leaf
+// aggregators contend for network processing.
+type Station struct {
+	eng  *Engine
+	name string
+
+	// free[i] is the virtual time at which server i becomes free.
+	free serverHeap
+
+	// admitTail enforces FIFO: a job may not start before the previous
+	// job's start time even if some server is free earlier.
+	admitTail Duration
+
+	// Accounting.
+	busy     Duration // total server-busy time (CPU time consumed)
+	jobs     uint64
+	maxDelay Duration // worst queueing delay observed
+}
+
+type serverHeap []Duration
+
+func (h serverHeap) Len() int            { return len(h) }
+func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(Duration)) }
+func (h *serverHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// NewStation creates a station with the given number of servers.
+func NewStation(eng *Engine, name string, servers int) *Station {
+	if servers <= 0 {
+		panic(fmt.Sprintf("sim: station %q needs at least one server", name))
+	}
+	s := &Station{eng: eng, name: name, free: make(serverHeap, servers)}
+	heap.Init(&s.free)
+	return s
+}
+
+// Servers returns the number of servers in the pool.
+func (s *Station) Servers() int { return len(s.free) }
+
+// Resize grows or shrinks the server pool (vertical scaling of the gateway,
+// §4.2). Shrinking never cancels running jobs: it removes the earliest-free
+// servers first, so in-flight work completes on its original schedule.
+func (s *Station) Resize(servers int) {
+	if servers <= 0 {
+		panic(fmt.Sprintf("sim: station %q cannot resize to %d", s.name, servers))
+	}
+	for len(s.free) < servers {
+		heap.Push(&s.free, s.eng.Now())
+	}
+	for len(s.free) > servers {
+		heap.Pop(&s.free)
+	}
+}
+
+// Submit enqueues a job with the given service demand. done, if non-nil, runs
+// at the job's completion time and receives the start and end times. Submit
+// returns the scheduled (start, end) pair immediately, which callers may use
+// for planning; the simulation still advances through the engine.
+func (s *Station) Submit(demand Duration, done func(start, end Duration)) (Duration, Duration) {
+	if demand < 0 {
+		panic(fmt.Sprintf("sim: station %q negative demand %v", s.name, demand))
+	}
+	now := s.eng.Now()
+	start := s.free[0]
+	if start < now {
+		start = now
+	}
+	if start < s.admitTail {
+		start = s.admitTail
+	}
+	s.admitTail = start
+	end := start + demand
+	s.free[0] = end
+	heap.Fix(&s.free, 0)
+
+	s.busy += demand
+	s.jobs++
+	if delay := start - now; delay > s.maxDelay {
+		s.maxDelay = delay
+	}
+	if done != nil {
+		s.eng.At(end, func() { done(start, end) })
+	}
+	return start, end
+}
+
+// NextFreeIn returns how long a job submitted now would wait for a server —
+// the live backlog signal used by vertical autoscaling.
+func (s *Station) NextFreeIn() Duration {
+	earliest := s.free[0]
+	if t := s.admitTail; t > earliest {
+		earliest = t
+	}
+	if d := earliest - s.eng.Now(); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// BusyTime returns total accumulated server-busy time — the CPU-time cost
+// figures in the paper (Fig. 8(b), Fig. 9(b,d), Fig. 10(c,f)) integrate this.
+func (s *Station) BusyTime() Duration { return s.busy }
+
+// Jobs returns the number of jobs submitted so far.
+func (s *Station) Jobs() uint64 { return s.jobs }
+
+// MaxQueueDelay returns the worst admission delay seen by any job.
+func (s *Station) MaxQueueDelay() Duration { return s.maxDelay }
+
+// Name returns the station's diagnostic name.
+func (s *Station) Name() string { return s.name }

@@ -1,0 +1,143 @@
+package systems
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// makeJobs builds n injected client jobs with deterministic updates and
+// weights; update k is global+k+1 with weight k+1.
+func makeJobs(n int) []ClientJob {
+	jobs := make([]ClientJob, n)
+	for k := 0; k < n; k++ {
+		k := k
+		jobs[k] = ClientJob{
+			ID:     "c",
+			Delay:  sim.Duration(k) * 10 * sim.Millisecond,
+			Weight: float64(k + 1),
+			MakeUpdate: func(g *tensor.Tensor) *tensor.Tensor {
+				u := g.Clone()
+				for i := range u.Data {
+					u.Data[i] += float32(k + 1)
+				}
+				return u
+			},
+			SkipBroadcast: true,
+		}
+	}
+	return jobs
+}
+
+// wantAggregate returns the expected FedAvg result for makeJobs(n) updates.
+func wantAggregate(g *tensor.Tensor, n int) *tensor.Tensor {
+	var num, den float64
+	for k := 0; k < n; k++ {
+		w := float64(k + 1)
+		num += w * float64(k+1)
+		den += w
+	}
+	out := g.Clone()
+	for i := range out.Data {
+		out.Data[i] += float32(num / den)
+	}
+	return out
+}
+
+func runOneRound(t *testing.T, svc Service, eng *sim.Engine, n int) RoundResult {
+	t.Helper()
+	var got *RoundResult
+	svc.RunRound(1, makeJobs(n), func(r RoundResult) { got = &r })
+	if err := eng.Run(2 * sim.Hour); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+	if got == nil {
+		t.Fatalf("%s: round did not complete (pending=%d now=%v)", svc.Name(), eng.Pending(), eng.Now())
+	}
+	if got.Updates != n {
+		t.Fatalf("%s: aggregated %d updates, want %d", svc.Name(), got.Updates, n)
+	}
+	return *got
+}
+
+func checkGlobal(t *testing.T, svc Service, n int, init *tensor.Tensor) {
+	t.Helper()
+	want := wantAggregate(init, n)
+	diff, err := svc.Global().MaxAbsDiff(want)
+	if err != nil {
+		t.Fatalf("%s: %v", svc.Name(), err)
+	}
+	if diff > 1e-3 || math.IsNaN(diff) {
+		t.Fatalf("%s: global model off by %v from flat FedAvg", svc.Name(), diff)
+	}
+}
+
+func TestLIFLRoundSmoke(t *testing.T) {
+	for name, flags := range map[string]Flags{
+		"full": AllFlags(),
+		"slh":  {},
+		"p1":   {LocalityPlacement: true},
+		"p12":  {LocalityPlacement: true, HierarchyPlan: true},
+		"p123": {LocalityPlacement: true, HierarchyPlan: true, Reuse: true},
+	} {
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			s := NewLIFL(eng, Config{Nodes: 5, Model: model.ResNet18, Flags: flags, Seed: 7})
+			init := s.Global().Clone()
+			res := runOneRound(t, s, eng, 12)
+			checkGlobal(t, s, 12, init)
+			if res.ACT <= 0 {
+				t.Fatalf("non-positive ACT %v", res.ACT)
+			}
+		})
+	}
+}
+
+func TestSFRoundSmoke(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSF(eng, Config{Nodes: 5, Model: model.ResNet18, SFLeaves: 6, Seed: 7})
+	init := s.Global().Clone()
+	res := runOneRound(t, s, eng, 12)
+	checkGlobal(t, s, 12, init)
+	if res.AggsCreated != 0 {
+		t.Fatalf("SF created %d aggregators; static fleet should create none", res.AggsCreated)
+	}
+}
+
+func TestSLRoundSmoke(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSL(eng, Config{Nodes: 5, Model: model.ResNet18, Seed: 7})
+	init := s.Global().Clone()
+	res := runOneRound(t, s, eng, 12)
+	checkGlobal(t, s, 12, init)
+	if res.AggsCreated == 0 {
+		t.Fatalf("SL reactive scaling should cold-start instances")
+	}
+}
+
+// Multiple sequential rounds must work (warm reuse across rounds).
+func TestLIFLMultiRound(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewLIFL(eng, Config{Nodes: 5, Model: model.ResNet18, Flags: AllFlags(), Seed: 7})
+	for r := 1; r <= 3; r++ {
+		var got *RoundResult
+		s.RunRound(r, makeJobs(8), func(res RoundResult) { got = &res })
+		if err := eng.Run(-1); err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		if got == nil {
+			t.Fatalf("round %d did not complete", r)
+		}
+	}
+	// Warm pool: later rounds should create few or no new sandboxes.
+	var created uint64
+	for _, m := range s.Mgrs {
+		created += m.Created
+	}
+	if created > 12 {
+		t.Fatalf("created %d sandboxes over 3 warm rounds; warm reuse broken", created)
+	}
+}

@@ -1,0 +1,90 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/autoscaler"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// The per-round TAG (Appendix D) must describe exactly the planned
+// hierarchy, validate as a single-rooted tree, and group co-located roles.
+func TestRoundTAGDescribesHierarchy(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewLIFL(eng, Config{Nodes: 5, Model: model.ResNet152, MC: 20, Seed: 3,
+		Flags: Flags{LocalityPlacement: true, HierarchyPlan: true, Eager: true}})
+	jobs := makeJobs(60) // 3 nodes × (10 leaves + middle) + top
+	for i := range jobs {
+		jobs[i].PreQueued = true
+	}
+	var tag *topology.TAG
+	s.RunRound(1, jobs, func(RoundResult) {})
+	tag = s.RoundTAG()
+	if tag == nil {
+		t.Fatal("no TAG for the round")
+	}
+	if err := tag.Validate(); err != nil {
+		t.Fatalf("TAG invalid: %v", err)
+	}
+	root, err := tag.Root()
+	if err != nil || root != "r1-top" {
+		t.Fatalf("root = %q, %v", root, err)
+	}
+	aggs := 0
+	for _, v := range tag.Vertices() {
+		if v.Role == topology.RoleAggregator {
+			aggs++
+		}
+	}
+	// 30 leaves + 3 middles + top.
+	if aggs != 34 {
+		t.Fatalf("TAG has %d aggregators, want 34", aggs)
+	}
+	// Placement affinity: each node's group holds its leaves + middle, and
+	// the top joins its host node's group (node-0 here).
+	groups := tag.Groups()
+	sizes := map[int]int{}
+	for _, members := range groups {
+		sizes[len(members)]++
+	}
+	if sizes[11] != 2 || sizes[12] != 1 {
+		t.Fatalf("want two groups of 11 and one of 12, groups = %v", groups)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ForcePlan lets microbenchmarks pin the paper's exact topology: four
+// leaves feeding the top directly (Fig. 7(c)).
+func TestForcePlanOverridesPlanner(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewLIFL(eng, Config{Nodes: 1, Model: model.ResNet18, MC: 100, Seed: 3,
+		Flags: Flags{LocalityPlacement: true, HierarchyPlan: true, Eager: true}})
+	s.ForcePlan = func(node string, updates int) autoscaler.Plan {
+		return autoscaler.Plan{Node: node, Updates: updates, Leaves: 4, Middle: false,
+			LeafGoals: []int{2, 2, 2, 2}}
+	}
+	jobs := makeJobs(8)
+	for i := range jobs {
+		jobs[i].PreQueued = true
+	}
+	var res RoundResult
+	s.RunRound(0, jobs, func(r RoundResult) { res = r })
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 leaves + top, no middle.
+	if res.AggsActive != 5 {
+		t.Fatalf("active = %d, want 5 (4 leaves + top)", res.AggsActive)
+	}
+	tagRoot, err := s.RoundTAG().Root()
+	if err != nil || tagRoot != "r0-top" {
+		t.Fatalf("root: %q %v", tagRoot, err)
+	}
+	if len(s.RoundTAG().Producers("r0-top")) != 4 {
+		t.Fatal("leaves must feed the top directly")
+	}
+}

@@ -1,0 +1,196 @@
+// Package tensor implements the dense parameter vectors that carry model
+// updates through LIFL. Aggregation arithmetic (FedAvg weighted averaging,
+// cumulative accumulation) runs on real float32 data so correctness is
+// testable, while the *virtual* byte size — the size the paper's cost models
+// charge for — may be far larger than the physical backing array. A
+// ResNet-152 update is ~232 MB; shipping that through an in-process simulator
+// thousands of times would only slow the experiments, so large models carry a
+// down-scaled physical vector (see internal/model) and a full-size virtual
+// length. Every data-plane cost in the simulator uses VirtualBytes.
+package tensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrShape is returned when two tensors with different lengths are combined.
+var ErrShape = errors.New("tensor: shape mismatch")
+
+// Tensor is a flat float32 parameter vector. VirtualLen is the number of
+// parameters the tensor represents; it is >= len(Data). When VirtualLen >
+// len(Data) the tensor is a down-scaled stand-in whose arithmetic is still
+// exact over Data.
+type Tensor struct {
+	Data       []float32
+	VirtualLen int
+}
+
+// New returns a zero tensor with physical length n (virtual length equal).
+func New(n int) *Tensor {
+	return &Tensor{Data: make([]float32, n), VirtualLen: n}
+}
+
+// NewVirtual returns a zero tensor with physical length phys representing
+// virtualLen parameters.
+func NewVirtual(phys, virtualLen int) *Tensor {
+	if virtualLen < phys {
+		virtualLen = phys
+	}
+	return &Tensor{Data: make([]float32, phys), VirtualLen: virtualLen}
+}
+
+// FromSlice wraps (copies) the given values.
+func FromSlice(v []float32) *Tensor {
+	d := make([]float32, len(v))
+	copy(d, v)
+	return &Tensor{Data: d, VirtualLen: len(v)}
+}
+
+// Len returns the physical element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// VirtualBytes returns the byte size the data plane charges for this tensor:
+// 4 bytes per represented (virtual) parameter.
+func (t *Tensor) VirtualBytes() uint64 { return uint64(t.VirtualLen) * 4 }
+
+// PhysicalBytes returns the bytes actually resident in this process.
+func (t *Tensor) PhysicalBytes() uint64 { return uint64(len(t.Data)) * 4 }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	d := make([]float32, len(t.Data))
+	copy(d, t.Data)
+	return &Tensor{Data: d, VirtualLen: t.VirtualLen}
+}
+
+// Zero sets every element to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v in place.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by a in place.
+func (t *Tensor) Scale(a float32) {
+	for i := range t.Data {
+		t.Data[i] *= a
+	}
+}
+
+// Add accumulates o into t in place: t += o.
+func (t *Tensor) Add(o *Tensor) error {
+	if len(t.Data) != len(o.Data) {
+		return fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+	return nil
+}
+
+// AddScaled accumulates a*o into t in place: t += a*o. This is the inner
+// loop of weighted FedAvg and of eager cumulative averaging.
+func (t *Tensor) AddScaled(a float32, o *Tensor) error {
+	if len(t.Data) != len(o.Data) {
+		return fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += a * v
+	}
+	return nil
+}
+
+// Sub computes t -= o in place.
+func (t *Tensor) Sub(o *Tensor) error {
+	if len(t.Data) != len(o.Data) {
+		return fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	for i, v := range o.Data {
+		t.Data[i] -= v
+	}
+	return nil
+}
+
+// Dot returns the inner product of t and o.
+func (t *Tensor) Dot(o *Tensor) (float64, error) {
+	if len(t.Data) != len(o.Data) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	var s float64
+	for i, v := range o.Data {
+		s += float64(t.Data[i]) * float64(v)
+	}
+	return s, nil
+}
+
+// Norm2 returns the L2 norm of t.
+func (t *Tensor) Norm2() float64 {
+	var s float64
+	for _, v := range t.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference, used by
+// tests to compare aggregation results within float tolerance.
+func (t *Tensor) MaxAbsDiff(o *Tensor) (float64, error) {
+	if len(t.Data) != len(o.Data) {
+		return 0, fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	var m float64
+	for i, v := range o.Data {
+		d := math.Abs(float64(t.Data[i]) - float64(v))
+		if d > m {
+			m = d
+		}
+	}
+	return m, nil
+}
+
+// WeightedMean returns sum(w[k]*x[k]) / sum(w[k]) over the given tensors —
+// the reference (lazy, batch) form of FedAvg aggregation, Eq. (1) of the
+// paper with f = FedAvg. All tensors must share the physical length of the
+// first; the result inherits its virtual length.
+func WeightedMean(xs []*Tensor, ws []float64) (*Tensor, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("tensor: WeightedMean of zero tensors")
+	}
+	if len(xs) != len(ws) {
+		return nil, fmt.Errorf("tensor: %d tensors but %d weights", len(xs), len(ws))
+	}
+	var total float64
+	for _, w := range ws {
+		if w < 0 {
+			return nil, fmt.Errorf("tensor: negative weight %v", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, errors.New("tensor: zero total weight")
+	}
+	out := NewVirtual(xs[0].Len(), xs[0].VirtualLen)
+	acc := make([]float64, xs[0].Len())
+	for k, x := range xs {
+		if x.Len() != out.Len() {
+			return nil, fmt.Errorf("%w: tensor %d has len %d, want %d", ErrShape, k, x.Len(), out.Len())
+		}
+		w := ws[k]
+		for i, v := range x.Data {
+			acc[i] += w * float64(v)
+		}
+	}
+	for i := range out.Data {
+		out.Data[i] = float32(acc[i] / total)
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-4 }
+
+func TestNewAndVirtualGeometry(t *testing.T) {
+	v := NewVirtual(100, 1_000_000)
+	if v.Len() != 100 {
+		t.Fatalf("physical len = %d", v.Len())
+	}
+	if v.VirtualBytes() != 4_000_000 {
+		t.Fatalf("virtual bytes = %d", v.VirtualBytes())
+	}
+	if v.PhysicalBytes() != 400 {
+		t.Fatalf("physical bytes = %d", v.PhysicalBytes())
+	}
+	// Virtual length may never be smaller than physical.
+	w := NewVirtual(100, 10)
+	if w.VirtualLen != 100 {
+		t.Fatalf("virtual clamped to %d", w.VirtualLen)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3})
+	b := a.Clone()
+	b.Data[0] = 99
+	if a.Data[0] != 1 {
+		t.Fatal("clone shares backing array")
+	}
+	if b.VirtualLen != a.VirtualLen {
+		t.Fatal("clone lost virtual length")
+	}
+}
+
+func TestAddSubScaleFill(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3})
+	b := FromSlice([]float32{10, 20, 30})
+	if err := a.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[2] != 33 {
+		t.Fatalf("add: %v", a.Data)
+	}
+	if err := a.Sub(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Data[1] != 2 {
+		t.Fatalf("sub: %v", a.Data)
+	}
+	a.Scale(3)
+	if a.Data[0] != 3 {
+		t.Fatalf("scale: %v", a.Data)
+	}
+	a.Fill(7)
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatalf("zero: %v", a.Data)
+		}
+	}
+}
+
+func TestShapeMismatchErrors(t *testing.T) {
+	a, b := New(3), New(4)
+	if err := a.Add(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := a.AddScaled(1, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("AddScaled: %v", err)
+	}
+	if err := a.Sub(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Sub: %v", err)
+	}
+	if _, err := a.Dot(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("Dot: %v", err)
+	}
+	if _, err := a.MaxAbsDiff(b); !errors.Is(err, ErrShape) {
+		t.Fatalf("MaxAbsDiff: %v", err)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float32{3, 4})
+	if !almostEq(a.Norm2(), 5) {
+		t.Fatalf("norm = %v", a.Norm2())
+	}
+	b := FromSlice([]float32{1, 2})
+	d, err := a.Dot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d, 11) {
+		t.Fatalf("dot = %v", d)
+	}
+}
+
+func TestWeightedMeanMatchesManual(t *testing.T) {
+	xs := []*Tensor{
+		FromSlice([]float32{1, 10}),
+		FromSlice([]float32{3, 30}),
+		FromSlice([]float32{5, 50}),
+	}
+	ws := []float64{1, 2, 1}
+	got, err := WeightedMean(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1·1 + 3·2 + 5·1)/4 = 3, (10+60+50)/4 = 30.
+	if !almostEq(float64(got.Data[0]), 3) || !almostEq(float64(got.Data[1]), 30) {
+		t.Fatalf("mean = %v", got.Data)
+	}
+}
+
+func TestWeightedMeanErrors(t *testing.T) {
+	if _, err := WeightedMean(nil, nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+	xs := []*Tensor{New(2)}
+	if _, err := WeightedMean(xs, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := WeightedMean(xs, []float64{-1}); err == nil {
+		t.Fatal("negative weight must error")
+	}
+	if _, err := WeightedMean(xs, []float64{0}); err == nil {
+		t.Fatal("zero total weight must error")
+	}
+	if _, err := WeightedMean([]*Tensor{New(2), New(3)}, []float64{1, 1}); !errors.Is(err, ErrShape) {
+		t.Fatal("shape mismatch must error")
+	}
+}
+
+// Property: the weighted mean lies within [min, max] of the inputs
+// element-wise (convexity).
+func TestWeightedMeanConvexity(t *testing.T) {
+	f := func(vals [4][3]int8, wsRaw [4]uint8) bool {
+		xs := make([]*Tensor, 4)
+		ws := make([]float64, 4)
+		for k := range xs {
+			data := make([]float32, 3)
+			for i := range data {
+				data[i] = float32(vals[k][i])
+			}
+			xs[k] = FromSlice(data)
+			ws[k] = float64(wsRaw[k]%16) + 1
+		}
+		m, err := WeightedMean(xs, ws)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			lo, hi := float32(127), float32(-128)
+			for k := range xs {
+				if xs[k].Data[i] < lo {
+					lo = xs[k].Data[i]
+				}
+				if xs[k].Data[i] > hi {
+					hi = xs[k].Data[i]
+				}
+			}
+			if m.Data[i] < lo-1e-3 || m.Data[i] > hi+1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddScaled is linear — t + a·x + b·x == t + (a+b)·x.
+func TestAddScaledLinearity(t *testing.T) {
+	f := func(base [4]int8, x [4]int8, aRaw, bRaw int8) bool {
+		mk := func(v [4]int8) *Tensor {
+			d := make([]float32, 4)
+			for i := range d {
+				d[i] = float32(v[i])
+			}
+			return FromSlice(d)
+		}
+		a, b := float32(aRaw)/16, float32(bRaw)/16
+		t1 := mk(base)
+		if err := t1.AddScaled(a, mk(x)); err != nil {
+			return false
+		}
+		if err := t1.AddScaled(b, mk(x)); err != nil {
+			return false
+		}
+		t2 := mk(base)
+		if err := t2.AddScaled(a+b, mk(x)); err != nil {
+			return false
+		}
+		d, err := t1.MaxAbsDiff(t2)
+		return err == nil && d < 1e-3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted mean of identical tensors is that tensor.
+func TestWeightedMeanIdempotent(t *testing.T) {
+	f := func(vals [3]int8, n uint8) bool {
+		k := int(n%5) + 1
+		base := FromSlice([]float32{float32(vals[0]), float32(vals[1]), float32(vals[2])})
+		xs := make([]*Tensor, k)
+		ws := make([]float64, k)
+		for i := range xs {
+			xs[i] = base.Clone()
+			ws[i] = float64(i + 1)
+		}
+		m, err := WeightedMean(xs, ws)
+		if err != nil {
+			return false
+		}
+		d, err := m.MaxAbsDiff(base)
+		return err == nil && d < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package topology implements the Topology Abstraction Graph (TAG) of
+// Appendix D — the control plane's generic description of connectivity
+// between FL components. Each graph node carries a "role" (aggregator or
+// client) and each channel a communication medium plus a groupBy label; the
+// coordinator expresses locality-aware placement by giving co-located roles
+// the same groupBy label, and the routing manager turns the TAG's edges
+// into sockmap entries and inter-node routing-table rows (Appendix A,
+// "online hierarchy update").
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// RoleKind tags a TAG vertex.
+type RoleKind string
+
+// Vertex roles.
+const (
+	RoleAggregator RoleKind = "aggregator"
+	RoleClient     RoleKind = "client"
+)
+
+// Medium is the channel's underlying communication mechanism.
+type Medium string
+
+// Channel media (Appendix D: "intra-node shared memory, inter-node kernel
+// networking").
+const (
+	MediumShm    Medium = "shm"
+	MediumKernel Medium = "kernel"
+)
+
+// Vertex is one role instance in the TAG.
+type Vertex struct {
+	Name string
+	Role RoleKind
+	// Level is free-form ("leaf", "middle", "top") for aggregators.
+	Level string
+	// GroupBy clusters vertices into a placement-affinity group; vertices
+	// sharing a label are packed onto the same node (§5.1 via Appendix D).
+	GroupBy string
+}
+
+// Channel is a directed data dependency between two vertices.
+type Channel struct {
+	From, To string
+	Medium   Medium
+	GroupBy  string
+}
+
+// TAG is the whole graph.
+type TAG struct {
+	verts    map[string]Vertex
+	channels []Channel
+}
+
+// New returns an empty TAG.
+func New() *TAG { return &TAG{verts: make(map[string]Vertex)} }
+
+// AddVertex inserts or replaces a vertex.
+func (t *TAG) AddVertex(v Vertex) error {
+	if v.Name == "" {
+		return errors.New("topology: vertex needs a name")
+	}
+	t.verts[v.Name] = v
+	return nil
+}
+
+// AddChannel inserts an edge; both endpoints must exist.
+func (t *TAG) AddChannel(c Channel) error {
+	if _, ok := t.verts[c.From]; !ok {
+		return fmt.Errorf("topology: channel from unknown vertex %q", c.From)
+	}
+	if _, ok := t.verts[c.To]; !ok {
+		return fmt.Errorf("topology: channel to unknown vertex %q", c.To)
+	}
+	t.channels = append(t.channels, c)
+	return nil
+}
+
+// Vertex fetches a vertex by name.
+func (t *TAG) Vertex(name string) (Vertex, bool) {
+	v, ok := t.verts[name]
+	return v, ok
+}
+
+// Vertices returns all vertices sorted by name (deterministic iteration).
+func (t *TAG) Vertices() []Vertex {
+	out := make([]Vertex, 0, len(t.verts))
+	for _, v := range t.verts {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Channels returns all edges in insertion order.
+func (t *TAG) Channels() []Channel { return append([]Channel(nil), t.channels...) }
+
+// Consumers returns the destinations of v's outgoing channels.
+func (t *TAG) Consumers(v string) []string {
+	var out []string
+	for _, c := range t.channels {
+		if c.From == v {
+			out = append(out, c.To)
+		}
+	}
+	return out
+}
+
+// Producers returns the sources of v's incoming channels.
+func (t *TAG) Producers(v string) []string {
+	var out []string
+	for _, c := range t.channels {
+		if c.To == v {
+			out = append(out, c.From)
+		}
+	}
+	return out
+}
+
+// Groups returns vertex names per groupBy label, each sorted.
+func (t *TAG) Groups() map[string][]string {
+	out := make(map[string][]string)
+	for name, v := range t.verts {
+		if v.GroupBy != "" {
+			out[v.GroupBy] = append(out[v.GroupBy], name)
+		}
+	}
+	for _, names := range out {
+		sort.Strings(names)
+	}
+	return out
+}
+
+// Validate checks the aggregation sub-graph is a single-rooted in-tree:
+// every aggregator has at most one consumer, exactly one aggregator (the
+// top) has none, and every aggregator reaches the top (no cycles, §2.2
+// "hierarchical aggregation is structured as a single-rooted tree").
+func (t *TAG) Validate() error {
+	var root string
+	next := make(map[string]string)
+	for _, c := range t.channels {
+		from := t.verts[c.From]
+		if from.Role != RoleAggregator {
+			continue
+		}
+		if prev, dup := next[c.From]; dup && prev != c.To {
+			return fmt.Errorf("topology: aggregator %q has two consumers (%q, %q)", c.From, prev, c.To)
+		}
+		next[c.From] = c.To
+	}
+	aggs := 0
+	for name, v := range t.verts {
+		if v.Role != RoleAggregator {
+			continue
+		}
+		aggs++
+		if _, ok := next[name]; !ok {
+			if root != "" {
+				return fmt.Errorf("topology: two roots %q and %q", root, name)
+			}
+			root = name
+		}
+	}
+	if aggs == 0 {
+		return errors.New("topology: no aggregators")
+	}
+	if root == "" {
+		return errors.New("topology: no root (cycle among aggregators)")
+	}
+	// Every aggregator must reach the root within |aggs| hops.
+	for name, v := range t.verts {
+		if v.Role != RoleAggregator {
+			continue
+		}
+		cur, hops := name, 0
+		for cur != root {
+			n, ok := next[cur]
+			if !ok || hops > aggs {
+				return fmt.Errorf("topology: aggregator %q does not reach root %q", name, root)
+			}
+			cur = n
+			hops++
+		}
+	}
+	return nil
+}
+
+// Root returns the top aggregator's name (after Validate).
+func (t *TAG) Root() (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	next := make(map[string]bool)
+	for _, c := range t.channels {
+		if t.verts[c.From].Role == RoleAggregator {
+			next[c.From] = true
+		}
+	}
+	for name, v := range t.verts {
+		if v.Role == RoleAggregator && !next[name] {
+			return name, nil
+		}
+	}
+	return "", errors.New("topology: unreachable")
+}
+
+// Route is one row the routing manager installs (Appendix A): messages from
+// Src go to Dst, which lives on Node via the given medium.
+type Route struct {
+	Src, Dst string
+	Node     string
+	Medium   Medium
+}
+
+// RoutesFor materializes routing rows from the TAG given the placement
+// (vertex → node). Channels between vertices on the same node become shm
+// routes (sockmap entries); cross-node channels become kernel routes
+// (inter-node routing-table rows for the gateways).
+func (t *TAG) RoutesFor(place map[string]string) ([]Route, error) {
+	var out []Route
+	for _, c := range t.channels {
+		fromNode, ok := place[c.From]
+		if !ok {
+			// Clients are external; only aggregator sources need routes.
+			if t.verts[c.From].Role == RoleClient {
+				continue
+			}
+			return nil, fmt.Errorf("topology: vertex %q not placed", c.From)
+		}
+		toNode, ok := place[c.To]
+		if !ok {
+			return nil, fmt.Errorf("topology: vertex %q not placed", c.To)
+		}
+		m := MediumKernel
+		if fromNode == toNode {
+			m = MediumShm
+		}
+		out = append(out, Route{Src: c.From, Dst: c.To, Node: toNode, Medium: m})
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package topology
+
+import (
+	"testing"
+)
+
+// buildHierarchy makes the paper's two-level tree: 4 leaves → 2 middles →
+// top, plus clients feeding the leaves.
+func buildHierarchy(t *testing.T) *TAG {
+	t.Helper()
+	g := New()
+	add := func(v Vertex) {
+		if err := g.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(Vertex{Name: "top", Role: RoleAggregator, Level: "top", GroupBy: "gA"})
+	add(Vertex{Name: "m0", Role: RoleAggregator, Level: "middle", GroupBy: "gA"})
+	add(Vertex{Name: "m1", Role: RoleAggregator, Level: "middle", GroupBy: "gB"})
+	for i := 0; i < 4; i++ {
+		add(Vertex{Name: string(rune('a' + i)), Role: RoleAggregator, Level: "leaf", GroupBy: map[bool]string{true: "gA", false: "gB"}[i < 2]})
+	}
+	add(Vertex{Name: "c0", Role: RoleClient})
+	ch := func(from, to string) {
+		if err := g.AddChannel(Channel{From: from, To: to}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ch("c0", "a")
+	ch("a", "m0")
+	ch("b", "m0")
+	ch("c", "m1")
+	ch("d", "m1")
+	ch("m0", "top")
+	ch("m1", "top")
+	return g
+}
+
+func TestValidateAcceptsTree(t *testing.T) {
+	g := buildHierarchy(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := g.Root()
+	if err != nil || root != "top" {
+		t.Fatalf("root = %q, %v", root, err)
+	}
+}
+
+func TestValidateRejectsTwoConsumers(t *testing.T) {
+	g := buildHierarchy(t)
+	_ = g.AddChannel(Channel{From: "a", To: "m1"}) // a already feeds m0
+	if err := g.Validate(); err == nil {
+		t.Fatal("two consumers accepted")
+	}
+}
+
+func TestValidateRejectsTwoRoots(t *testing.T) {
+	g := buildHierarchy(t)
+	_ = g.AddVertex(Vertex{Name: "top2", Role: RoleAggregator})
+	if err := g.Validate(); err == nil {
+		t.Fatal("two roots accepted")
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := New()
+	_ = g.AddVertex(Vertex{Name: "x", Role: RoleAggregator})
+	_ = g.AddVertex(Vertex{Name: "y", Role: RoleAggregator})
+	_ = g.AddChannel(Channel{From: "x", To: "y"})
+	_ = g.AddChannel(Channel{From: "y", To: "x"})
+	if err := g.Validate(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestValidateRejectsEmpty(t *testing.T) {
+	if err := New().Validate(); err == nil {
+		t.Fatal("empty TAG accepted")
+	}
+}
+
+func TestChannelEndpointChecks(t *testing.T) {
+	g := New()
+	_ = g.AddVertex(Vertex{Name: "a", Role: RoleAggregator})
+	if err := g.AddChannel(Channel{From: "a", To: "ghost"}); err == nil {
+		t.Fatal("dangling channel accepted")
+	}
+	if err := g.AddChannel(Channel{From: "ghost", To: "a"}); err == nil {
+		t.Fatal("dangling channel accepted")
+	}
+	if err := g.AddVertex(Vertex{}); err == nil {
+		t.Fatal("unnamed vertex accepted")
+	}
+}
+
+func TestProducersConsumers(t *testing.T) {
+	g := buildHierarchy(t)
+	if got := g.Consumers("a"); len(got) != 1 || got[0] != "m0" {
+		t.Fatalf("consumers(a) = %v", got)
+	}
+	prods := g.Producers("top")
+	if len(prods) != 2 {
+		t.Fatalf("producers(top) = %v", prods)
+	}
+}
+
+func TestGroupsClusterByLabel(t *testing.T) {
+	g := buildHierarchy(t)
+	groups := g.Groups()
+	if len(groups["gA"]) != 4 { // top, m0, a, b
+		t.Fatalf("gA = %v", groups["gA"])
+	}
+	if len(groups["gB"]) != 3 { // m1, c, d
+		t.Fatalf("gB = %v", groups["gB"])
+	}
+}
+
+func TestRoutesForAssignsMediumByColocation(t *testing.T) {
+	g := buildHierarchy(t)
+	place := map[string]string{
+		"a": "node-0", "b": "node-0", "m0": "node-0",
+		"c": "node-1", "d": "node-1", "m1": "node-1",
+		"top": "node-0",
+	}
+	routes, err := g.RoutesFor(place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPair := make(map[string]Route)
+	for _, r := range routes {
+		byPair[r.Src+">"+r.Dst] = r
+	}
+	// Co-located: shm; cross-node: kernel.
+	if byPair["a>m0"].Medium != MediumShm {
+		t.Fatalf("a>m0 = %v", byPair["a>m0"])
+	}
+	if byPair["m1>top"].Medium != MediumKernel || byPair["m1>top"].Node != "node-0" {
+		t.Fatalf("m1>top = %+v", byPair["m1>top"])
+	}
+	if byPair["m0>top"].Medium != MediumShm {
+		t.Fatalf("m0>top = %v", byPair["m0>top"])
+	}
+	// Client channels without placement are skipped, not errors.
+	for p := range byPair {
+		if p == "c0>a" {
+			t.Fatal("client channel should be skipped")
+		}
+	}
+}
+
+func TestRoutesForUnplacedAggregatorErrors(t *testing.T) {
+	g := buildHierarchy(t)
+	if _, err := g.RoutesFor(map[string]string{"a": "node-0"}); err == nil {
+		t.Fatal("unplaced destination accepted")
+	}
+}
+
+func TestVerticesSorted(t *testing.T) {
+	g := buildHierarchy(t)
+	vs := g.Vertices()
+	for i := 1; i < len(vs); i++ {
+		if vs[i-1].Name > vs[i].Name {
+			t.Fatal("vertices not sorted")
+		}
+	}
+	if _, ok := g.Vertex("m0"); !ok {
+		t.Fatal("vertex lookup failed")
+	}
+}

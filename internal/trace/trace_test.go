@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestRecorderAndGrouping(t *testing.T) {
+	var r Recorder
+	r.Add("LF1", KindNetwork, 0, 2*sim.Second, 1)
+	r.Add("LF1", KindAgg, 2*sim.Second, 3*sim.Second, 1)
+	r.Add("Top", KindEval, 5*sim.Second, 8*sim.Second, 1)
+	by := r.ByActor()
+	if len(by["LF1"]) != 2 || len(by["Top"]) != 1 {
+		t.Fatalf("grouping: %v", by)
+	}
+	if by["LF1"][0].Kind != KindNetwork {
+		t.Fatal("spans not sorted by start")
+	}
+}
+
+func TestRoundBounds(t *testing.T) {
+	var r Recorder
+	r.Add("a", KindAgg, 3*sim.Second, 5*sim.Second, 2)
+	r.Add("b", KindAgg, 1*sim.Second, 4*sim.Second, 2)
+	r.Add("c", KindAgg, 0, 9*sim.Second, 3)
+	start, end, ok := r.RoundBounds(2)
+	if !ok || start != sim.Second || end != 5*sim.Second {
+		t.Fatalf("bounds = %v..%v ok=%v", start, end, ok)
+	}
+	if _, _, ok := r.RoundBounds(7); ok {
+		t.Fatal("bounds for missing round")
+	}
+}
+
+func TestTotalByKind(t *testing.T) {
+	var r Recorder
+	r.Add("a", KindAgg, 0, 2*sim.Second, 1)
+	r.Add("a", KindAgg, 3*sim.Second, 4*sim.Second, 1)
+	r.Add("b", KindNetwork, 0, 5*sim.Second, 1)
+	all := r.TotalByKind("")
+	if all[KindAgg] != 3*sim.Second || all[KindNetwork] != 5*sim.Second {
+		t.Fatalf("totals: %v", all)
+	}
+	onlyA := r.TotalByKind("a")
+	if onlyA[KindNetwork] != 0 {
+		t.Fatalf("actor filter broken: %v", onlyA)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Add("a", KindAgg, 0, sim.Second, 1) // must not panic
+}
+
+func TestDisabledRecorder(t *testing.T) {
+	r := &Recorder{Disabled: true}
+	r.Add("a", KindAgg, 0, sim.Second, 1)
+	if len(r.Spans) != 0 {
+		t.Fatal("disabled recorder stored spans")
+	}
+}
+
+func TestRenderGantt(t *testing.T) {
+	var r Recorder
+	r.Add("LF1", KindNetwork, 0, 5*sim.Second, 0)
+	r.Add("LF1", KindAgg, 5*sim.Second, 10*sim.Second, 0)
+	r.Add("Top", KindEval, 8*sim.Second, 10*sim.Second, 0)
+	out := r.RenderGantt([]string{"LF1", "Top"}, 10*sim.Second, 40)
+	if !strings.Contains(out, "LF1") || !strings.Contains(out, "Top") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "▒") || !strings.Contains(out, "█") || !strings.Contains(out, "▓") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+}
+
+func TestRenderGanttDefaults(t *testing.T) {
+	var r Recorder
+	r.Add("a", KindAgg, 0, sim.Second, 0)
+	// Zero horizon and width fall back to sane defaults without panicking.
+	out := r.RenderGantt([]string{"a", "missing"}, 0, 0)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}

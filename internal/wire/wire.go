@@ -1,0 +1,140 @@
+// Package wire is the binary serialization format for model updates — the
+// concrete counterpart of the gRPC marshalling the cost model charges for.
+// It frames a tensor together with its FL metadata (round, FedAvg weight,
+// producer, virtual geometry) in a little-endian layout with a magic/version
+// header and a length-checked payload, so corrupt or truncated frames are
+// rejected instead of silently mis-aggregated. The checkpoint store encodes
+// persisted models with it, and external client implementations can use it
+// as the upload format.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Frame layout constants.
+const (
+	// Magic identifies a LIFL update frame ("LFLU").
+	Magic uint32 = 0x4C464C55
+	// Version is the current frame version.
+	Version uint16 = 1
+	// MaxProducerLen bounds the producer-ID field.
+	MaxProducerLen = 255
+)
+
+// Frame errors.
+var (
+	ErrMagic     = errors.New("wire: bad magic")
+	ErrVersion   = errors.New("wire: unsupported version")
+	ErrTruncated = errors.New("wire: truncated frame")
+	ErrCorrupt   = errors.New("wire: corrupt frame")
+)
+
+// Update is the decoded form.
+type Update struct {
+	Round    int
+	Weight   float64
+	Producer string
+	Tensor   *tensor.Tensor
+}
+
+// Encode serializes an update. The layout is:
+//
+//	magic u32 | version u16 | producerLen u8 | producer bytes |
+//	round i64 | weight f64 | virtualLen i64 | physLen i64 | payload f32...
+func Encode(u Update) ([]byte, error) {
+	if u.Tensor == nil {
+		return nil, errors.New("wire: nil tensor")
+	}
+	if len(u.Producer) > MaxProducerLen {
+		return nil, fmt.Errorf("wire: producer %q too long", u.Producer)
+	}
+	if math.IsNaN(u.Weight) || u.Weight < 0 {
+		return nil, fmt.Errorf("wire: invalid weight %v", u.Weight)
+	}
+	var b bytes.Buffer
+	b.Grow(32 + len(u.Producer) + 4*u.Tensor.Len())
+	w := func(v interface{}) {
+		if err := binary.Write(&b, binary.LittleEndian, v); err != nil {
+			panic(err) // bytes.Buffer cannot fail
+		}
+	}
+	w(Magic)
+	w(Version)
+	w(uint8(len(u.Producer)))
+	b.WriteString(u.Producer)
+	w(int64(u.Round))
+	w(u.Weight)
+	w(int64(u.Tensor.VirtualLen))
+	w(int64(u.Tensor.Len()))
+	w(u.Tensor.Data)
+	return b.Bytes(), nil
+}
+
+// Decode parses a frame, validating header and payload length.
+func Decode(raw []byte) (Update, error) {
+	r := bytes.NewReader(raw)
+	var (
+		magic   uint32
+		version uint16
+		plen    uint8
+	)
+	rd := func(v interface{}) error { return binary.Read(r, binary.LittleEndian, v) }
+	if err := rd(&magic); err != nil {
+		return Update{}, fmt.Errorf("%w: header", ErrTruncated)
+	}
+	if magic != Magic {
+		return Update{}, ErrMagic
+	}
+	if err := rd(&version); err != nil {
+		return Update{}, fmt.Errorf("%w: version", ErrTruncated)
+	}
+	if version != Version {
+		return Update{}, fmt.Errorf("%w: %d", ErrVersion, version)
+	}
+	if err := rd(&plen); err != nil {
+		return Update{}, fmt.Errorf("%w: producer len", ErrTruncated)
+	}
+	producer := make([]byte, plen)
+	if _, err := r.Read(producer); err != nil && plen > 0 {
+		return Update{}, fmt.Errorf("%w: producer", ErrTruncated)
+	}
+	var (
+		round, virtualLen, physLen int64
+		weight                     float64
+	)
+	for _, v := range []interface{}{&round, &weight, &virtualLen, &physLen} {
+		if err := rd(v); err != nil {
+			return Update{}, fmt.Errorf("%w: metadata", ErrTruncated)
+		}
+	}
+	if physLen < 0 || virtualLen < physLen {
+		return Update{}, fmt.Errorf("%w: lengths %d/%d", ErrCorrupt, physLen, virtualLen)
+	}
+	if int64(r.Len()) != 4*physLen {
+		return Update{}, fmt.Errorf("%w: payload %dB, want %dB", ErrCorrupt, r.Len(), 4*physLen)
+	}
+	data := make([]float32, physLen)
+	if err := rd(data); err != nil {
+		return Update{}, fmt.Errorf("%w: payload", ErrTruncated)
+	}
+	t := tensor.FromSlice(data)
+	t.VirtualLen = int(virtualLen)
+	return Update{
+		Round:    int(round),
+		Weight:   weight,
+		Producer: string(producer),
+		Tensor:   t,
+	}, nil
+}
+
+// EncodedSize predicts the frame size without encoding.
+func EncodedSize(producer string, physLen int) int {
+	return 4 + 2 + 1 + len(producer) + 8 + 8 + 8 + 8 + 4*physLen
+}

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := Update{
+		Round:    42,
+		Weight:   168.5,
+		Producer: "client-0042",
+		Tensor:   tensor.FromSlice([]float32{1.5, -2.25, 0, 3e10}),
+	}
+	in.Tensor.VirtualLen = 1_000_000
+	raw, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != EncodedSize(in.Producer, in.Tensor.Len()) {
+		t.Fatalf("size = %d, predicted %d", len(raw), EncodedSize(in.Producer, in.Tensor.Len()))
+	}
+	out, err := Decode(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Round != 42 || out.Weight != 168.5 || out.Producer != "client-0042" {
+		t.Fatalf("metadata: %+v", out)
+	}
+	if out.Tensor.VirtualLen != 1_000_000 {
+		t.Fatalf("virtual len = %d", out.Tensor.VirtualLen)
+	}
+	d, err := out.Tensor.MaxAbsDiff(in.Tensor)
+	if err != nil || d != 0 {
+		t.Fatalf("payload: %v %v", d, err)
+	}
+}
+
+func TestDecodeRejectsBadFrames(t *testing.T) {
+	good, err := Encode(Update{Weight: 1, Tensor: tensor.FromSlice([]float32{1, 2})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := Decode(bad); !errors.Is(err, ErrMagic) {
+		t.Fatalf("magic: %v", err)
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := Decode(bad); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version: %v", err)
+	}
+	// Truncations at every prefix length must error, never panic.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := Decode(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// Payload length mismatch.
+	if _, err := Decode(append(good, 0, 0, 0, 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized payload: %v", err)
+	}
+}
+
+func TestEncodeRejectsBadInput(t *testing.T) {
+	if _, err := Encode(Update{Weight: 1}); err == nil {
+		t.Fatal("nil tensor accepted")
+	}
+	if _, err := Encode(Update{Weight: -1, Tensor: tensor.New(1)}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	if _, err := Encode(Update{Weight: 1, Producer: string(long), Tensor: tensor.New(1)}); err == nil {
+		t.Fatal("overlong producer accepted")
+	}
+}
+
+// Property: Decode(Encode(u)) is the identity over valid updates.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(vals []float32, round uint16, weightRaw uint16, producer string) bool {
+		if len(producer) > MaxProducerLen {
+			producer = producer[:MaxProducerLen]
+		}
+		in := Update{
+			Round:    int(round),
+			Weight:   float64(weightRaw) + 0.5,
+			Producer: producer,
+			Tensor:   tensor.FromSlice(vals),
+		}
+		raw, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		if out.Round != in.Round || out.Weight != in.Weight || out.Producer != in.Producer {
+			return false
+		}
+		if out.Tensor.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			got := out.Tensor.Data[i]
+			// NaN round-trips bit-unequal via ==; compare bit-agnostically.
+			if got != v && !(v != v && got != got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

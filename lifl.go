@@ -1,0 +1,70 @@
+// Package lifl is the public API of the LIFL reproduction library — a
+// faithful, simulation-backed implementation of "LIFL: A Lightweight,
+// Event-driven Serverless Platform for Federated Learning" (MLSys 2024).
+//
+// The package re-exports the library's stable surface:
+//
+//   - Run / RunConfig / Report: execute a full synchronous FedAvg workload
+//     on one of the four systems (LIFL, SL-H, SF, SL) and collect the
+//     paper's evaluation metrics (time-to-accuracy, cost-to-accuracy,
+//     per-round ACT/CPU, arrival and instance time series).
+//   - NewPlatform: assemble a platform for round-by-round control.
+//   - Models: the ResNet-18/34/152 specs of the paper's workloads.
+//
+// Deeper layers (the discrete-event engine, shared-memory store, eBPF
+// substrate, gateways, aggregators, placement/autoscaling policies) live in
+// internal/ packages; see DESIGN.md for the map.
+package lifl
+
+import (
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/systems"
+)
+
+// System kinds selectable in RunConfig.
+const (
+	SystemLIFL = core.SystemLIFL // full LIFL: shm data plane + orchestration
+	SystemSLH  = core.SystemSLH  // LIFL data plane, conventional control plane
+	SystemSF   = core.SystemSF   // serverful baseline (always-on hierarchy)
+	SystemSL   = core.SystemSL   // serverless baseline (sidecars + broker)
+)
+
+// Client classes for the workload generator.
+const (
+	MobileClients = flwork.Mobile // hibernating, host-shared (ResNet-18 setup)
+	ServerClients = flwork.Server // always-on, dedicated (ResNet-152 setup)
+)
+
+// Re-exported types; see the internal packages for full documentation.
+type (
+	// RunConfig parameterizes a full FL training run.
+	RunConfig = core.RunConfig
+	// Report is the outcome of a training run.
+	Report = core.Report
+	// Platform couples an engine, a system and a population.
+	Platform = core.Platform
+	// SystemKind selects the system under test.
+	SystemKind = core.SystemKind
+	// ModelSpec describes one trainable model.
+	ModelSpec = model.Spec
+	// Flags are LIFL's orchestration ablation switches (Fig. 8).
+	Flags = systems.Flags
+)
+
+// The paper's model zoo.
+var (
+	ResNet18  = model.ResNet18
+	ResNet34  = model.ResNet34
+	ResNet152 = model.ResNet152
+)
+
+// Run executes a full FL workload run; see core.Run.
+func Run(cfg RunConfig) (*Report, error) { return core.Run(cfg) }
+
+// NewPlatform assembles a platform without running it; see core.NewPlatform.
+func NewPlatform(cfg RunConfig) (*Platform, error) { return core.NewPlatform(cfg) }
+
+// AllFlags enables the full LIFL orchestration (①②③④).
+func AllFlags() Flags { return systems.AllFlags() }

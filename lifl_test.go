@@ -1,0 +1,62 @@
+package lifl
+
+import "testing"
+
+// TestPublicAPISmoke exercises the facade end-to-end the way a downstream
+// user would.
+func TestPublicAPISmoke(t *testing.T) {
+	rep, err := Run(RunConfig{
+		System:         SystemLIFL,
+		Model:          ResNet18,
+		Clients:        200,
+		ActivePerRound: 12,
+		Class:          MobileClients,
+		TargetAccuracy: 0.40,
+		MaxRounds:      40,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached {
+		t.Fatal("target not reached")
+	}
+	if len(rep.Rounds) == 0 || rep.FinalGlobal == nil {
+		t.Fatal("report incomplete")
+	}
+}
+
+func TestPlatformRoundByRound(t *testing.T) {
+	p, err := NewPlatform(RunConfig{
+		System:         SystemSF,
+		Model:          ResNet34,
+		Clients:        100,
+		ActivePerRound: 8,
+		Class:          ServerClients,
+		MaxRounds:      2,
+		TargetAccuracy: 0.99,
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 2 {
+		t.Fatalf("rounds = %d", len(rep.Rounds))
+	}
+}
+
+func TestModelZooExported(t *testing.T) {
+	for _, m := range []ModelSpec{ResNet18, ResNet34, ResNet152} {
+		if m.Params == 0 || m.Bytes() == 0 {
+			t.Fatalf("bad spec %v", m)
+		}
+	}
+	f := AllFlags()
+	if !f.LocalityPlacement || !f.HierarchyPlan || !f.Reuse || !f.Eager {
+		t.Fatal("AllFlags incomplete")
+	}
+}
