@@ -7,12 +7,15 @@ package lifl
 // simulated ACT, CPU-hours, ratios) alongside the usual ns/op.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flwork"
 	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/sim"
 )
 
 // BenchmarkFig4Hierarchy regenerates Fig. 4: NH vs WH round time on the
@@ -149,6 +152,38 @@ func BenchmarkPlacement10K(b *testing.B) {
 		experiments.Overhead(10_000)
 	}
 }
+
+// benchPlacement times one indexed BestFit decision at the given scale over
+// the standard 100-node §6.1 cluster, excluding node-state setup.
+func benchPlacement(b *testing.B, clients int) {
+	b.Helper()
+	mkNodes := func() []*placement.NodeState {
+		nodes := make([]*placement.NodeState, 100)
+		for i := range nodes {
+			nodes[i] = &placement.NodeState{
+				Name:     fmt.Sprintf("node-%03d", i),
+				MC:       float64(clients)/50 + 20,
+				ExecTime: 500 * sim.Millisecond,
+			}
+		}
+		return nodes
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		nodes := mkNodes()
+		b.StartTimer()
+		if _, err := (placement.BestFit{}).PlaceIndexed(clients, nodes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlacement100K and BenchmarkPlacement1M probe the roadmap scale:
+// the indexed engine is O(nodes log nodes + batches), so decisions must stay
+// flat far beyond the paper's 10K clients (1M well under 500 ms/op).
+func BenchmarkPlacement100K(b *testing.B) { benchPlacement(b, 100_000) }
+func BenchmarkPlacement1M(b *testing.B)   { benchPlacement(b, 1_000_000) }
 
 // BenchmarkEWMA measures the per-estimate cost of the hierarchy planner's
 // smoother (paper: ~0.2 ms per estimate).

@@ -124,17 +124,24 @@ type Aggregator struct {
 
 	algo  fedavg.Algorithm
 	state fedavg.State
+	// queue is the Recv FIFO, managed as a ring: qhead indexes the next
+	// entry, and the backing array is recycled once drained, so steady-state
+	// enqueueing does not allocate.
 	queue []Update
+	qhead int
 	// consumed keeps every folded update (with its shm reference) until
 	// Send: aggregators are stateless, so recovery from a failure replays
 	// the in-place updates into a fresh instance (§3). References release
-	// in bulk at Send.
+	// in bulk at Send, and the backing array is reused across rounds.
 	consumed []Update
-	inflight *Update // update currently in the Agg step
-	busy     bool
-	dead     bool // failed instance: ignore in-flight completions
-	done     int  // updates folded into the state this round
-	sent     bool // Send already fired this round
+	// inflight is the update currently in the Agg step, held by value (a
+	// boxed pointer here cost one heap allocation per aggregated update).
+	inflight    Update
+	hasInflight bool
+	busy        bool
+	dead        bool // failed instance: ignore in-flight completions
+	done        int  // updates folded into the state this round
+	sent        bool // Send already fired this round
 
 	// Stats.
 	TotalAggregated uint64
@@ -166,14 +173,14 @@ func (a *Aggregator) ExecAs(component string, demand, cpu sim.Duration, done fun
 }
 
 // Pending returns FIFO occupancy (queued, not yet aggregated).
-func (a *Aggregator) Pending() int { return len(a.queue) }
+func (a *Aggregator) Pending() int { return len(a.queue) - a.qhead }
 
 // Done returns updates aggregated this round.
 func (a *Aggregator) Done() int { return a.done }
 
 // Idle reports whether the aggregator has finished its task for the round —
 // the condition under which §5.3 converts it to a higher role.
-func (a *Aggregator) Idle() bool { return a.sent && !a.busy && len(a.queue) == 0 }
+func (a *Aggregator) Idle() bool { return a.sent && !a.busy && a.Pending() == 0 }
 
 // Assign (re)targets the aggregator for a round: its role, goal, consumer,
 // and round number. State is reset; the homogenized runtime needs nothing
@@ -220,7 +227,7 @@ func (a *Aggregator) Receive(u Update) {
 		a.pump()
 	case Lazy:
 		// Lazy: begin only when the whole goal's worth has arrived.
-		if len(a.queue)+a.done >= a.Goal {
+		if a.Pending()+a.done >= a.Goal {
 			a.pump()
 		}
 	}
@@ -229,16 +236,22 @@ func (a *Aggregator) Receive(u Update) {
 // pump drives the Agg step: one FIFO entry at a time, sequential (the steps
 // within an aggregator execute sequentially, §5.2).
 func (a *Aggregator) pump() {
-	if a.busy || a.sent || len(a.queue) == 0 {
+	if a.busy || a.sent || a.Pending() == 0 {
 		return
 	}
 	if a.Sandbox != nil && a.Sandbox.State() == runtime.StateStarting {
 		return // not ready yet; kicked again via NotifyReady
 	}
-	u := a.queue[0]
-	a.queue = a.queue[1:]
+	u := a.queue[a.qhead]
+	a.queue[a.qhead] = Update{} // drop the ring slot's references
+	a.qhead++
+	if a.qhead == len(a.queue) {
+		a.queue = a.queue[:0] // drained: recycle the backing array
+		a.qhead = 0
+	}
 	a.busy = true
-	a.inflight = &u
+	a.inflight = u
+	a.hasInflight = true
 	if a.Sandbox != nil {
 		_ = a.Sandbox.SetBusy()
 	}
@@ -252,7 +265,8 @@ func (a *Aggregator) pump() {
 			panic(fmt.Sprintf("aggcore %s: %v", a.ID, err))
 		}
 		a.consumed = append(a.consumed, u)
-		a.inflight = nil
+		a.inflight = Update{}
+		a.hasInflight = false
 		a.done++
 		a.TotalAggregated++
 		a.busy = false
@@ -260,7 +274,7 @@ func (a *Aggregator) pump() {
 			a.send()
 			return
 		}
-		if a.Sandbox != nil && len(a.queue) == 0 {
+		if a.Sandbox != nil && a.Pending() == 0 {
 			_ = a.Sandbox.SetIdle()
 		}
 		a.pump()
@@ -277,13 +291,17 @@ func (a *Aggregator) NotifyReady() { a.pump() }
 // aggregator is left inert.
 func (a *Aggregator) FailoverUpdates() []Update {
 	out := a.consumed
-	if a.inflight != nil {
-		out = append(out, *a.inflight)
-		a.inflight = nil
+	if a.hasInflight {
+		out = append(out, a.inflight)
+		a.inflight = Update{}
+		a.hasInflight = false
 	}
-	out = append(out, a.queue...)
+	out = append(out, a.queue[a.qhead:]...)
+	// Ownership of the consumed backing array moves to the caller; the
+	// (dead) aggregator starts from scratch if ever revived.
 	a.consumed = nil
 	a.queue = nil
+	a.qhead = 0
 	a.state.Reset()
 	a.done = 0
 	a.busy = false
@@ -300,11 +318,14 @@ func (a *Aggregator) send() {
 	}
 	a.sent = true
 	a.RoundsCompleted++
-	// The aggregate is out; the source updates may now be recycled.
+	// The aggregate is out; the source updates may now be recycled, and the
+	// consumed backing array reused next round (slots zeroed so the round's
+	// tensors do not linger).
 	for i := range a.consumed {
 		a.consumed[i].release()
+		a.consumed[i] = Update{}
 	}
-	a.consumed = nil
+	a.consumed = a.consumed[:0]
 	if a.Sandbox != nil {
 		a.Sandbox.Pinned = false
 		_ = a.Sandbox.SetIdle()

@@ -54,18 +54,17 @@ func (FedAvg) Name() string { return "fedavg" }
 // NewState implements Algorithm.
 func (FedAvg) NewState(phys, virtual int) State {
 	return &fedAvgState{
-		sum:     make([]float64, phys),
+		acc:     tensor.NewAccumulator(phys),
 		phys:    phys,
 		virtual: virtual,
 	}
 }
 
-// fedAvgState keeps Σ w_k·x_k in float64 for numerical stability and the
-// running Σ w_k; Result divides once.
+// fedAvgState delegates the arithmetic to tensor.Accumulator — the shared
+// Clone-avoiding eager accumulate path (float64 running sums, divide once
+// at Result) — and adds the tensor geometry plus the fedavg error contract.
 type fedAvgState struct {
-	sum     []float64
-	total   float64
-	count   int
+	acc     *tensor.Accumulator
 	phys    int
 	virtual int
 }
@@ -77,34 +76,23 @@ func (s *fedAvgState) Accumulate(t *tensor.Tensor, weight float64) error {
 	if weight <= 0 {
 		return fmt.Errorf("fedavg: non-positive weight %v", weight)
 	}
-	for i, v := range t.Data {
-		s.sum[i] += weight * float64(v)
-	}
-	s.total += weight
-	s.count++
-	return nil
+	return s.acc.Add(t, weight)
 }
 
 func (s *fedAvgState) Result() (*tensor.Tensor, float64, error) {
-	if s.count == 0 {
+	if s.acc.Count() == 0 {
 		return nil, 0, ErrEmpty
 	}
 	out := tensor.NewVirtual(s.phys, s.virtual)
-	for i, v := range s.sum {
-		out.Data[i] = float32(v / s.total)
+	if err := s.acc.MeanInto(out); err != nil {
+		return nil, 0, err
 	}
-	return out, s.total, nil
+	return out, s.acc.Total(), nil
 }
 
-func (s *fedAvgState) Count() int { return s.count }
+func (s *fedAvgState) Count() int { return s.acc.Count() }
 
-func (s *fedAvgState) Reset() {
-	for i := range s.sum {
-		s.sum[i] = 0
-	}
-	s.total = 0
-	s.count = 0
-}
+func (s *fedAvgState) Reset() { s.acc.Reset() }
 
 // ServerOpt post-processes the aggregated update into the next global model.
 // FedAvg simply adopts the aggregate; adaptive server optimizers (Reddi et

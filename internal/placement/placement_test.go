@@ -1,6 +1,9 @@
 package placement
 
 import (
+	"errors"
+	"fmt"
+	"maps"
 	"testing"
 	"testing/quick"
 
@@ -198,5 +201,220 @@ func TestMaxCapacityOffline(t *testing.T) {
 	// reading; the estimate must at least detect the knee region.
 	if mc < 20 {
 		t.Fatalf("MC estimate %v missed the knee", mc)
+	}
+}
+
+// ---- Golden equivalence vs. the seed's per-update greedy scan ----
+//
+// seedPack re-implements the original packGeneric loop: one pick per update,
+// each pick re-scanning all nodes. The indexed batch engine must reproduce
+// its assignments exactly, including float-tie and overflow behaviour.
+
+func seedPack(count int, nodes []*NodeState, pick func([]*NodeState) *NodeState) (map[string]int, error) {
+	if count < 0 {
+		return nil, fmt.Errorf("placement: negative count %d", count)
+	}
+	if len(nodes) == 0 {
+		return nil, errors.New("placement: no nodes")
+	}
+	out := make(map[string]int)
+	overflow := 0
+	for i := 0; i < count; i++ {
+		n := pick(nodes)
+		if n == nil {
+			n = nodes[overflow%len(nodes)]
+			overflow++
+		}
+		n.Assigned++
+		out[n.Name]++
+	}
+	return out, nil
+}
+
+func seedBestFit(count int, nodes []*NodeState) (map[string]int, error) {
+	return seedPack(count, nodes, func(cands []*NodeState) *NodeState {
+		var best *NodeState
+		for _, n := range cands {
+			if n.Residual() < 1 {
+				continue
+			}
+			if best == nil || n.Residual() < best.Residual() ||
+				(n.Residual() == best.Residual() && n.Name < best.Name) {
+				best = n
+			}
+		}
+		return best
+	})
+}
+
+func seedWorstFit(count int, nodes []*NodeState) (map[string]int, error) {
+	return seedPack(count, nodes, func(cands []*NodeState) *NodeState {
+		var best *NodeState
+		for _, n := range cands {
+			if n.Residual() < 1 {
+				continue
+			}
+			if best == nil || n.Residual() > best.Residual() ||
+				(n.Residual() == best.Residual() && n.Name < best.Name) {
+				best = n
+			}
+		}
+		return best
+	})
+}
+
+func seedFirstFit(count int, nodes []*NodeState) (map[string]int, error) {
+	return seedPack(count, nodes, func(cands []*NodeState) *NodeState {
+		for _, n := range cands {
+			if n.Residual() >= 1 {
+				return n
+			}
+		}
+		return nil
+	})
+}
+
+// randomNodes builds clusters that exercise ties (integer and repeated MCs),
+// fractional residuals, pre-assigned occupancy, and saturation.
+func randomNodes(rng *sim.RNG, n int) []*NodeState {
+	out := make([]*NodeState, n)
+	for i := range out {
+		mc := float64(rng.Intn(30))
+		switch rng.Intn(3) {
+		case 0: // exact integer capacities → heavy tie territory
+		case 1:
+			mc += 0.5
+		default:
+			mc += rng.Float64() * 4
+		}
+		out[i] = &NodeState{
+			Name:     fmt.Sprintf("n%02d", i),
+			MC:       mc,
+			Arrival:  float64(rng.Intn(4)),
+			ExecTime: sim.Duration(rng.Intn(900)) * sim.Millisecond,
+			Assigned: rng.Intn(3),
+		}
+	}
+	return out
+}
+
+func cloneNodes(nodes []*NodeState) []*NodeState {
+	out := make([]*NodeState, len(nodes))
+	for i, n := range nodes {
+		c := *n
+		out[i] = &c
+	}
+	return out
+}
+
+func TestPlaceMatchesSeedScanGolden(t *testing.T) {
+	policies := []struct {
+		pol  Policy
+		seed func(int, []*NodeState) (map[string]int, error)
+	}{
+		{BestFit{}, seedBestFit},
+		{WorstFit{}, seedWorstFit},
+		{FirstFit{}, seedFirstFit},
+	}
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 400; trial++ {
+		nodes := randomNodes(rng, 1+rng.Intn(12))
+		count := rng.Intn(200)
+		for _, p := range policies {
+			a, b := cloneNodes(nodes), cloneNodes(nodes)
+			want, err1 := p.seed(count, a)
+			got, err2 := p.pol.Place(count, b)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s trial %d: error mismatch %v vs %v", p.pol.Name(), trial, err1, err2)
+			}
+			if !maps.Equal(want, got) {
+				t.Fatalf("%s trial %d (count=%d):\nseed %v\n got %v\nnodes %+v",
+					p.pol.Name(), trial, count, want, got, nodes)
+			}
+			// The mutation of NodeState.Assigned must match too.
+			for i := range a {
+				if a[i].Assigned != b[i].Assigned {
+					t.Fatalf("%s trial %d: node %d Assigned %d vs %d",
+						p.pol.Name(), trial, i, a[i].Assigned, b[i].Assigned)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceIndexedAgreesWithMapForm pins the two result forms together and
+// checks Assignment's helpers.
+func TestPlaceIndexedAgreesWithMapForm(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for trial := 0; trial < 100; trial++ {
+		nodes := randomNodes(rng, 1+rng.Intn(8))
+		count := rng.Intn(120)
+		for _, pol := range []Policy{BestFit{}, WorstFit{}, FirstFit{}} {
+			a, b := cloneNodes(nodes), cloneNodes(nodes)
+			idx, err := pol.PlaceIndexed(count, a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := pol.Place(count, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !maps.Equal(idx.ToMap(a), m) {
+				t.Fatalf("%s: indexed %v vs map %v", pol.Name(), idx, m)
+			}
+			if idx.Total() != count {
+				t.Fatalf("%s: placed %d of %d", pol.Name(), idx.Total(), count)
+			}
+			if idx.NodesUsed() != NodesUsed(m) {
+				t.Fatalf("%s: NodesUsed %d vs %d", pol.Name(), idx.NodesUsed(), NodesUsed(m))
+			}
+		}
+	}
+}
+
+// TestPlaceLargeScaleExact spot-checks the batched BestFit at the §6.1 and
+// roadmap scales against arithmetic (not the O(count·n) scan, which would
+// dominate test time at 1M): uniform nodes fill to ⌊residual⌋ each.
+func TestPlaceLargeScaleExact(t *testing.T) {
+	for _, clients := range []int{10_000, 1_000_000} {
+		nodes := make([]*NodeState, 100)
+		for i := range nodes {
+			nodes[i] = &NodeState{
+				Name:     fmt.Sprintf("node-%03d", i),
+				MC:       float64(clients)/50 + 20,
+				ExecTime: 500 * sim.Millisecond,
+			}
+		}
+		a, err := BestFit{}.PlaceIndexed(clients, nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Total() != clients {
+			t.Fatalf("placed %d of %d", a.Total(), clients)
+		}
+		per := clients/50 + 20 // integer MC ⇒ each node absorbs exactly MC
+		full := clients / per
+		for i := 0; i < full; i++ {
+			if a[i] != per {
+				t.Fatalf("node %d got %d, want %d", i, a[i], per)
+			}
+		}
+		if rem := clients - full*per; rem > 0 && a[full] != rem {
+			t.Fatalf("tail node got %d, want %d", a[full], clients-full*per)
+		}
+	}
+}
+
+func TestPlaceIndexedErrors(t *testing.T) {
+	for _, pol := range []Policy{BestFit{}, WorstFit{}, FirstFit{}} {
+		if _, err := pol.Place(-1, nodes5(20)); err == nil {
+			t.Errorf("%s: negative count accepted", pol.Name())
+		}
+		if _, err := pol.Place(3, nil); err == nil {
+			t.Errorf("%s: empty cluster accepted", pol.Name())
+		}
+		if _, err := pol.PlaceIndexed(-1, nodes5(20)); err == nil {
+			t.Errorf("%s: indexed negative count accepted", pol.Name())
+		}
 	}
 }

@@ -5,10 +5,17 @@
 // the engine executes events in strict (time, sequence) order. Determinism
 // comes from the total event order plus seeded randomness (see RNG); running
 // the same experiment twice yields byte-identical results.
+//
+// The engine is allocation-lean by design: a Fig. 9 full-workload run
+// schedules millions of events, so the pending set is a value-based 4-ary
+// min-heap ([]event, no per-event box, no container/heap interface
+// conversions). Popped slots are cleared and the backing array is retained
+// as a free list, so steady-state scheduling performs zero heap allocations
+// beyond the caller's own closure — and AtSpan removes even that for the
+// dominant (start, end)-completion shape.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -28,32 +35,92 @@ const (
 	Hour        = time.Hour
 )
 
-// event is a scheduled callback. seq breaks ties so that events scheduled
-// earlier run earlier when their times are equal, making runs deterministic.
+// event is a scheduled callback, stored by value in the heap. seq breaks
+// ties so that events scheduled earlier run earlier when their times are
+// equal, making runs deterministic. Exactly one of fn/spanFn is set; spanFn
+// events carry their (start, end) pair inline so completion callbacks need
+// no capturing closure.
 type event struct {
 	at  Duration
 	seq uint64
 	fn  func()
+
+	spanFn     func(start, end Duration)
+	start, end Duration
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e runs strictly before o in the total event order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
+
+// eventHeap is a value-based 4-ary min-heap ordered by (at, seq). A 4-ary
+// layout halves the tree depth of a binary heap, trading slightly wider
+// sift-down comparisons for fewer cache-missing levels — the right trade for
+// the short (tens of entries) but extremely hot pending sets of a Fig. 9 run.
+type eventHeap []event
+
+const heapArity = 4
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / heapArity
+		if !h[i].before(&h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(&h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(&h[i]) {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// push inserts e; the append reuses freed capacity, so steady-state
+// scheduling does not allocate.
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the retained capacity (the free list) does not pin callbacks.
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	top := old[0]
+	old[0] = old[n]
+	old[n] = event{}
+	*h = old[:n]
+	if n > 0 {
+		(*h).siftDown(0)
+	}
+	return top
 }
 
 // Engine is the discrete-event scheduler. The zero value is not usable;
@@ -72,9 +139,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.events)
-	return e
+	return &Engine{}
 }
 
 // Now returns the current virtual time.
@@ -88,7 +153,20 @@ func (e *Engine) At(t Duration, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// AtSpan schedules fn(start, end) at absolute virtual time t. It is the
+// allocation-lean variant of At for completion callbacks that deliver a
+// (start, end) pair — the dominant event shape in the simulator (station
+// jobs, queue transfers): the span rides in the event value instead of a
+// capturing closure, so scheduling allocates nothing.
+func (e *Engine) AtSpan(t Duration, start, end Duration, fn func(start, end Duration)) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: t, seq: e.seq, spanFn: fn, start: start, end: end})
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -106,10 +184,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.Executed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.spanFn(ev.start, ev.end)
+	}
 	return true
 }
 

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"container/heap"
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -188,5 +190,201 @@ func TestEngineOrderProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ---- Engine equivalence vs. the seed's boxed container/heap scheduler ----
+//
+// refEngine re-implements the original event loop (pointer events in a
+// binary container/heap) so the value-based 4-ary engine can be proven to
+// execute an arbitrary schedule in the exact same (time, seq) order.
+
+type refEvent struct {
+	at  Duration
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x interface{}) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+type refEngine struct {
+	now    Duration
+	seq    uint64
+	events refHeap
+}
+
+func (e *refEngine) at(t Duration, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &refEvent{at: t, seq: e.seq, fn: fn})
+}
+
+func (e *refEngine) run() {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*refEvent)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// TestEngineEquivalentToBoxedHeap drives both engines through an identical
+// randomized, self-rescheduling workload (including AtSpan events on the new
+// engine) and requires byte-identical execution traces.
+func TestEngineEquivalentToBoxedHeap(t *testing.T) {
+	const seeds = 20
+	for s := int64(0); s < seeds; s++ {
+		trace := func(useRef bool) []string {
+			rng := NewRNG(s)
+			var out []string
+			if useRef {
+				e := &refEngine{}
+				var spawn func(id, depth int)
+				spawn = func(id, depth int) {
+					d := rng.Uniform(Second)
+					e.at(e.now+d, func() {
+						out = append(out, fmt.Sprintf("%d@%v", id, e.now))
+						if depth < 3 {
+							spawn(id*10+1, depth+1)
+							spawn(id*10+2, depth+1)
+						}
+					})
+				}
+				for i := 0; i < 8; i++ {
+					spawn(i, 0)
+				}
+				e.run()
+				return out
+			}
+			e := NewEngine()
+			var spawn func(id, depth int)
+			spawn = func(id, depth int) {
+				d := rng.Uniform(Second)
+				// Alternate At and AtSpan so both event shapes interleave
+				// through the same heap with the same ordering.
+				if id%2 == 0 {
+					e.After(d, func() {
+						out = append(out, fmt.Sprintf("%d@%v", id, e.Now()))
+						if depth < 3 {
+							spawn(id*10+1, depth+1)
+							spawn(id*10+2, depth+1)
+						}
+					})
+				} else {
+					e.AtSpan(e.Now()+d, e.Now(), e.Now()+d, func(_, end Duration) {
+						out = append(out, fmt.Sprintf("%d@%v", id, end))
+						if depth < 3 {
+							spawn(id*10+1, depth+1)
+							spawn(id*10+2, depth+1)
+						}
+					})
+				}
+			}
+			for i := 0; i < 8; i++ {
+				spawn(i, 0)
+			}
+			if err := e.RunUntilIdle(); err != nil {
+				t.Fatal(err)
+			}
+			return out
+		}
+		ref, got := trace(true), trace(false)
+		if len(ref) != len(got) {
+			t.Fatalf("seed %d: %d events vs %d", s, len(ref), len(got))
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("seed %d: divergence at event %d: %q vs %q", s, i, ref[i], got[i])
+			}
+		}
+	}
+}
+
+// TestEngineAtSpanDeliversSpan checks the inline (start, end) payload.
+func TestEngineAtSpanDeliversSpan(t *testing.T) {
+	e := NewEngine()
+	var gs, ge Duration
+	e.AtSpan(4*Second, 2*Second, 4*Second, func(start, end Duration) { gs, ge = start, end })
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if gs != 2*Second || ge != 4*Second {
+		t.Fatalf("span = (%v, %v)", gs, ge)
+	}
+	if e.Now() != 4*Second {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+// TestEngineAtSpanPastPanics mirrors the At causality guard.
+func TestEngineAtSpanPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5*Second, func() {})
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling AtSpan in the past")
+		}
+	}()
+	e.AtSpan(Second, 0, Second, func(_, _ Duration) {})
+}
+
+// TestEngineAfterAllocs is the allocation-regression guard of the event
+// engine: steady-state scheduling (push + pop with warm capacity) must cost
+// at most one amortized allocation per event — in practice zero, since the
+// free-list capacity is reused; the budget of 1 absorbs the rare growth.
+func TestEngineAfterAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the heap capacity.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i)*Millisecond, fn)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		e.After(Millisecond, fn)
+		e.Step()
+	})
+	if avg > 1 {
+		t.Fatalf("Engine.After allocates %.2f/op, want <= 1 amortized", avg)
+	}
+}
+
+// TestStationSubmitAllocs: with AtSpan carrying the completion span, a
+// station job schedules its completion without any closure allocation.
+func TestStationSubmitAllocs(t *testing.T) {
+	e := NewEngine()
+	s := NewStation(e, "cpu", 2)
+	done := func(_, _ Duration) {}
+	for i := 0; i < 64; i++ {
+		s.Submit(Millisecond, done)
+	}
+	for e.Step() {
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Submit(Millisecond, done)
+		e.Step()
+	})
+	if avg > 1 {
+		t.Fatalf("Station.Submit allocates %.2f/op, want <= 1 amortized", avg)
 	}
 }

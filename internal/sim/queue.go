@@ -54,7 +54,7 @@ func (q *Queue) Transfer(size uint64, done func(start, end Duration)) (Duration,
 	q.transfers++
 	q.busy += svc
 	if done != nil {
-		q.eng.At(end, func() { done(start, end) })
+		q.eng.AtSpan(end, start, end, done)
 	}
 	return start, end
 }

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Station models a pool of identical servers (CPU cores) with FIFO admission:
 // a submitted job begins on the earliest-free server, no earlier than its
@@ -28,18 +25,38 @@ type Station struct {
 	maxDelay Duration // worst queueing delay observed
 }
 
+// serverHeap is a value-based binary min-heap of free times. Only the
+// minimum value is ever observable (Submit starts jobs on the earliest-free
+// server), so any valid heap arrangement yields identical schedules.
 type serverHeap []Duration
 
-func (h serverHeap) Len() int            { return len(h) }
-func (h serverHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h serverHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *serverHeap) Push(x interface{}) { *h = append(*h, x.(Duration)) }
-func (h *serverHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h serverHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h[i] >= h[parent] {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h serverHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		min := i
+		if l := 2*i + 1; l < n && h[l] < h[min] {
+			min = l
+		}
+		if r := 2*i + 2; r < n && h[r] < h[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
 }
 
 // NewStation creates a station with the given number of servers.
@@ -47,9 +64,7 @@ func NewStation(eng *Engine, name string, servers int) *Station {
 	if servers <= 0 {
 		panic(fmt.Sprintf("sim: station %q needs at least one server", name))
 	}
-	s := &Station{eng: eng, name: name, free: make(serverHeap, servers)}
-	heap.Init(&s.free)
-	return s
+	return &Station{eng: eng, name: name, free: make(serverHeap, servers)}
 }
 
 // Servers returns the number of servers in the pool.
@@ -63,10 +78,14 @@ func (s *Station) Resize(servers int) {
 		panic(fmt.Sprintf("sim: station %q cannot resize to %d", s.name, servers))
 	}
 	for len(s.free) < servers {
-		heap.Push(&s.free, s.eng.Now())
+		s.free = append(s.free, s.eng.Now())
+		s.free.siftUp(len(s.free) - 1)
 	}
 	for len(s.free) > servers {
-		heap.Pop(&s.free)
+		n := len(s.free) - 1
+		s.free[0] = s.free[n]
+		s.free = s.free[:n]
+		s.free.siftDown(0)
 	}
 }
 
@@ -89,7 +108,7 @@ func (s *Station) Submit(demand Duration, done func(start, end Duration)) (Durat
 	s.admitTail = start
 	end := start + demand
 	s.free[0] = end
-	heap.Fix(&s.free, 0)
+	s.free.siftDown(0)
 
 	s.busy += demand
 	s.jobs++
@@ -97,7 +116,7 @@ func (s *Station) Submit(demand Duration, done func(start, end Duration)) (Durat
 		s.maxDelay = delay
 	}
 	if done != nil {
-		s.eng.At(end, func() { done(start, end) })
+		s.eng.AtSpan(end, start, end, done)
 	}
 	return start, end
 }

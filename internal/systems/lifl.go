@@ -228,35 +228,28 @@ func (s *LIFL) place(rs *liflRound) {
 	if s.cfg.Flags.LocalityPlacement {
 		policy = placement.BestFit{}
 	}
-	byName, err := policy.Place(len(rs.jobs), states)
+	assign, err := policy.PlaceIndexed(len(rs.jobs), states)
 	if err != nil {
 		panic(fmt.Sprintf("lifl: placement: %v", err))
 	}
-	counts := make(map[int]int)
-	for i, n := range s.Cluster.Nodes {
-		if c := byName[n.Name]; c > 0 {
-			counts[i] = c
-		}
-	}
-
 	// Expand counts into per-job node assignment, clustering consecutive
 	// jobs on the same node (the mapping is what in-place queuing acts on).
-	order := make([]int, 0, len(counts))
-	for idx := range counts {
-		order = append(order, idx)
-	}
-	sort.Ints(order)
-	rs.assignNode = make([]int, len(rs.jobs))
+	rs.assignNode = expandAssignment(assign, len(rs.jobs))
+}
+
+// expandAssignment flattens a node-indexed placement into per-job node
+// indices, clustering consecutive jobs on the same node in node order (the
+// same order the name-keyed map produced when walked by sorted node index).
+func expandAssignment(a placement.Assignment, jobs int) []int {
+	out := make([]int, jobs)
 	j := 0
-	for _, idx := range order {
-		for k := 0; k < counts[idx] && j < len(rs.jobs); k++ {
-			rs.assignNode[j] = idx
+	for idx, c := range a {
+		for k := 0; k < c && j < jobs; k++ {
+			out[j] = idx
 			j++
 		}
 	}
-	for ; j < len(rs.jobs) && len(order) > 0; j++ { // overflow safety
-		rs.assignNode[j] = order[j%len(order)]
-	}
+	return out
 }
 
 // plan sizes the per-node hierarchy (§5.2) and the top goal.

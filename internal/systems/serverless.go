@@ -10,7 +10,6 @@ package systems
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/aggcore"
 	"repro/internal/autoscaler"
@@ -187,35 +186,20 @@ func (s *SL) RunRound(round int, jobs []ClientJob, done func(RoundResult)) {
 			ExecTime: s.cfg.Params.AggregateOne(s.cfg.Model.Bytes()),
 		})
 	}
-	byName, err := placement.WorstFit{}.Place(len(jobs), states)
+	assign, err := placement.WorstFit{}.PlaceIndexed(len(jobs), states)
 	if err != nil {
 		panic(fmt.Sprintf("sl: placement: %v", err))
 	}
-	counts := make(map[int]int)
-	for i, n := range s.Cluster.Nodes {
-		if c := byName[n.Name]; c > 0 {
-			counts[i] = c
-		}
-	}
-	order := make([]int, 0, len(counts))
-	for idx := range counts {
-		order = append(order, idx)
-	}
-	sort.Ints(order)
-	rs.assignNode = make([]int, len(jobs))
-	j := 0
-	for _, idx := range order {
-		for k := 0; k < counts[idx] && j < len(jobs); k++ {
-			rs.assignNode[j] = idx
-			j++
-		}
-	}
+	rs.assignNode = expandAssignment(assign, len(jobs))
 
 	// Threshold autoscaler sizes the leaf pool per node from the observed
 	// in-flight load; chain levels above scale reactively on first demand.
 	th := autoscaler.Threshold{Target: s.cfg.SLTargetConcurrency, Min: 0}
 	rs.topGoal = 0
-	for node, c := range counts {
+	for node, c := range assign {
+		if c == 0 {
+			continue
+		}
 		leaves := th.Desired(c)
 		if leaves < 1 {
 			leaves = 1

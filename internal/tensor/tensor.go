@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // ErrShape is returned when two tensors with different lengths are combined.
@@ -109,6 +110,22 @@ func (t *Tensor) AddScaled(a float32, o *Tensor) error {
 	return nil
 }
 
+// ScaleAdd is the fused scale-and-add update t = a*t + b*o, computed in a
+// single pass over both vectors — for callers that would otherwise pair
+// Scale with AddScaled (two sweeps, or a Clone when o must be preserved),
+// e.g. decayed/mixed accumulation in server optimizers. No current hot path
+// needs it; it completes the in-place arithmetic family alongside
+// WeightedMeanInto and Accumulator.
+func (t *Tensor) ScaleAdd(a, b float32, o *Tensor) error {
+	if len(t.Data) != len(o.Data) {
+		return fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))
+	}
+	for i, v := range o.Data {
+		t.Data[i] = a*t.Data[i] + b*v
+	}
+	return nil
+}
+
 // Sub computes t -= o in place.
 func (t *Tensor) Sub(o *Tensor) error {
 	if len(t.Data) != len(o.Data) {
@@ -157,6 +174,29 @@ func (t *Tensor) MaxAbsDiff(o *Tensor) (float64, error) {
 	return m, nil
 }
 
+// accPool recycles the float64 accumulation buffers behind WeightedMeanInto
+// so steady-state aggregation performs zero heap allocations. Buffers are
+// held via a pointer-to-struct so Get/Put never box a slice header.
+var accPool = sync.Pool{New: func() any { return new(accBuf) }}
+
+type accBuf struct{ f []float64 }
+
+// getAcc returns a zeroed accumulator of length n from the pool.
+func getAcc(n int) *accBuf {
+	b := accPool.Get().(*accBuf)
+	if cap(b.f) < n {
+		b.f = make([]float64, n)
+	} else {
+		b.f = b.f[:n]
+		for i := range b.f {
+			b.f[i] = 0
+		}
+	}
+	return b
+}
+
+func putAcc(b *accBuf) { accPool.Put(b) }
+
 // WeightedMean returns sum(w[k]*x[k]) / sum(w[k]) over the given tensors —
 // the reference (lazy, batch) form of FedAvg aggregation, Eq. (1) of the
 // paper with f = FedAvg. All tensors must share the physical length of the
@@ -165,32 +205,120 @@ func WeightedMean(xs []*Tensor, ws []float64) (*Tensor, error) {
 	if len(xs) == 0 {
 		return nil, errors.New("tensor: WeightedMean of zero tensors")
 	}
+	out := NewVirtual(xs[0].Len(), xs[0].VirtualLen)
+	if err := WeightedMeanInto(out, xs, ws); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WeightedMeanInto computes sum(w[k]*x[k]) / sum(w[k]) into dst, which must
+// have the physical length of xs[0]; dst adopts xs[0]'s virtual length. The
+// float64 accumulation buffer comes from an internal pool, so the
+// steady-state cost is zero heap allocations (guarded by an AllocsPerRun
+// regression test) — the allocation-lean form for per-round aggregation.
+func WeightedMeanInto(dst *Tensor, xs []*Tensor, ws []float64) error {
+	if len(xs) == 0 {
+		return errors.New("tensor: WeightedMean of zero tensors")
+	}
 	if len(xs) != len(ws) {
-		return nil, fmt.Errorf("tensor: %d tensors but %d weights", len(xs), len(ws))
+		return fmt.Errorf("tensor: %d tensors but %d weights", len(xs), len(ws))
 	}
 	var total float64
 	for _, w := range ws {
 		if w < 0 {
-			return nil, fmt.Errorf("tensor: negative weight %v", w)
+			return fmt.Errorf("tensor: negative weight %v", w)
 		}
 		total += w
 	}
 	if total == 0 {
-		return nil, errors.New("tensor: zero total weight")
+		return errors.New("tensor: zero total weight")
 	}
-	out := NewVirtual(xs[0].Len(), xs[0].VirtualLen)
-	acc := make([]float64, xs[0].Len())
+	if dst.Len() != xs[0].Len() {
+		return fmt.Errorf("%w: dst has len %d, want %d", ErrShape, dst.Len(), xs[0].Len())
+	}
+	acc := getAcc(xs[0].Len())
+	defer putAcc(acc)
 	for k, x := range xs {
-		if x.Len() != out.Len() {
-			return nil, fmt.Errorf("%w: tensor %d has len %d, want %d", ErrShape, k, x.Len(), out.Len())
+		if x.Len() != dst.Len() {
+			return fmt.Errorf("%w: tensor %d has len %d, want %d", ErrShape, k, x.Len(), dst.Len())
 		}
 		w := ws[k]
 		for i, v := range x.Data {
-			acc[i] += w * float64(v)
+			acc.f[i] += w * float64(v)
 		}
 	}
-	for i := range out.Data {
-		out.Data[i] = float32(acc[i] / total)
+	for i := range dst.Data {
+		dst.Data[i] = float32(acc.f[i] / total)
 	}
-	return out, nil
+	dst.VirtualLen = xs[0].VirtualLen
+	return nil
+}
+
+// Accumulator is the eager (cumulative) counterpart of WeightedMean: fold
+// (update, weight) pairs in as they arrive — no Clone, no per-update
+// allocation, float64 running sums for numerical stability — and emit the
+// weighted mean on demand. This is the arithmetic core behind §2.1's
+// "cumulative averaging makes the eager method feasible for FedAvg";
+// fedavg.FedAvg delegates to it, and it is reusable across rounds via Reset.
+type Accumulator struct {
+	sum   []float64
+	total float64
+	count int
+}
+
+// NewAccumulator returns an empty accumulator for physical length n.
+func NewAccumulator(n int) *Accumulator {
+	return &Accumulator{sum: make([]float64, n)}
+}
+
+// Len returns the physical element count.
+func (a *Accumulator) Len() int { return len(a.sum) }
+
+// Count returns how many updates have been folded in.
+func (a *Accumulator) Count() int { return a.count }
+
+// Total returns the running weight sum.
+func (a *Accumulator) Total() float64 { return a.total }
+
+// Add folds w*x into the running sum: the Clone-avoiding eager accumulate
+// path. Weight must be positive.
+func (a *Accumulator) Add(x *Tensor, w float64) error {
+	if x.Len() != len(a.sum) {
+		return fmt.Errorf("%w: update len %d, accumulator len %d", ErrShape, x.Len(), len(a.sum))
+	}
+	if w <= 0 {
+		return fmt.Errorf("tensor: non-positive weight %v", w)
+	}
+	sum := a.sum
+	for i, v := range x.Data {
+		sum[i] += w * float64(v)
+	}
+	a.total += w
+	a.count++
+	return nil
+}
+
+// MeanInto writes the current weighted mean into dst (physical lengths must
+// match) without allocating. It errors if nothing has been accumulated.
+func (a *Accumulator) MeanInto(dst *Tensor) error {
+	if a.count == 0 {
+		return errors.New("tensor: empty accumulator")
+	}
+	if dst.Len() != len(a.sum) {
+		return fmt.Errorf("%w: dst len %d, accumulator len %d", ErrShape, dst.Len(), len(a.sum))
+	}
+	for i, v := range a.sum {
+		dst.Data[i] = float32(v / a.total)
+	}
+	return nil
+}
+
+// Reset clears the accumulator for reuse in the next round.
+func (a *Accumulator) Reset() {
+	for i := range a.sum {
+		a.sum[i] = 0
+	}
+	a.total = 0
+	a.count = 0
 }

@@ -228,3 +228,173 @@ func TestWeightedMeanIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWeightedMeanIntoMatchesWeightedMean(t *testing.T) {
+	xs := []*Tensor{
+		FromSlice([]float32{1, 2, 3}),
+		FromSlice([]float32{4, 5, 6}),
+		FromSlice([]float32{-2, 0, 9}),
+	}
+	ws := []float64{1, 2.5, 0.25}
+	want, err := WeightedMean(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := New(3)
+	if err := WeightedMeanInto(dst, xs, ws); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if dst.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: %v vs %v", i, dst.Data[i], want.Data[i])
+		}
+	}
+	if dst.VirtualLen != xs[0].VirtualLen {
+		t.Fatalf("virtual len %d", dst.VirtualLen)
+	}
+}
+
+func TestWeightedMeanIntoErrors(t *testing.T) {
+	if err := WeightedMeanInto(New(1), nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	xs := []*Tensor{New(3)}
+	if err := WeightedMeanInto(New(3), xs, []float64{1, 2}); err == nil {
+		t.Error("weight count mismatch accepted")
+	}
+	if err := WeightedMeanInto(New(3), xs, []float64{-1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := WeightedMeanInto(New(3), xs, []float64{0}); err == nil {
+		t.Error("zero total weight accepted")
+	}
+	if err := WeightedMeanInto(New(2), xs, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Errorf("dst shape mismatch: %v", err)
+	}
+	if err := WeightedMeanInto(New(3), []*Tensor{New(3), New(2)}, []float64{1, 1}); !errors.Is(err, ErrShape) {
+		t.Errorf("input shape mismatch: %v", err)
+	}
+}
+
+// TestWeightedMeanIntoAllocs is the pooled-accumulator regression guard:
+// steady-state aggregation into a caller-owned tensor must not allocate.
+func TestWeightedMeanIntoAllocs(t *testing.T) {
+	xs := []*Tensor{New(512), New(512), New(512)}
+	for _, x := range xs {
+		x.Fill(0.25)
+	}
+	ws := []float64{1, 2, 3}
+	dst := New(512)
+	// Warm the pool.
+	if err := WeightedMeanInto(dst, xs, ws); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := WeightedMeanInto(dst, xs, ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("WeightedMeanInto allocates %.2f/op, want 0 steady-state", avg)
+	}
+}
+
+func TestScaleAddFusesScaleAndAdd(t *testing.T) {
+	a := FromSlice([]float32{1, -2, 3})
+	o := FromSlice([]float32{10, 20, 30})
+	ref := a.Clone()
+	ref.Scale(0.5)
+	if err := ref.AddScaled(2, o); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ScaleAdd(0.5, 2, o); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != ref.Data[i] {
+			t.Fatalf("element %d: fused %v vs two-pass %v", i, a.Data[i], ref.Data[i])
+		}
+	}
+	if err := a.ScaleAdd(1, 1, New(2)); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: %v", err)
+	}
+}
+
+// TestAccumulatorMatchesWeightedMean: the eager cumulative path and the
+// lazy batch reference must agree exactly (the §2.1 equivalence LIFL's
+// eager aggregation relies on, at the arithmetic layer).
+func TestAccumulatorMatchesWeightedMean(t *testing.T) {
+	xs := []*Tensor{
+		FromSlice([]float32{0.5, 1.5, -3}),
+		FromSlice([]float32{2, 2, 2}),
+		FromSlice([]float32{7, -1, 0.25}),
+	}
+	ws := []float64{3, 1, 0.5}
+	want, err := WeightedMean(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator(3)
+	for k, x := range xs {
+		if err := acc.Add(x, ws[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := New(3)
+	if err := acc.MeanInto(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d: eager %v vs lazy %v", i, got.Data[i], want.Data[i])
+		}
+	}
+	if acc.Count() != 3 || acc.Total() != 4.5 {
+		t.Fatalf("count=%d total=%v", acc.Count(), acc.Total())
+	}
+	acc.Reset()
+	if acc.Count() != 0 || acc.Total() != 0 {
+		t.Fatal("reset incomplete")
+	}
+	if err := acc.MeanInto(got); err == nil {
+		t.Fatal("empty accumulator produced a mean")
+	}
+}
+
+func TestAccumulatorErrors(t *testing.T) {
+	acc := NewAccumulator(3)
+	if err := acc.Add(New(2), 1); !errors.Is(err, ErrShape) {
+		t.Errorf("shape mismatch: %v", err)
+	}
+	if err := acc.Add(New(3), 0); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if err := acc.Add(New(3), -1); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := acc.Add(New(3), 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.MeanInto(New(2)); !errors.Is(err, ErrShape) {
+		t.Errorf("MeanInto shape mismatch: %v", err)
+	}
+}
+
+// TestAccumulatorAddAllocs: the eager accumulate path allocates nothing.
+func TestAccumulatorAddAllocs(t *testing.T) {
+	acc := NewAccumulator(512)
+	x := New(512)
+	x.Fill(1)
+	dst := New(512)
+	avg := testing.AllocsPerRun(200, func() {
+		if err := acc.Add(x, 2); err != nil {
+			t.Fatal(err)
+		}
+		if err := acc.MeanInto(dst); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Accumulator path allocates %.2f/op, want 0", avg)
+	}
+}
