@@ -3,35 +3,75 @@
 //
 // Usage:
 //
-//	liflsim fig4      # NH vs WH timelines + LIFL (Fig. 4, Fig. 7(c))
-//	liflsim fig7      # data-plane transfer latency/CPU (Fig. 7(a,b))
-//	liflsim fig8      # orchestration ablation (Fig. 8(a-d))
-//	liflsim fig9r18   # ResNet-18 time/cost-to-accuracy + Fig. 10(a-c)
-//	liflsim fig9r152  # ResNet-152 time/cost-to-accuracy + Fig. 10(d-f)
-//	liflsim fig13     # message-queuing overheads (Appendix F)
-//	liflsim overhead  # orchestration overhead (§6.1)
-//	liflsim all       # everything above
+//	liflsim fig4               # NH vs WH timelines + LIFL (Fig. 4, Fig. 7(c))
+//	liflsim fig7               # data-plane transfer latency/CPU (Fig. 7(a,b))
+//	liflsim fig8               # orchestration ablation (Fig. 8(a-d))
+//	liflsim fig9r18            # ResNet-18 time/cost-to-accuracy + Fig. 10(a-c)
+//	liflsim fig9r152           # ResNet-152 time/cost-to-accuracy + Fig. 10(d-f)
+//	liflsim fig13              # message-queuing overheads (Appendix F)
+//	liflsim overhead           # orchestration overhead (§6.1)
+//	liflsim scenarios          # list the workload registry
+//	liflsim scenario <name>    # sweep one registry scenario
+//	liflsim all                # everything above
+//
+// -parallel N fans each verb's independent runs across N workers (0 = one
+// per CPU). Every run owns its own simulation engine, so output is
+// byte-identical to the serial run for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/harness"
 	"repro/internal/model"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
+	parallel := flag.Int("parallel", 1, "workers for independent runs (0 = one per CPU)")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() < 1 {
+	// Go's flag parsing stops at the first verb; keep consuming so
+	// `liflsim all -parallel 8` works as well as `liflsim -parallel 8 all`.
+	var verbs []string
+	for args := flag.Args(); len(args) > 0; args = flag.Args() {
+		if len(args[0]) > 1 && strings.HasPrefix(args[0], "-") {
+			flag.CommandLine.Parse(args) // exits on bad flags (ExitOnError)
+			continue
+		}
+		verbs = append(verbs, args[0])
+		flag.CommandLine.Parse(args[1:])
+	}
+	if len(verbs) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	for _, what := range flag.Args() {
-		if err := run(what, *seed); err != nil {
+	experiments.Parallelism = harness.DefaultWorkers(*parallel)
+	// Registry scenarios carry their own seeds; only an explicit -seed
+	// overrides them (0 = keep the scenario's default).
+	scenarioSeed := int64(0)
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			scenarioSeed = *seed
+		}
+	})
+	for i := 0; i < len(verbs); i++ {
+		what := verbs[i]
+		runSeed := *seed
+		if what == "scenario" {
+			if i+1 >= len(verbs) {
+				fmt.Fprintln(os.Stderr, "liflsim: scenario requires a name (see `liflsim scenarios`)")
+				os.Exit(2)
+			}
+			i++
+			what = "scenario:" + verbs[i]
+			runSeed = scenarioSeed
+		}
+		if err := run(what, runSeed); err != nil {
 			fmt.Fprintf(os.Stderr, "liflsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -39,10 +79,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] {fig4|fig7|fig8|fig9r18|fig9r152|fig13|overhead|appendixe|ablation|verify|verifyfull|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig13|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
 }
 
 func run(what string, seed int64) error {
+	if name, ok := strings.CutPrefix(what, "scenario:"); ok {
+		out, err := experiments.RunScenario(name, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+		return nil
+	}
 	switch what {
 	case "fig4":
 		fmt.Print(experiments.FormatFig4(experiments.Fig4(), experiments.Fig7c()))
@@ -68,6 +116,8 @@ func run(what string, seed int64) error {
 		fmt.Print(experiments.FormatVerify(experiments.Verify(false)))
 	case "verifyfull":
 		fmt.Print(experiments.FormatVerify(experiments.Verify(true)))
+	case "scenarios":
+		fmt.Print(experiments.FormatScenarioList())
 	case "ablation":
 		fmt.Print(experiments.FormatAblations(
 			experiments.AblateFanIn(nil), experiments.AblateEWMA(nil), experiments.AblatePlacement()))

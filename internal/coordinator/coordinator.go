@@ -82,6 +82,10 @@ func (h *Heartbeats) Failed() []ClientID {
 // Forget drops a client (round ended or reassigned).
 func (h *Heartbeats) Forget(c ClientID) { delete(h.last, c) }
 
+// Pending returns how many clients have an outstanding beat — contacted
+// but neither forgotten (delivered their update) nor yet swept by Failed.
+func (h *Heartbeats) Pending() int { return len(h.last) }
+
 // Round tracks the lifecycle of one global-model round.
 type Round struct {
 	Number  int

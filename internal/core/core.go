@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/coordinator"
 	"repro/internal/costmodel"
+	"repro/internal/fedavg"
 	"repro/internal/flwork"
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -31,6 +32,42 @@ const (
 	SystemSF   SystemKind = "sf"   // serverful baseline
 	SystemSL   SystemKind = "sl"   // serverless baseline
 )
+
+// SelectorKind picks the per-round client sampling algorithm.
+type SelectorKind string
+
+// The two selectors. Both draw uniform ActivePerRound-subsets; they differ
+// in cost and in the RNG draw sequence (so their schedules differ for the
+// same seed — see DESIGN.md's selector determinism contract).
+const (
+	// SelectPerm is the default: a full rng.Perm over the population each
+	// round — O(population) per round, bit-identical to the seed behaviour
+	// the paper figures were calibrated against.
+	SelectPerm SelectorKind = "perm"
+	// SelectStream is the large-scale selector: an incremental partial
+	// Fisher–Yates over a persistent index pool — O(ActivePerRound) work
+	// per round after a one-time O(population) setup, flat in population
+	// size (BenchmarkSelectStream1M).
+	SelectStream SelectorKind = "stream"
+)
+
+// InjectSpec replaces population-driven rounds with Fig. 8-style injected
+// batches: Updates synthetic model updates arrive directly at the
+// aggregation service (no broadcast, pre-queued), spread over Window.
+type InjectSpec struct {
+	Updates int
+	// Window defaults to Updates × 200 ms, the §5.4-motivated spread the
+	// Fig. 8 microbenchmark uses.
+	Window sim.Duration
+	// Weight is the FedAvg weight per injected update (default 1).
+	Weight float64
+}
+
+// RoundObservation is delivered to RunConfig.OnRound after each round.
+type RoundObservation struct {
+	Result systems.RoundResult
+	Acc    AccPoint
+}
 
 // RunConfig parameterizes a full FL training run (the Fig. 9/10 workloads).
 type RunConfig struct {
@@ -60,7 +97,28 @@ type RunConfig struct {
 	// Params overrides the platform cost model (zero = Default()).
 	Params costmodel.Params
 	// Flags overrides LIFL's ablation switches (LIFL default: all on).
+	// Only SystemLIFL honours them; NewPlatform rejects Flags on any other
+	// system instead of silently dropping them.
 	Flags *systems.Flags
+	// Selector picks the client sampling algorithm (default SelectPerm).
+	Selector SelectorKind
+	// Inject, when set, runs injected single-batch rounds instead of
+	// population-driven ones (the Fig. 8 microbenchmark mode); rounds are
+	// numbered from 0 and MaxRounds defaults to 1.
+	Inject *InjectSpec
+	// ServerOpt post-processes each round's aggregate into the next global
+	// model (default fedavg.Adopt — plain FedAvg). Stateful optimizers
+	// (fedavg.FedAvgM) carry per-run state: give every run its own
+	// instance — sharing one across repeated or concurrent runs
+	// warm-starts/races the optimizer state.
+	ServerOpt fedavg.ServerOpt
+	// OnRound, when set, observes every completed round as it happens.
+	OnRound func(RoundObservation)
+	// StreamOnly keeps the Report lean for very long or very large runs:
+	// per-round slices (Rounds, Acc, ActiveAggs, CPUPerRound) and the
+	// arrival series are not accumulated — pair with OnRound to stream
+	// observations instead. Scalar outcomes are still reported.
+	StreamOnly bool
 	// Tracer, when set, records task spans.
 	Tracer *trace.Recorder
 }
@@ -72,7 +130,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Model.Params == 0 {
 		c.Model = model.ResNet18
 	}
-	if c.Clients == 0 {
+	if c.Clients == 0 && c.Inject == nil {
+		// Injected runs never touch the population; leave it empty so
+		// Fig. 8-style grids don't pay 2,800 client synthesses per cell.
 		c.Clients = 2800
 	}
 	if c.ActivePerRound == 0 {
@@ -83,6 +143,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 500
+		if c.Inject != nil {
+			c.MaxRounds = 1
+		}
 	}
 	if c.Nodes == 0 {
 		c.Nodes = 5
@@ -92,6 +155,22 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.Params.CoresPerNode == 0 {
 		c.Params = costmodel.Default()
+	}
+	if c.Selector == "" {
+		c.Selector = SelectPerm
+	}
+	if c.ServerOpt == nil {
+		c.ServerOpt = fedavg.Adopt{}
+	}
+	if c.Inject != nil {
+		i := *c.Inject
+		if i.Window == 0 {
+			i.Window = sim.Duration(i.Updates) * 200 * sim.Millisecond
+		}
+		if i.Weight == 0 {
+			i.Weight = 1
+		}
+		c.Inject = &i
 	}
 	return c
 }
@@ -123,6 +202,16 @@ type Report struct {
 	CPUPerRound []float64
 	// FinalGlobal is the trained model.
 	FinalGlobal *tensor.Tensor
+	// The scalar outcomes below survive StreamOnly runs, where the
+	// per-round slices above are left empty.
+	// RoundsRun counts completed rounds.
+	RoundsRun int
+	// Elapsed is the simulated wall clock at the end of the run.
+	Elapsed sim.Duration
+	// CPUTotal is the system's cumulative CPU cost at the end of the run.
+	CPUTotal sim.Duration
+	// FailuresDetected counts clients the heartbeat monitor declared dead.
+	FailuresDetected int
 }
 
 // Platform couples an engine, a system and a population.
@@ -138,7 +227,8 @@ type Platform struct {
 	Beats            *coordinator.Heartbeats
 	FailuresDetected int
 
-	arrivalMinutes map[int]int
+	sel      roundSelector
+	arrivals arrivalMeter
 }
 
 // NewPlatform assembles everything for a run.
@@ -146,12 +236,13 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 	cfg = cfg.withDefaults()
 	eng := sim.NewEngine()
 	scfg := systems.Config{
-		Nodes:  cfg.Nodes,
-		Model:  cfg.Model,
-		Params: cfg.Params,
-		Seed:   cfg.Seed,
-		MC:     cfg.MC,
-		Tracer: cfg.Tracer,
+		Nodes:     cfg.Nodes,
+		Model:     cfg.Model,
+		Params:    cfg.Params,
+		Seed:      cfg.Seed,
+		MC:        cfg.MC,
+		ServerOpt: cfg.ServerOpt,
+		Tracer:    cfg.Tracer,
 	}
 	var sys systems.Service
 	switch cfg.System {
@@ -161,16 +252,29 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 			scfg.Flags = *cfg.Flags
 		}
 		sys = systems.NewLIFL(eng, scfg)
-	case SystemSLH:
-		sys = systems.NewLIFL(eng, scfg) // zero Flags = SL-H
-	case SystemSF:
-		// Static fleet sized for peak concurrency with leaf fan-in 2.
-		scfg.SFLeaves = (cfg.ActivePerRound + 1) / 2
-		sys = systems.NewSF(eng, scfg)
-	case SystemSL:
-		sys = systems.NewSL(eng, scfg)
+	case SystemSLH, SystemSF, SystemSL:
+		if cfg.Flags != nil {
+			// The ablation switches only exist on the LIFL assembly;
+			// dropping them silently would turn a caller's ablation sweep
+			// into identical baseline runs.
+			return nil, fmt.Errorf("core: %s does not take orchestration Flags (only %s does)", cfg.System, SystemLIFL)
+		}
+		switch cfg.System {
+		case SystemSLH:
+			sys = systems.NewLIFL(eng, scfg) // zero Flags = SL-H
+		case SystemSF:
+			// Static fleet sized for peak concurrency with leaf fan-in 2.
+			scfg.SFLeaves = (cfg.ActivePerRound + 1) / 2
+			sys = systems.NewSF(eng, scfg)
+		case SystemSL:
+			sys = systems.NewSL(eng, scfg)
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown system %q", cfg.System)
+	}
+	sel, err := newSelector(cfg.Selector)
+	if err != nil {
+		return nil, err
 	}
 	pop := flwork.NewPopulation(eng, flwork.Config{
 		NumClients: cfg.Clients,
@@ -179,13 +283,13 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Seed:       cfg.Seed + 1,
 	})
 	return &Platform{
-		Cfg:            cfg,
-		Eng:            eng,
-		Sys:            sys,
-		Pop:            pop,
-		Curve:          flwork.CurveFor(cfg.Model),
-		Beats:          coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
-		arrivalMinutes: make(map[int]int),
+		Cfg:   cfg,
+		Eng:   eng,
+		Sys:   sys,
+		Pop:   pop,
+		Curve: flwork.CurveFor(cfg.Model),
+		Beats: coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
+		sel:   sel,
 	}, nil
 }
 
@@ -194,7 +298,13 @@ func (p *Platform) Run() (*Report, error) {
 	cfg := p.Cfg
 	rng := sim.NewRNG(cfg.Seed + 2)
 	rep := &Report{System: cfg.System, Model: cfg.Model}
-	for r := 1; r <= cfg.MaxRounds; r++ {
+	// Injected (Fig. 8-style) runs number rounds from 0, matching the
+	// microbenchmark's original single-round harness.
+	first, last := 1, cfg.MaxRounds
+	if cfg.Inject != nil {
+		first, last = 0, cfg.MaxRounds-1
+	}
+	for r := first; r <= last; r++ {
 		jobs := p.roundJobs(rng, r)
 		var result *systems.RoundResult
 		p.Sys.RunRound(r, jobs, func(res systems.RoundResult) { result = &res })
@@ -206,16 +316,23 @@ func (p *Platform) Run() (*Report, error) {
 		if result == nil {
 			return nil, errors.New("core: round did not complete")
 		}
-		rep.Rounds = append(rep.Rounds, *result)
-		rep.ActiveAggs = append(rep.ActiveAggs, p.Sys.ActiveAggregators())
-		rep.CPUPerRound = append(rep.CPUPerRound, result.CPUTime.Seconds())
+		rep.RoundsRun++
 		acc := p.Curve.At(r)
-		rep.Acc = append(rep.Acc, AccPoint{
+		point := AccPoint{
 			Round:    r,
 			Time:     p.Eng.Now(),
 			CPUTime:  p.Sys.CPUTime(),
 			Accuracy: acc,
-		})
+		}
+		if !cfg.StreamOnly {
+			rep.Rounds = append(rep.Rounds, *result)
+			rep.ActiveAggs = append(rep.ActiveAggs, p.Sys.ActiveAggregators())
+			rep.CPUPerRound = append(rep.CPUPerRound, result.CPUTime.Seconds())
+			rep.Acc = append(rep.Acc, point)
+		}
+		if cfg.OnRound != nil {
+			cfg.OnRound(RoundObservation{Result: *result, Acc: point})
+		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true
 			rep.TimeToTarget = p.Eng.Now()
@@ -225,7 +342,12 @@ func (p *Platform) Run() (*Report, error) {
 	}
 	p.Sys.Finalize()
 	rep.FinalGlobal = p.Sys.Global()
-	rep.ArrivalsPerMinute = p.arrivalSeries()
+	if !cfg.StreamOnly {
+		rep.ArrivalsPerMinute = p.arrivals.series()
+	}
+	rep.Elapsed = p.Eng.Now()
+	rep.CPUTotal = p.Sys.CPUTime()
+	rep.FailuresDetected = p.FailuresDetected
 	return rep, nil
 }
 
@@ -236,26 +358,10 @@ func (p *Platform) Run() (*Report, error) {
 // goal is still met (§3 resilience).
 func (p *Platform) roundJobs(rng *sim.RNG, round int) []systems.ClientJob {
 	cfg := p.Cfg
-	n := cfg.ActivePerRound
-	// Walk the shuffled population until the goal's worth of live clients
-	// is found; everyone contacted beats once, the dead ones expire.
-	perm := rng.Perm(len(p.Pop.Clients))
-	var idx []int
-	for _, i := range perm {
-		c := p.Pop.Clients[i]
-		p.Beats.Beat(coordinator.ClientID(c.ID))
-		if cfg.FailureRate > 0 && rng.Float64() < cfg.FailureRate {
-			// The client dies before uploading; its heartbeat will expire
-			// and the monitor reports it, while a standby takes its slot.
-			p.FailuresDetected++
-			continue
-		}
-		p.Beats.Forget(coordinator.ClientID(c.ID))
-		idx = append(idx, i)
-		if len(idx) == n {
-			break
-		}
+	if cfg.Inject != nil {
+		return p.injectedJobs()
 	}
+	idx := p.sel.selectRound(p, rng, cfg.ActivePerRound)
 	jobs := make([]systems.ClientJob, 0, len(idx))
 	base := p.Eng.Now()
 	for _, i := range idx {
@@ -263,8 +369,9 @@ func (p *Platform) roundJobs(rng *sim.RNG, round int) []systems.ClientJob {
 		// Hibernation gates availability *between* rounds (the selector only
 		// picks active clients); within a round the delay is training time.
 		delay := p.Pop.TrainTime(c)
-		minute := int((base + delay) / sim.Minute)
-		p.arrivalMinutes[minute]++
+		if !cfg.StreamOnly {
+			p.arrivals.note(int((base + delay) / sim.Minute))
+		}
 		jobs = append(jobs, systems.ClientJob{
 			ID:     c.ID,
 			Delay:  delay,
@@ -277,16 +384,59 @@ func (p *Platform) roundJobs(rng *sim.RNG, round int) []systems.ClientJob {
 	return jobs
 }
 
-func (p *Platform) arrivalSeries() []float64 {
-	maxMin := 0
-	for m := range p.arrivalMinutes {
-		if m > maxMin {
-			maxMin = m
+// injectedJobs builds the Fig. 8 batch: updates that land directly in the
+// in-place queues (§6.1: "we assume the estimated Q is equal to the actual
+// queue length"), with arrivals spread over the window like real trainer
+// uploads (§5.4) — the spread is what gives eager aggregation its edge.
+func (p *Platform) injectedJobs() []systems.ClientJob {
+	spec := *p.Cfg.Inject
+	jobs := make([]systems.ClientJob, spec.Updates)
+	for k := range jobs {
+		var d sim.Duration
+		if spec.Updates > 1 {
+			d = spec.Window * sim.Duration(k) / sim.Duration(spec.Updates)
+		}
+		jobs[k] = systems.ClientJob{
+			ID:     "inj",
+			Delay:  d,
+			Weight: spec.Weight,
+			MakeUpdate: func(g *tensor.Tensor) *tensor.Tensor {
+				u := g.Clone()
+				for i := range u.Data {
+					u.Data[i] += 0.125
+				}
+				return u
+			},
+			SkipBroadcast: true,
+			PreQueued:     true,
 		}
 	}
-	out := make([]float64, maxMin+1)
-	for m, c := range p.arrivalMinutes {
-		out[m] = float64(c)
+	return jobs
+}
+
+// arrivalMeter counts scheduled upload arrivals per simulated minute as a
+// growable slice — the hot round path pays one bounds check and an
+// increment, never a map probe.
+type arrivalMeter struct {
+	counts []int
+}
+
+func (m *arrivalMeter) note(minute int) {
+	for len(m.counts) <= minute {
+		m.counts = append(m.counts, 0)
+	}
+	m.counts[minute]++
+}
+
+// series renders the Fig. 10 arrivals-per-minute vector. An empty meter
+// yields a single zero sample, matching the legacy map-based meter.
+func (m *arrivalMeter) series() []float64 {
+	if len(m.counts) == 0 {
+		return []float64{0}
+	}
+	out := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		out[i] = float64(c)
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flwork"
+	"repro/internal/model"
+)
+
+// The §3 resilience path: failed clients are detected via heartbeats and
+// their slots covered by over-provisioned standbys.
+
+func failureCfg(kind SelectorKind) RunConfig {
+	return RunConfig{
+		Model:          model.ResNet18,
+		Clients:        600,
+		ActivePerRound: 20,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.99,
+		MaxRounds:      8,
+		FailureRate:    0.15,
+		Selector:       kind,
+		Seed:           33,
+	}
+}
+
+// Standby replacement: every round still aggregates the full
+// ActivePerRound updates even though ~15% of contacted clients die, and
+// the monitor's failure count is plausible for the rate.
+func TestFailuresCoveredByStandbys(t *testing.T) {
+	for _, kind := range []SelectorKind{SelectPerm, SelectStream} {
+		t.Run(string(kind), func(t *testing.T) {
+			p, err := NewPlatform(failureCfg(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.RoundsRun != 8 {
+				t.Fatalf("rounds = %d", rep.RoundsRun)
+			}
+			for _, r := range rep.Rounds {
+				if r.Updates != 20 {
+					t.Fatalf("round %d aggregated %d updates despite standbys", r.Round, r.Updates)
+				}
+			}
+			// 8 rounds × 20 live selections at 15% death: ~28 expected
+			// failures; allow a wide deterministic-seed band.
+			if rep.FailuresDetected < 5 || rep.FailuresDetected > 120 {
+				t.Fatalf("FailuresDetected = %d, implausible for rate 0.15", rep.FailuresDetected)
+			}
+			if rep.FailuresDetected != p.FailuresDetected {
+				t.Fatal("report and platform disagree on failures")
+			}
+		})
+	}
+}
+
+// FailuresDetected accounting: the selector beats every contacted client
+// and forgets the live ones, so after a single round the outstanding
+// heartbeats are exactly the clients that died — no client can have been
+// re-contacted yet.
+func TestFailureAccountingMatchesHeartbeats(t *testing.T) {
+	for _, kind := range []SelectorKind{SelectPerm, SelectStream} {
+		cfg := failureCfg(kind)
+		cfg.MaxRounds = 1
+		p, err := NewPlatform(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if pending := p.Beats.Pending(); pending != p.FailuresDetected {
+			t.Fatalf("%s: %d heartbeats pending, %d failures detected", kind, pending, p.FailuresDetected)
+		}
+		if p.FailuresDetected == 0 {
+			t.Fatalf("%s: no failures at rate 0.15 over a full round", kind)
+		}
+	}
+}
+
+// Determinism across repeats: the failure path draws from the same seeded
+// RNG stream as selection, so two identical runs agree on everything.
+func TestFailureRunsDeterministic(t *testing.T) {
+	for _, kind := range []SelectorKind{SelectPerm, SelectStream} {
+		a, err := Run(failureCfg(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(failureCfg(kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.FailuresDetected != b.FailuresDetected {
+			t.Fatalf("%s: failures %d vs %d", kind, a.FailuresDetected, b.FailuresDetected)
+		}
+		if a.Elapsed != b.Elapsed || a.CPUTotal != b.CPUTotal {
+			t.Fatalf("%s: timings diverged", kind)
+		}
+		d, err := a.FinalGlobal.MaxAbsDiff(b.FinalGlobal)
+		if err != nil || d != 0 {
+			t.Fatalf("%s: models differ: %v %v", kind, d, err)
+		}
+	}
+}
+
+// With no failures every contacted client delivers and is forgotten: the
+// heartbeat table drains to zero and nothing is ever flagged.
+func TestNoFailuresLeaveNoPendingBeats(t *testing.T) {
+	for _, kind := range []SelectorKind{SelectPerm, SelectStream} {
+		cfg := failureCfg(kind)
+		cfg.FailureRate = 0
+		p, err := NewPlatform(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := p.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FailuresDetected != 0 || p.Beats.Pending() != 0 {
+			t.Fatalf("%s: failures=%d pending=%d with rate 0", kind, rep.FailuresDetected, p.Beats.Pending())
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func selectPlatform(t testing.TB, clients int, kind SelectorKind, failureRate float64) *Platform {
+	t.Helper()
+	p, err := NewPlatform(RunConfig{
+		Clients:        clients,
+		ActivePerRound: 120,
+		Model:          model.ResNet18,
+		Class:          flwork.Mobile,
+		Selector:       kind,
+		FailureRate:    failureRate,
+		StreamOnly:     kind == SelectStream,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlatformRejectsUnknownSelector(t *testing.T) {
+	_, err := NewPlatform(RunConfig{Selector: "bogus"})
+	if err == nil {
+		t.Fatal("unknown selector accepted")
+	}
+}
+
+// The streaming selector must produce a valid without-replacement sample
+// every round: goal-many distinct in-range indices, different across
+// rounds, and deterministic for a fixed seed.
+func TestStreamSelectorSamplesWithoutReplacement(t *testing.T) {
+	const clients, goal = 5000, 120
+	p := selectPlatform(t, clients, SelectStream, 0)
+	rng := sim.NewRNG(9)
+	sel := p.sel.(*streamSelector)
+	everSelected := map[int]bool{}
+	var firstRound []int
+	for round := 0; round < 200; round++ {
+		idx := sel.selectRound(p, rng, goal)
+		if len(idx) != goal {
+			t.Fatalf("round %d: %d selected", round, len(idx))
+		}
+		seen := map[int]bool{}
+		for _, i := range idx {
+			if i < 0 || i >= clients {
+				t.Fatalf("round %d: index %d out of range", round, i)
+			}
+			if seen[i] {
+				t.Fatalf("round %d: index %d selected twice", round, i)
+			}
+			seen[i] = true
+			everSelected[i] = true
+		}
+		if round == 0 {
+			firstRound = append(firstRound, idx...)
+		}
+	}
+	// 200 rounds × 120 picks from 5,000: uniformity means nearly every
+	// client is touched at least once (expected miss fraction < 1%).
+	if len(everSelected) < clients*95/100 {
+		t.Fatalf("only %d/%d clients ever selected — not uniform", len(everSelected), clients)
+	}
+	// Deterministic per seed.
+	p2 := selectPlatform(t, clients, SelectStream, 0)
+	again := p2.sel.selectRound(p2, sim.NewRNG(9), goal)
+	for i := range firstRound {
+		if firstRound[i] != again[i] {
+			t.Fatalf("same seed diverged at pick %d: %d vs %d", i, firstRound[i], again[i])
+		}
+	}
+}
+
+// Both selectors must survive a goal larger than the population: every
+// live client is selected, no duplicate picks, no infinite walk.
+func TestSelectorsWithGoalBeyondPopulation(t *testing.T) {
+	for _, kind := range []SelectorKind{SelectPerm, SelectStream} {
+		p := selectPlatform(t, 30, kind, 0)
+		rng := sim.NewRNG(1)
+		idx := p.sel.selectRound(p, rng, 100)
+		if len(idx) != 30 {
+			t.Fatalf("%s: selected %d of 30", kind, len(idx))
+		}
+	}
+}
+
+// A full run on the streaming selector must deliver the same per-round
+// update counts as the default selector (the schedule differs, the
+// contract does not), stay lean, and be deterministic across repeats.
+func TestStreamSelectorRunDeliversRounds(t *testing.T) {
+	cfg := RunConfig{
+		Model:          model.ResNet18,
+		Clients:        3000,
+		ActivePerRound: 24,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.99,
+		MaxRounds:      4,
+		Selector:       SelectStream,
+		StreamOnly:     true,
+		Seed:           21,
+	}
+	var updates []int
+	cfg.OnRound = func(o RoundObservation) { updates = append(updates, o.Result.Updates) }
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsRun != 4 || len(updates) != 4 {
+		t.Fatalf("rounds = %d, observed = %d", rep.RoundsRun, len(updates))
+	}
+	for r, u := range updates {
+		if u != 24 {
+			t.Fatalf("round %d: %d updates", r, u)
+		}
+	}
+	if len(rep.Rounds) != 0 || len(rep.Acc) != 0 || len(rep.ArrivalsPerMinute) != 0 {
+		t.Fatal("StreamOnly report accumulated per-round slices")
+	}
+	if rep.Elapsed <= 0 || rep.CPUTotal <= 0 || rep.FinalGlobal == nil {
+		t.Fatalf("lean report incomplete: %+v", rep)
+	}
+	cfg.OnRound = nil
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.CPUTotal != b.CPUTotal {
+		t.Fatalf("stream selector not deterministic: %v/%v vs %v/%v", a.Elapsed, a.CPUTotal, b.Elapsed, b.CPUTotal)
+	}
+}
+
+// benchSelect times one round of client selection + job building at the
+// given population. The streaming selector must stay flat from 10K to 1M
+// (O(ActivePerRound) per round); the default permutation selector is the
+// O(population) contrast.
+func benchSelect(b *testing.B, clients int, kind SelectorKind) {
+	b.Helper()
+	p := selectPlatform(b, clients, kind, 0)
+	rng := sim.NewRNG(3)
+	// Warm one round outside the timer so the streaming selector's one-time
+	// O(population) pool setup doesn't smear into the per-round figure.
+	p.roundJobs(rng, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if jobs := p.roundJobs(rng, 1); len(jobs) != 120 {
+			b.Fatalf("selected %d", len(jobs))
+		}
+	}
+}
+
+func BenchmarkSelectStream(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) { benchSelect(b, n, SelectStream) })
+	}
+}
+
+func BenchmarkSelectPerm(b *testing.B) {
+	for _, n := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("pop=%d", n), func(b *testing.B) { benchSelect(b, n, SelectPerm) })
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/costmodel"
 	"repro/internal/gateway"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -34,16 +35,36 @@ type AppendixEResult struct {
 // inflates sharply the node is overloaded; MC = k′·E′ at that point. The
 // Fig. 8 experiments hard-code MC=20 from the paper — this probe shows the
 // calibrated simulator lands in the same regime.
+//
+// Each rate probe is an independent single-node simulation, so with
+// Parallelism > 1 the sweep probes every rate concurrently and truncates
+// at the first saturation knee; serially it walks rates in order and
+// stops at the knee. Both paths report identical points.
 func AppendixE() AppendixEResult {
 	m := model.ResNet152
 	var res AppendixEResult
 	base := probeServiceTime(m, 0.5)
-	for k := 1.0; k <= 12; k += 0.5 {
-		e := probeServiceTime(m, k)
-		pt := AppendixEPoint{ArrivalRate: k, ExecTime: e}
+	knee := func(e sim.Duration) bool {
 		// "A significant increase in E" — the paper's knee criterion. MC is
 		// k′·E′ at the point the node becomes overloaded.
-		if float64(e) > 2.0*float64(base) {
+		return float64(e) > 2.0*float64(base)
+	}
+	var rates []float64
+	for k := 1.0; k <= 12; k += 0.5 {
+		rates = append(rates, k)
+	}
+	// One accumulation loop for both modes: `probe` either reads the
+	// pre-computed concurrent sweep (speculating past the knee) or probes
+	// lazily so the serial walk still stops at the knee.
+	probe := func(i int) sim.Duration { return probeServiceTime(m, rates[i]) }
+	if Parallelism > 1 {
+		times := harness.Map(Parallelism, len(rates), probe)
+		probe = func(i int) sim.Duration { return times[i] }
+	}
+	for i, k := range rates {
+		e := probe(i)
+		pt := AppendixEPoint{ArrivalRate: k, ExecTime: e}
+		if knee(e) {
 			pt.Saturated = true
 			res.Points = append(res.Points, pt)
 			res.MC = k * e.Seconds()
@@ -63,8 +84,17 @@ func AppendixE() AppendixEResult {
 const probeParallelism = 10
 
 // probeServiceTime offers `rate` updates/sec to one node for a fixed window
-// and returns the mean commit→aggregated latency.
-func probeServiceTime(m model.Spec, rate float64) sim.Duration {
+// and returns the mean commit→aggregated latency. Far past saturation the
+// open-loop backlog is unbounded and can overrun the node's shm store
+// mid-window; that is the overload signal, not a probe failure, so it is
+// reported as fully wedged (the parallel sweep probes such rates before
+// knowing where the knee is).
+func probeServiceTime(m model.Spec, rate float64) (e sim.Duration) {
+	defer func() {
+		if r := recover(); r != nil {
+			e = sim.Hour
+		}
+	}()
 	eng := sim.NewEngine()
 	p := costmodel.Default()
 	cl := cluster.New(eng, sim.NewRNG(77), p, 1)

@@ -202,6 +202,45 @@ func TestAppendixEDerivesMC(t *testing.T) {
 	}
 }
 
+// The sweep-harness guarantee at the figure level: every run owns its own
+// engine, so a parallel regeneration formats byte-identically to the
+// serial one.
+func TestParallelFiguresMatchSerial(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 1
+	fig8Serial := FormatFig8(Fig8([]int{20, 60}))
+	ablSerial := FormatAblations(AblateFanIn([]int{1, 2}), AblateEWMA(nil), AblatePlacement())
+
+	Parallelism = 8
+	if got := FormatFig8(Fig8([]int{20, 60})); got != fig8Serial {
+		t.Errorf("fig8 diverged under parallel sweep:\nserial:\n%s\nparallel:\n%s", fig8Serial, got)
+	}
+	if got := FormatAblations(AblateFanIn([]int{1, 2}), AblateEWMA(nil), AblatePlacement()); got != ablSerial {
+		t.Errorf("ablation diverged under parallel sweep")
+	}
+}
+
+// The scenario verb path: registry lookup, sweep, generic formatting.
+func TestRunScenarioVerb(t *testing.T) {
+	out, err := RunScenario("fig8-ablation", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Scenario fig8-ablation", "lifl/SL-H/20", "lifl/+1+2+3+4/100"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scenario output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RunScenario("no-such-scenario", 0); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	if list := FormatScenarioList(); !strings.Contains(list, "million-clients") {
+		t.Error("scenario list missing registry entry")
+	}
+}
+
 // The fast reproduction gates must all hold.
 func TestVerifyGatesHold(t *testing.T) {
 	checks := Verify(false)

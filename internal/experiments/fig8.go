@@ -4,28 +4,17 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/model"
+	"repro/internal/harness"
+	"repro/internal/scenario"
 	"repro/internal/sim"
-	"repro/internal/systems"
 )
 
 // Fig8Variant is one line of Fig. 8: a feature prefix of LIFL's
 // orchestration applied on top of the SL-H baseline.
-type Fig8Variant struct {
-	Label string
-	Flags systems.Flags
-}
+type Fig8Variant = scenario.FlagVariant
 
 // Fig8Variants lists the paper's five configurations in order.
-func Fig8Variants() []Fig8Variant {
-	return []Fig8Variant{
-		{Label: "SL-H", Flags: systems.Flags{}},
-		{Label: "+1", Flags: systems.Flags{LocalityPlacement: true}},
-		{Label: "+1+2", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true}},
-		{Label: "+1+2+3", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true, Reuse: true}},
-		{Label: "+1+2+3+4", Flags: systems.AllFlags()},
-	}
-}
+func Fig8Variants() []Fig8Variant { return scenario.AblationVariants() }
 
 // Fig8Cell is one (variant, load) measurement.
 type Fig8Cell struct {
@@ -39,53 +28,36 @@ type Fig8Cell struct {
 
 // Fig8 reproduces the orchestration ablation: 5 nodes, MC=20, ResNet-152,
 // batches of 20/60/100 model updates arriving at the service together.
-// Every cell runs on a fresh cluster (cold platform), as the microbenchmark
-// focuses on "the importance of having warm aggregators based on the
-// pre-planned hierarchy".
+// Every cell of the "fig8-ablation" registry scenario runs on a fresh
+// cluster (cold platform, its own engine), as the microbenchmark focuses
+// on "the importance of having warm aggregators based on the pre-planned
+// hierarchy" — which also makes the grid embarrassingly parallel.
 func Fig8(loads []int) []Fig8Cell {
-	if len(loads) == 0 {
-		loads = []int{20, 60, 100}
+	sc := scenario.MustGet("fig8-ablation")
+	if len(loads) > 0 {
+		sc.Loads = loads
 	}
-	var out []Fig8Cell
-	for _, v := range Fig8Variants() {
-		for _, load := range loads {
-			out = append(out, fig8Cell(v, load))
+	runs := sc.Expand()
+	out := make([]Fig8Cell, 0, len(runs))
+	for i, res := range harness.Sweep(runs, Parallelism) {
+		run := runs[i]
+		if res.Err != nil {
+			panic(fmt.Sprintf("fig8 %s/%d: %v", run.Variant, run.Load, res.Err))
 		}
+		rr := res.Report.Rounds[0]
+		if rr.Updates != run.Load {
+			panic(fmt.Sprintf("fig8 %s/%d: aggregated %d", run.Variant, run.Load, rr.Updates))
+		}
+		out = append(out, Fig8Cell{
+			Variant:  run.Variant,
+			Updates:  run.Load,
+			ACT:      rr.ACT,
+			CPUTime:  rr.CPUTime,
+			AggsMade: rr.AggsCreated,
+			Nodes:    rr.NodesUsed,
+		})
 	}
 	return out
-}
-
-func fig8Cell(v Fig8Variant, load int) Fig8Cell {
-	eng := sim.NewEngine()
-	s := systems.NewLIFL(eng, systems.Config{
-		Nodes: 5,
-		Model: model.ResNet152,
-		MC:    20,
-		Seed:  88,
-		Flags: v.Flags,
-	})
-	// Updates land in the in-place queues directly (§6.1: "we assume the
-	// estimated Q is equal to the actual queue length"), but their arrivals
-	// are spread over time like real trainer uploads (§5.4: "the arrival of
-	// local model updates from trainers can be spread over a relatively
-	// long duration") — this is what gives eager aggregation its edge.
-	jobs := injectedJobs(load, sim.Duration(load)*200*sim.Millisecond, 1)
-	var res systems.RoundResult
-	s.RunRound(0, jobs, func(r systems.RoundResult) { res = r })
-	if err := eng.RunUntilIdle(); err != nil {
-		panic(err)
-	}
-	if res.Updates != load {
-		panic(fmt.Sprintf("fig8 %s/%d: aggregated %d", v.Label, load, res.Updates))
-	}
-	return Fig8Cell{
-		Variant:  v.Label,
-		Updates:  load,
-		ACT:      res.ACT,
-		CPUTime:  res.CPUTime,
-		AggsMade: res.AggsCreated,
-		Nodes:    res.NodesUsed,
-	}
 }
 
 // FormatFig8 renders the four panels as tables.

@@ -5,8 +5,9 @@ import (
 	"strings"
 
 	"repro/internal/core"
-	"repro/internal/flwork"
+	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -22,49 +23,33 @@ type Fig9Row struct {
 	Report   *core.Report
 }
 
-// fig9Config builds the §6.2 workload for the given model: ResNet-18 with
-// 120 simultaneously active mobile clients, or ResNet-152 with 15 always-on
-// server clients; both select from 2,800 FedScale-like clients.
-func fig9Config(sys core.SystemKind, m model.Spec, seed int64) core.RunConfig {
-	cfg := core.RunConfig{
-		System:         sys,
-		Model:          m,
-		Clients:        2800,
-		TargetAccuracy: 0.70,
-		Nodes:          5,
-		Seed:           seed,
-	}
-	switch m.Name {
-	case model.ResNet18.Name:
-		cfg.ActivePerRound = 120
-		cfg.Class = flwork.Mobile
-		cfg.MC = 60 // smaller updates → higher per-node capacity (App. E)
-		cfg.MaxRounds = 400
-	default:
-		cfg.ActivePerRound = 15
-		cfg.Class = flwork.Server
-		cfg.MC = 20
-		cfg.MaxRounds = 400
-	}
-	return cfg
-}
-
-// Fig9 runs the full workload for the three systems on one model.
+// Fig9 runs the full §6.2 workload for the three systems on one model,
+// fanning the independent runs across the sweep harness. The workload
+// itself is the "fig9-r18"/"fig9-r152" registry scenario: ResNet-18 with
+// 120 simultaneously active mobile clients, or ResNet-152 with 15
+// always-on server clients; both select from 2,800 FedScale-like clients.
 func Fig9(m model.Spec, seed int64) []Fig9Row {
-	var rows []Fig9Row
-	for _, sys := range []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL} {
-		rep, err := core.Run(fig9Config(sys, m, seed))
-		if err != nil {
-			panic(fmt.Sprintf("fig9 %s: %v", sys, err))
+	name := "fig9-r152"
+	if m.Name == model.ResNet18.Name {
+		name = "fig9-r18"
+	}
+	sc := scenario.MustGet(name)
+	sc.Model = m // ResNet-34 etc. run on the r152 shape, as before
+	sc.Seed = seed
+	runs := sc.Expand()
+	rows := make([]Fig9Row, 0, len(runs))
+	for i, res := range harness.Sweep(runs, Parallelism) {
+		if res.Err != nil {
+			panic(fmt.Sprintf("fig9 %s: %v", runs[i].Cfg.System, res.Err))
 		}
 		rows = append(rows, Fig9Row{
-			System:   sys,
+			System:   runs[i].Cfg.System,
 			Model:    m,
-			Reached:  rep.Reached,
-			TimeTo70: rep.TimeToTarget,
-			CPUTo70:  rep.CPUToTarget,
-			Rounds:   len(rep.Rounds),
-			Report:   rep,
+			Reached:  res.Report.Reached,
+			TimeTo70: res.Report.TimeToTarget,
+			CPUTo70:  res.Report.CPUToTarget,
+			Rounds:   len(res.Report.Rounds),
+			Report:   res.Report,
 		})
 	}
 	return rows

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+)
+
+// Parallelism is the worker count every sweep in this package fans its
+// independent runs across (1 = serial). Each run owns a private engine and
+// seed-derived randomness, so results — and therefore every formatted
+// figure — are byte-identical at any setting; see internal/harness.
+// cmd/liflsim sets it from -parallel.
+var Parallelism = 1
+
+// ScenarioNames lists the registered scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// FormatScenarioList renders the registry with descriptions.
+func FormatScenarioList() string {
+	var b strings.Builder
+	b.WriteString("Registered scenarios:\n")
+	for _, n := range scenario.Names() {
+		s := scenario.MustGet(n)
+		fmt.Fprintf(&b, "  %-18s %s (%d runs)\n", n, s.Description, len(s.Expand()))
+	}
+	return b.String()
+}
+
+// RunScenario expands the named registry scenario, sweeps it across the
+// worker pool, and renders a generic outcome table. seed overrides the
+// scenario's default when non-zero (ignored by scenarios with an explicit
+// Seeds axis).
+func RunScenario(name string, seed int64) (string, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return "", fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	runs := sc.Expand()
+	results := harness.Sweep(runs, Parallelism)
+	return FormatScenario(sc, results), nil
+}
+
+// FormatScenario renders one sweep's outcomes: per-run scalar metrics that
+// survive both workload runs and injected microbenchmarks (and StreamOnly
+// lean reports).
+func FormatScenario(sc scenario.Scenario, results []harness.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scenario %s — %s\n", sc.Name, sc.Description)
+	fmt.Fprintf(&b, "%-22s %7s %8s %9s %9s %9s %9s\n",
+		"run", "rounds", "reached", "wall(h)", "cpu(h)", "tta(h)", "failures")
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Fprintf(&b, "%-22s ERROR: %v\n", r.Run.Label, r.Err)
+			continue
+		}
+		rep := r.Report
+		fmt.Fprintf(&b, "%-22s %7d %8v %9.2f %9.2f %9.2f %9d\n",
+			r.Run.Label, rep.RoundsRun, rep.Reached,
+			rep.Elapsed.Hours(), rep.CPUTotal.Hours(), rep.TimeToTarget.Hours(),
+			rep.FailuresDetected)
+	}
+	return b.String()
+}

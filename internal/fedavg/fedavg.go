@@ -116,6 +116,56 @@ func (Adopt) Apply(_, aggregate *tensor.Tensor) (*tensor.Tensor, error) {
 	return aggregate.Clone(), nil
 }
 
+// FedAvgM is server momentum (Hsu et al., 2019; Reddi et al., 2020): the
+// round's pseudo-gradient Δ = aggregate − global folds into a velocity
+// v ← β·v + Δ, and the server steps w ← w + η·v. Both updates run on the
+// fused tensor.ScaleAdd sweep, so the install path costs two passes over
+// the parameter vector and one allocation (the returned model) per round.
+//
+// The velocity is per-training-run state: a FedAvgM instance belongs to
+// exactly one run. Reusing one across runs warm-starts the second run's
+// momentum (breaking fixed-seed repeatability), and sharing one between
+// concurrent runs races on v — allocate a fresh instance per run, as
+// scenario expansion does for its ServerMomentum knob.
+type FedAvgM struct {
+	Beta float64 // momentum coefficient β (default 0.9)
+	LR   float64 // server learning rate η (default 1.0)
+	v    *tensor.Tensor
+}
+
+// Name implements ServerOpt.
+func (o *FedAvgM) Name() string { return "fedavgm" }
+
+// Apply implements ServerOpt.
+func (o *FedAvgM) Apply(global, aggregate *tensor.Tensor) (*tensor.Tensor, error) {
+	if global.Len() != aggregate.Len() {
+		return nil, fmt.Errorf("%w: global %d vs aggregate %d", tensor.ErrShape, global.Len(), aggregate.Len())
+	}
+	if o.Beta == 0 {
+		o.Beta = 0.9
+	}
+	if o.LR == 0 {
+		o.LR = 1.0
+	}
+	if o.v == nil {
+		o.v = tensor.NewVirtual(global.Len(), global.VirtualLen)
+	}
+	// v = β·v + Δ, computed as v = β·v + (aggregate − global) in two fused
+	// sweeps: fold the aggregate in, then cancel the global.
+	if err := o.v.ScaleAdd(float32(o.Beta), 1, aggregate); err != nil {
+		return nil, err
+	}
+	if err := o.v.AddScaled(-1, global); err != nil {
+		return nil, err
+	}
+	// w = w + η·v without mutating the caller's global.
+	out := global.Clone()
+	if err := out.ScaleAdd(1, float32(o.LR), o.v); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // FedAdagrad is an adaptive server optimizer: accumulates squared
 // pseudo-gradients and scales the server step (Reddi et al., 2020).
 type FedAdagrad struct {

@@ -237,3 +237,74 @@ func TestFedAdagradShapeError(t *testing.T) {
 		t.Fatal("shape mismatch accepted")
 	}
 }
+
+// With no momentum memory (β→0 via a first step) and η=1, FedAvgM's first
+// step is w + (agg − w) = agg: plain adoption.
+func TestFedAvgMFirstStepAdopts(t *testing.T) {
+	o := &FedAvgM{Beta: 0.5, LR: 1}
+	g := tensor.FromSlice([]float32{1, 2})
+	agg := tensor.FromSlice([]float32{5, -6})
+	next, err := o.Apply(g, agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := next.MaxAbsDiff(agg)
+	if err != nil || d > 1e-6 {
+		t.Fatalf("first FedAvgM step = %v, want the aggregate (d=%v err=%v)", next.Data, d, err)
+	}
+	if g.Data[0] != 1 || agg.Data[0] != 5 {
+		t.Fatal("Apply mutated its inputs")
+	}
+}
+
+// A repeated pseudo-gradient must compound: with β=0.5 the second step's
+// velocity is 1.5×Δ, so FedAvgM overshoots where Adopt would land.
+func TestFedAvgMAccumulatesMomentum(t *testing.T) {
+	o := &FedAvgM{Beta: 0.5, LR: 1}
+	g := tensor.FromSlice([]float32{0})
+	step1, err := o.Apply(g, tensor.FromSlice([]float32{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step1.Data[0] != 1 {
+		t.Fatalf("step1 = %v, want 1", step1.Data[0])
+	}
+	// Aggregate again one unit ahead of the new global: Δ = 1 once more,
+	// v = 0.5·1 + 1 = 1.5, so w = 1 + 1.5 = 2.5.
+	step2, err := o.Apply(step1, tensor.FromSlice([]float32{2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step2.Data[0] != 2.5 {
+		t.Fatalf("step2 = %v, want 2.5 (momentum not accumulated)", step2.Data[0])
+	}
+}
+
+func TestFedAvgMShapeError(t *testing.T) {
+	o := &FedAvgM{}
+	if _, err := o.Apply(tensor.New(2), tensor.New(3)); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// BenchmarkFedAvgMApply times the ScaleAdd-fused model-install path at the
+// ResNet-18 physical vector size — the per-round cost a momentum-enabled
+// workload adds over plain adoption.
+func BenchmarkFedAvgMApply(b *testing.B) {
+	const n = 1 << 16
+	o := &FedAvgM{Beta: 0.9, LR: 1}
+	g := tensor.New(n)
+	agg := tensor.New(n)
+	for i := range agg.Data {
+		agg.Data[i] = float32(i%13) * 0.01
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next, err := o.Apply(g, agg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g = next
+	}
+}

@@ -1,0 +1,82 @@
+// Package harness runs independent simulation runs in parallel. Every run
+// owns its own sim.Engine and seed-derived randomness (nothing is shared
+// between runs), so fanning a scenario's expansion across a worker pool
+// cannot perturb any run's result: a sweep's outputs are byte-identical
+// whether it runs on 1 worker or N. Results are collected in input order,
+// which keeps downstream formatting deterministic too — this is the
+// cell-per-run isolation the related cell-routing design argues for,
+// applied to figure regeneration.
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// DefaultWorkers resolves a worker count: n > 0 is taken as-is, anything
+// else means "one worker per available CPU".
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(0..n-1) on up to `workers` goroutines and returns the
+// results in input order. workers <= 1 runs inline (no goroutines), in
+// index order — useful both as the serial reference and for call sites
+// that must preserve early side effects.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Result pairs one expanded scenario run with its outcome.
+type Result struct {
+	Run    scenario.Run
+	Report *core.Report
+	Err    error
+}
+
+// Sweep executes every run on a pool of `workers` goroutines (<= 0 means
+// one per CPU) and returns results in input order. Per-run determinism is
+// unaffected by the worker count: each core.Run builds a private platform
+// from its RunConfig.
+func Sweep(runs []scenario.Run, workers int) []Result {
+	return Map(DefaultWorkers(workers), len(runs), func(i int) Result {
+		rep, err := core.Run(runs[i].Cfg)
+		return Result{Run: runs[i], Report: rep, Err: err}
+	})
+}

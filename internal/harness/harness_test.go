@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+func TestMapPreservesInputOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out := Map(workers, 100, func(i int) int { return i * i })
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("empty input: %v", out)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var live, peak atomic.Int64
+	Map(3, 50, func(i int) int {
+		n := live.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		runtime.Gosched()
+		live.Add(-1)
+		return i
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent jobs with 3 workers", p)
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if DefaultWorkers(5) != 5 {
+		t.Fatal("explicit count ignored")
+	}
+	if DefaultWorkers(0) < 1 || DefaultWorkers(-1) < 1 {
+		t.Fatal("auto count not positive")
+	}
+}
+
+// sweepRuns is a small but real workload: two systems on a tiny
+// population, enough rounds for genuine aggregation.
+func sweepRuns() []scenario.Run {
+	s := scenario.Scenario{
+		Name:           "harness-test",
+		Model:          model.ResNet18,
+		Clients:        120,
+		ActivePerRound: 8,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.99,
+		MaxRounds:      3,
+		Seed:           11,
+		Systems:        []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL},
+	}
+	return s.Expand()
+}
+
+// The core harness guarantee: per-run results are byte-identical whether
+// the sweep runs serially or across workers, and arrive in input order.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	runs := sweepRuns()
+	serial := Sweep(runs, 1)
+	parallel := Sweep(runs, len(runs))
+	if len(serial) != len(runs) || len(parallel) != len(runs) {
+		t.Fatalf("lengths: %d %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("run %d errs: %v %v", i, a.Err, b.Err)
+		}
+		if a.Run.Label != runs[i].Label || b.Run.Label != runs[i].Label {
+			t.Fatalf("run %d out of order", i)
+		}
+		if a.Report.Elapsed != b.Report.Elapsed || a.Report.CPUTotal != b.Report.CPUTotal ||
+			a.Report.RoundsRun != b.Report.RoundsRun {
+			t.Fatalf("run %d diverged: %+v vs %+v", i, a.Report, b.Report)
+		}
+		d, err := a.Report.FinalGlobal.MaxAbsDiff(b.Report.FinalGlobal)
+		if err != nil || d != 0 {
+			t.Fatalf("run %d models differ: %v %v", i, d, err)
+		}
+	}
+}
+
+func TestSweepSurfacesPerRunErrors(t *testing.T) {
+	runs := sweepRuns()
+	runs[1].Cfg.System = "bogus"
+	res := Sweep(runs, 2)
+	if res[1].Err == nil {
+		t.Fatal("bad run did not error")
+	}
+	if res[0].Err != nil || res[2].Err != nil {
+		t.Fatalf("good runs failed: %v %v", res[0].Err, res[2].Err)
+	}
+}

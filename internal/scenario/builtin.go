@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/systems"
+)
+
+// AblationVariants lists the Fig. 8 feature-prefix ablation in paper order:
+// LIFL's orchestration features applied cumulatively on top of SL-H.
+func AblationVariants() []FlagVariant {
+	return []FlagVariant{
+		{Label: "SL-H", Flags: systems.Flags{}},
+		{Label: "+1", Flags: systems.Flags{LocalityPlacement: true}},
+		{Label: "+1+2", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true}},
+		{Label: "+1+2+3", Flags: systems.Flags{LocalityPlacement: true, HierarchyPlan: true, Reuse: true}},
+		{Label: "+1+2+3+4", Flags: systems.AllFlags()},
+	}
+}
+
+// The built-in registry: the paper's §6.2 workloads and the roadmap's
+// scale scenarios. Experiments and cmd/liflsim resolve these by name.
+func init() {
+	// Fig. 9(a,b) + Fig. 10(a-c): ResNet-18, 120 simultaneously active
+	// mobile clients out of 2,800, time/cost to 70% for the three systems.
+	mustRegister(Scenario{
+		Name:           "fig9-r18",
+		Description:    "§6.2 ResNet-18 workload: time/cost-to-accuracy, LIFL vs SF vs SL",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             60, // smaller updates → higher per-node capacity (App. E)
+		Seed:           1,
+		Systems:        []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL},
+	})
+	// Fig. 9(c,d) + Fig. 10(d-f): ResNet-152, 15 always-on server clients.
+	mustRegister(Scenario{
+		Name:           "fig9-r152",
+		Description:    "§6.2 ResNet-152 workload: time/cost-to-accuracy, LIFL vs SF vs SL",
+		Model:          model.ResNet152,
+		Clients:        2800,
+		ActivePerRound: 15,
+		Class:          flwork.Server,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             20,
+		Seed:           1,
+		Systems:        []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL},
+	})
+	// Fig. 8(a-d): the orchestration ablation grid — five feature prefixes
+	// × three injected batch sizes, each cell a cold single-round cluster.
+	mustRegister(Scenario{
+		Name:        "fig8-ablation",
+		Description: "Fig. 8 orchestration ablation: 5 flag prefixes × 20/60/100 injected updates",
+		Model:       model.ResNet152,
+		Nodes:       5,
+		MC:          20,
+		MaxRounds:   1,
+		Seed:        88,
+		Systems:     []core.SystemKind{core.SystemLIFL},
+		Variants:    AblationVariants(),
+		Loads:       []int{20, 60, 100},
+	})
+	// Appendix E, workload-level: sweep the configured MC around the
+	// calibrated knee to show the §6.2 outcome's sensitivity to the
+	// offline capacity measurement.
+	mustRegister(Scenario{
+		Name:           "appendixe-mc",
+		Description:    "Appendix E sensitivity: ResNet-152 workload across MC = 10/20/40",
+		Model:          model.ResNet152,
+		Clients:        2800,
+		ActivePerRound: 15,
+		Class:          flwork.Server,
+		TargetAccuracy: 0.70,
+		MaxRounds:      200,
+		Nodes:          5,
+		Seed:           1,
+		MCs:            []float64{10, 20, 40},
+	})
+	// Roadmap scale: a million-client population on the streaming
+	// O(ActivePerRound) selector with a lean (non-accumulating) report.
+	mustRegister(Scenario{
+		Name:           "million-clients",
+		Description:    "scale: 1M-client population, streaming selector, lean report",
+		Model:          model.ResNet18,
+		Clients:        1_000_000,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      100,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Streaming:      true,
+	})
+	// Failure model: the §3 resilience path under a lossy mobile fleet —
+	// heartbeat-detected failures covered by over-provisioned standbys.
+	mustRegister(Scenario{
+		Name:           "flaky-mobile",
+		Description:    "§3 resilience: ResNet-18 fleet with 10% per-selection client failures",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		FailureRate:    0.10,
+	})
+	// Server-momentum variant of the ResNet-18 workload: exercises the
+	// FedAvgM (ScaleAdd-fused) model-install path end to end.
+	mustRegister(Scenario{
+		Name:           "fig9-r18-momentum",
+		Description:    "ResNet-18 workload with server momentum (FedAvgM, β=0.9)",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		ServerMomentum: 0.9,
+	})
+}
+
+func mustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package scenario is the declarative workload layer of the reproduction:
+// a Scenario names a complete experimental setting — system under test,
+// model, population size and class mix, failure model, and scale knobs —
+// plus the sweep axes the paper's figures iterate over (systems, ablation
+// flag variants, injected load levels, MC values, seeds). A Scenario
+// expands into concrete core.RunConfigs, one per point of the cross
+// product, each fully independent (its own seed-derived randomness, its
+// own engine once run), so a harness can fan them across workers without
+// any cross-run coupling.
+//
+// The package also keeps a named registry: the paper's §6.2 workloads
+// (Fig. 9 ResNet-18/152, the Fig. 8 orchestration-ablation grid, the
+// Appendix E MC sweep) and the roadmap's scale scenarios (million-client
+// populations on the streaming selector) are registry entries, not
+// bespoke loops in internal/experiments.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fedavg"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/systems"
+)
+
+// FlagVariant is one labelled point of an orchestration-flag axis (the
+// Fig. 8 feature-prefix ablation).
+type FlagVariant struct {
+	Label string
+	Flags systems.Flags
+}
+
+// Scenario declares a workload. Scalar fields parameterize every expanded
+// run; zero values defer to core's defaulting rules (2,800 clients, 120
+// active, target 0.70, 5 nodes, ...). Slice fields are sweep axes: a nil
+// axis contributes a single default point, a populated one multiplies the
+// expansion. Axis order in the cross product is Systems × Variants ×
+// Loads × MCs × Seeds, outermost first.
+type Scenario struct {
+	Name        string
+	Description string
+
+	// Workload scalars (see core.RunConfig for semantics).
+	Model          model.Spec
+	Clients        int
+	ActivePerRound int
+	Class          flwork.ClientClass
+	TargetAccuracy float64
+	MaxRounds      int
+	Nodes          int
+	MC             float64
+	Seed           int64
+
+	// FailureRate is the per-selection probability a client dies mid-round
+	// (covered by heartbeats + standbys, §3).
+	FailureRate float64
+
+	// ServerMomentum, when > 0, runs server-side momentum (FedAvgM) with
+	// this β instead of plain adoption of the aggregate. Each expanded run
+	// gets its own optimizer state.
+	ServerMomentum float64
+
+	// Streaming switches the run to the large-scale path: the
+	// O(ActivePerRound) streaming client selector plus a lean report that
+	// does not accumulate per-round slices (pair with core.RunConfig.OnRound
+	// for observation). Required for million-client populations.
+	Streaming bool
+
+	// Sweep axes.
+	Systems  []core.SystemKind
+	Variants []FlagVariant // LIFL orchestration-flag ablation
+	Loads    []int         // injected single-round batch sizes (Fig. 8 mode)
+	MCs      []float64     // per-node service-capacity sweep (Appendix E)
+	Seeds    []int64       // overrides Seed when non-empty
+}
+
+// Run is one expanded point of a scenario: a concrete RunConfig plus the
+// axis coordinates that produced it, for labelling results.
+type Run struct {
+	Scenario string
+	// Label joins the axis coordinates ("lifl", "+1+2/60", "mc=40/seed=2").
+	Label   string
+	Variant string // flag-variant label, if the scenario has a Variants axis
+	Load    int    // injected load, if the scenario has a Loads axis
+	Cfg     core.RunConfig
+}
+
+// Expand materializes the cross product of the scenario's axes into
+// concrete, independent RunConfigs. Expansion is deterministic: same
+// scenario, same runs, same order.
+func (s Scenario) Expand() []Run {
+	syss := s.Systems
+	if len(syss) == 0 {
+		syss = []core.SystemKind{""} // core defaults to LIFL
+	}
+	variants := s.Variants
+	if len(variants) == 0 {
+		variants = []FlagVariant{{}}
+	}
+	loads := s.Loads
+	if len(loads) == 0 {
+		loads = []int{0}
+	}
+	mcs := s.MCs
+	if len(mcs) == 0 {
+		mcs = []float64{s.MC}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Seed}
+	}
+	var runs []Run
+	for _, sys := range syss {
+		for _, v := range variants {
+			for _, load := range loads {
+				for _, mc := range mcs {
+					for _, seed := range seeds {
+						cfg := core.RunConfig{
+							System:         sys,
+							Model:          s.Model,
+							Clients:        s.Clients,
+							ActivePerRound: s.ActivePerRound,
+							Class:          s.Class,
+							TargetAccuracy: s.TargetAccuracy,
+							MaxRounds:      s.MaxRounds,
+							Nodes:          s.Nodes,
+							MC:             mc,
+							Seed:           seed,
+							FailureRate:    s.FailureRate,
+						}
+						if len(s.Variants) > 0 {
+							flags := v.Flags
+							cfg.Flags = &flags
+						}
+						if load > 0 {
+							cfg.Inject = &core.InjectSpec{Updates: load}
+						}
+						if s.ServerMomentum > 0 {
+							cfg.ServerOpt = &fedavg.FedAvgM{Beta: s.ServerMomentum}
+						}
+						if s.Streaming {
+							cfg.Selector = core.SelectStream
+							cfg.StreamOnly = true
+						}
+						runs = append(runs, Run{
+							Scenario: s.Name,
+							Label:    s.label(sys, v.Label, load, mc, seed),
+							Variant:  v.Label,
+							Load:     load,
+							Cfg:      cfg,
+						})
+					}
+				}
+			}
+		}
+	}
+	return runs
+}
+
+// label renders the axis coordinates of one run, including only the axes
+// the scenario actually sweeps.
+func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float64, seed int64) string {
+	var parts []string
+	if len(s.Systems) > 0 {
+		parts = append(parts, string(sys))
+	}
+	if len(s.Variants) > 0 {
+		parts = append(parts, variant)
+	}
+	if len(s.Loads) > 0 {
+		parts = append(parts, fmt.Sprintf("%d", load))
+	}
+	if len(s.MCs) > 0 {
+		parts = append(parts, fmt.Sprintf("mc=%g", mc))
+	}
+	if len(s.Seeds) > 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", seed))
+	}
+	if len(parts) == 0 {
+		return s.Name
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out += "/" + p
+	}
+	return out
+}
+
+// clone deep-copies the sweep-axis slices so a registry entry and a
+// caller's working copy never share backing arrays — tweaking
+// sc.Loads[0] on a Get result must not rewrite the registry.
+func (s Scenario) clone() Scenario {
+	s.Systems = append([]core.SystemKind(nil), s.Systems...)
+	s.Variants = append([]FlagVariant(nil), s.Variants...)
+	s.Loads = append([]int(nil), s.Loads...)
+	s.MCs = append([]float64(nil), s.MCs...)
+	s.Seeds = append([]int64(nil), s.Seeds...)
+	return s
+}
+
+// registry is the process-wide named-scenario table.
+var (
+	mu       sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds (or replaces) a named scenario. The name must be non-empty.
+// The scenario is copied in; later mutation of the caller's axis slices
+// does not affect the registry.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: registering unnamed scenario")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	registry[s.Name] = s.clone()
+	return nil
+}
+
+// Get returns an independent copy of the named scenario: callers may
+// rewrite scalar fields or axis elements freely before Expand.
+func Get(name string) (Scenario, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	s, ok := registry[name]
+	return s.clone(), ok
+}
+
+// MustGet returns the named scenario or panics — for the built-in entries
+// the experiments layer depends on.
+func MustGet(name string) Scenario {
+	s, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("scenario: unknown scenario %q", name))
+	}
+	return s
+}
+
+// Names lists registered scenarios, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+)
+
+// The fig9 registry entries must expand to exactly the bespoke configs the
+// experiments layer used to build by hand — that equivalence is what keeps
+// the paper figures bit-identical across the refactor.
+func TestFig9EntryMatchesLegacyConfig(t *testing.T) {
+	sc := MustGet("fig9-r18")
+	sc.Seed = 7
+	runs := sc.Expand()
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3 systems", len(runs))
+	}
+	want := core.RunConfig{
+		System:         core.SystemLIFL,
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             60,
+		Seed:           7,
+	}
+	got := runs[0].Cfg
+	if got.System != want.System || got.Model.Name != want.Model.Name ||
+		got.Clients != want.Clients || got.ActivePerRound != want.ActivePerRound ||
+		got.Class != want.Class || got.TargetAccuracy != want.TargetAccuracy ||
+		got.MaxRounds != want.MaxRounds || got.Nodes != want.Nodes ||
+		got.MC != want.MC || got.Seed != want.Seed || got.Flags != nil || got.Inject != nil {
+		t.Fatalf("expanded cfg %+v\nwant %+v", got, want)
+	}
+	order := []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL}
+	for i, r := range runs {
+		if r.Cfg.System != order[i] {
+			t.Fatalf("system order: got %s at %d", r.Cfg.System, i)
+		}
+		if r.Label != string(order[i]) {
+			t.Fatalf("label %q, want %q", r.Label, order[i])
+		}
+	}
+}
+
+func TestFig8EntryExpandsGridInPaperOrder(t *testing.T) {
+	runs := MustGet("fig8-ablation").Expand()
+	variants := AblationVariants()
+	loads := []int{20, 60, 100}
+	if len(runs) != len(variants)*len(loads) {
+		t.Fatalf("runs = %d, want %d", len(runs), len(variants)*len(loads))
+	}
+	for i, r := range runs {
+		v, l := variants[i/len(loads)], loads[i%len(loads)]
+		if r.Variant != v.Label || r.Load != l {
+			t.Fatalf("run %d = %s/%d, want %s/%d", i, r.Variant, r.Load, v.Label, l)
+		}
+		if r.Cfg.Flags == nil || *r.Cfg.Flags != v.Flags {
+			t.Fatalf("run %d flags = %+v, want %+v", i, r.Cfg.Flags, v.Flags)
+		}
+		if r.Cfg.Inject == nil || r.Cfg.Inject.Updates != l {
+			t.Fatalf("run %d inject = %+v", i, r.Cfg.Inject)
+		}
+		if r.Cfg.System != core.SystemLIFL || r.Cfg.Seed != 88 || r.Cfg.MC != 20 {
+			t.Fatalf("run %d cfg = %+v", i, r.Cfg)
+		}
+	}
+	// Each run must carry its own Flags copy: mutating one cannot leak.
+	runs[0].Cfg.Flags.Eager = true
+	if runs[3].Cfg.Flags.Eager {
+		t.Fatal("flag variants share storage across runs")
+	}
+}
+
+func TestAxesCrossProductAndDefaults(t *testing.T) {
+	s := Scenario{
+		Name:    "x",
+		Systems: []core.SystemKind{core.SystemLIFL, core.SystemSL},
+		MCs:     []float64{10, 20},
+		Seeds:   []int64{1, 2, 3},
+	}
+	runs := s.Expand()
+	if len(runs) != 2*2*3 {
+		t.Fatalf("cross product = %d, want 12", len(runs))
+	}
+	// Outermost axis first: systems, then MCs, then seeds.
+	if runs[0].Label != "lifl/mc=10/seed=1" || runs[11].Label != "sl/mc=20/seed=3" {
+		t.Fatalf("labels = %q .. %q", runs[0].Label, runs[11].Label)
+	}
+	// No axes at all: one run, default label.
+	one := Scenario{Name: "solo"}.Expand()
+	if len(one) != 1 || one[0].Label != "solo" {
+		t.Fatalf("solo expansion = %+v", one)
+	}
+	if one[0].Cfg.System != "" {
+		t.Fatal("axis-less scenario must defer system defaulting to core")
+	}
+}
+
+func TestScaleAndFailureKnobs(t *testing.T) {
+	runs := MustGet("million-clients").Expand()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	cfg := runs[0].Cfg
+	if cfg.Clients < 1_000_000 {
+		t.Fatalf("clients = %d, want >= 1M", cfg.Clients)
+	}
+	if cfg.Selector != core.SelectStream || !cfg.StreamOnly {
+		t.Fatalf("scale knobs not applied: selector=%q streamOnly=%v", cfg.Selector, cfg.StreamOnly)
+	}
+	if f := MustGet("flaky-mobile").Expand()[0].Cfg.FailureRate; f != 0.10 {
+		t.Fatalf("failure rate = %v", f)
+	}
+	if m := MustGet("fig9-r18-momentum").Expand()[0].Cfg; m.ServerOpt == nil {
+		t.Fatal("momentum scenario carries no server optimizer")
+	}
+}
+
+// Distinct momentum runs must not share optimizer state.
+func TestMomentumOptimizerPerRun(t *testing.T) {
+	s := Scenario{Name: "m", ServerMomentum: 0.9, Seeds: []int64{1, 2}}
+	runs := s.Expand()
+	if runs[0].Cfg.ServerOpt == runs[1].Cfg.ServerOpt {
+		t.Fatal("runs share a stateful ServerOpt")
+	}
+}
+
+// The registry's million-client scenario must actually run: a 1M-client
+// population on the streaming selector, observed round by round, with the
+// lean report accumulating nothing. Two rounds are enough to prove the
+// path; the per-round cost is covered by BenchmarkSelectStream.
+func TestMillionClientScenarioRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1M-client population synthesis")
+	}
+	sc := MustGet("million-clients")
+	sc.MaxRounds = 2
+	runs := sc.Expand()
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	cfg := runs[0].Cfg
+	var rounds, updates int
+	cfg.OnRound = func(o core.RoundObservation) {
+		rounds++
+		updates += o.Result.Updates
+	}
+	rep, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 2 || rep.RoundsRun != 2 {
+		t.Fatalf("rounds = %d/%d", rounds, rep.RoundsRun)
+	}
+	if updates != 2*cfg.ActivePerRound {
+		t.Fatalf("updates = %d", updates)
+	}
+	if len(rep.Rounds) != 0 || len(rep.Acc) != 0 {
+		t.Fatal("lean report accumulated per-round slices")
+	}
+	if rep.FinalGlobal == nil || rep.Elapsed <= 0 {
+		t.Fatal("report incomplete")
+	}
+}
+
+// Get hands out independent copies: editing a fetched scenario's axis
+// elements in place must not rewrite the registry entry.
+func TestGetIsolatesRegistryFromAxisMutation(t *testing.T) {
+	sc := MustGet("fig8-ablation")
+	sc.Loads[0] = 5
+	sc.Variants[0].Flags.Eager = true
+	fresh := MustGet("fig8-ablation")
+	if fresh.Loads[0] != 20 || fresh.Variants[0].Flags.Eager {
+		t.Fatalf("registry mutated through a Get copy: %+v", fresh)
+	}
+	// Register copies in, too.
+	loads := []int{1, 2}
+	if err := Register(Scenario{Name: "tmp-isolation", Loads: loads}); err != nil {
+		t.Fatal(err)
+	}
+	loads[0] = 99
+	if got := MustGet("tmp-isolation"); got.Loads[0] != 1 {
+		t.Fatalf("registry shares the caller's slice: %+v", got.Loads)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	if err := Register(Scenario{}); err == nil {
+		t.Fatal("unnamed scenario accepted")
+	}
+	if err := Register(Scenario{Name: "tmp-test", Clients: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Get("tmp-test")
+	if !ok || got.Clients != 7 {
+		t.Fatalf("round trip: %+v %v", got, ok)
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "tmp-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names misses registered scenario")
+	}
+}

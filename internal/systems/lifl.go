@@ -736,7 +736,7 @@ func (s *LIFL) nodeIndexOf(n *cluster.Node) int {
 // spans of Fig. 4 / Fig. 7(c)).
 func (s *LIFL) onGlobal(top *aggcore.Aggregator, out aggcore.Update) {
 	rs := s.rs
-	next, err := adopt.Apply(s.global, out.Tensor)
+	next, err := s.cfg.ServerOpt.Apply(s.global, out.Tensor)
 	if err != nil {
 		panic(fmt.Sprintf("lifl: global update: %v", err))
 	}

@@ -451,7 +451,7 @@ func (s *SL) nodeIndexOf(n *cluster.Node) int {
 // onGlobal installs and evaluates the new global model.
 func (s *SL) onGlobal(top *aggcore.Aggregator, out aggcore.Update) {
 	rs := s.rs
-	next, err := adopt.Apply(s.global, out.Tensor)
+	next, err := s.cfg.ServerOpt.Apply(s.global, out.Tensor)
 	if err != nil {
 		panic(fmt.Sprintf("sl: global update: %v", err))
 	}

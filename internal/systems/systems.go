@@ -66,6 +66,11 @@ type Config struct {
 	// stable window, ~60-90 s). Shorter than a round gap, it makes SL
 	// cold-start its fleet nearly every round — the churn of Fig. 10(b).
 	SLKeepAlive sim.Duration
+	// ServerOpt turns each round's aggregate into the next global model
+	// (default fedavg.Adopt, i.e. plain FedAvg; fedavg.FedAvgM adds server
+	// momentum on the ScaleAdd-fused path). All systems share the same
+	// optimizer semantics so cross-system comparisons stay algorithm-equal.
+	ServerOpt fedavg.ServerOpt
 	// Tracer, when set, records Network/Agg/Eval spans for the timelines.
 	Tracer *trace.Recorder
 }
@@ -93,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SLKeepAlive == 0 {
 		c.SLKeepAlive = 45 * sim.Second
+	}
+	if c.ServerOpt == nil {
+		c.ServerOpt = fedavg.Adopt{}
 	}
 	return c
 }
@@ -168,6 +176,3 @@ func newGlobal(m model.Spec) *tensor.Tensor {
 	}
 	return t
 }
-
-// adopt is the shared server optimizer (plain FedAvg).
-var adopt fedavg.ServerOpt = fedavg.Adopt{}

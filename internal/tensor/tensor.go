@@ -112,10 +112,11 @@ func (t *Tensor) AddScaled(a float32, o *Tensor) error {
 
 // ScaleAdd is the fused scale-and-add update t = a*t + b*o, computed in a
 // single pass over both vectors — for callers that would otherwise pair
-// Scale with AddScaled (two sweeps, or a Clone when o must be preserved),
-// e.g. decayed/mixed accumulation in server optimizers. No current hot path
-// needs it; it completes the in-place arithmetic family alongside
-// WeightedMeanInto and Accumulator.
+// Scale with AddScaled (two sweeps, or a Clone when o must be preserved).
+// It carries the per-round model-install path of momentum server
+// optimizers (fedavg.FedAvgM's velocity decay and server step; see
+// BenchmarkFedAvgMApply) and completes the in-place arithmetic family
+// alongside WeightedMeanInto and Accumulator.
 func (t *Tensor) ScaleAdd(a, b float32, o *Tensor) error {
 	if len(t.Data) != len(o.Data) {
 		return fmt.Errorf("%w: %d vs %d", ErrShape, len(t.Data), len(o.Data))

@@ -9,6 +9,18 @@
 //     paper's evaluation metrics (time-to-accuracy, cost-to-accuracy,
 //     per-round ACT/CPU, arrival and instance time series).
 //   - NewPlatform: assemble a platform for round-by-round control.
+//   - Scenario / GetScenario / RegisterScenario / Scenarios: the
+//     declarative workload layer. A Scenario names a complete setting
+//     (system × model × population × failure model × scale knobs) plus
+//     sweep axes, and expands into independent RunConfigs; the paper's
+//     §6.2 workloads ship as registry entries.
+//   - Sweep: fan a scenario's expanded runs across a worker pool. Each
+//     run owns a private simulation engine, so results are byte-identical
+//     at any worker count and are returned in input order.
+//   - Large-scale knobs on RunConfig: the SelectStream client selector
+//     (O(ActivePerRound) per round, flat in population size — million-
+//     client populations), OnRound streaming observation, and StreamOnly
+//     lean reports.
 //   - Models: the ResNet-18/34/152 specs of the paper's workloads.
 //
 // Deeper layers (the discrete-event engine, shared-memory store, eBPF
@@ -19,7 +31,9 @@ package lifl
 import (
 	"repro/internal/core"
 	"repro/internal/flwork"
+	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/scenario"
 	"repro/internal/systems"
 )
 
@@ -37,6 +51,12 @@ const (
 	ServerClients = flwork.Server // always-on, dedicated (ResNet-152 setup)
 )
 
+// Client selectors for RunConfig.Selector.
+const (
+	SelectPerm   = core.SelectPerm   // default: full per-round permutation
+	SelectStream = core.SelectStream // O(ActivePerRound) streaming selector
+)
+
 // Re-exported types; see the internal packages for full documentation.
 type (
 	// RunConfig parameterizes a full FL training run.
@@ -51,6 +71,16 @@ type (
 	ModelSpec = model.Spec
 	// Flags are LIFL's orchestration ablation switches (Fig. 8).
 	Flags = systems.Flags
+	// Scenario is a declarative workload spec with sweep axes.
+	Scenario = scenario.Scenario
+	// ScenarioRun is one expanded point of a scenario.
+	ScenarioRun = scenario.Run
+	// FlagVariant labels one point of an orchestration-flag axis.
+	FlagVariant = scenario.FlagVariant
+	// SweepResult pairs an expanded run with its Report.
+	SweepResult = harness.Result
+	// RoundObservation streams per-round results via RunConfig.OnRound.
+	RoundObservation = core.RoundObservation
 )
 
 // The paper's model zoo.
@@ -68,3 +98,17 @@ func NewPlatform(cfg RunConfig) (*Platform, error) { return core.NewPlatform(cfg
 
 // AllFlags enables the full LIFL orchestration (①②③④).
 func AllFlags() Flags { return systems.AllFlags() }
+
+// Scenarios lists the registered workload scenarios.
+func Scenarios() []string { return scenario.Names() }
+
+// GetScenario returns a registry scenario by name.
+func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
+
+// RegisterScenario adds (or replaces) a named scenario in the registry.
+func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// Sweep executes the expanded runs on a pool of `workers` goroutines
+// (<= 0 means one per CPU), returning results in input order; see
+// harness.Sweep.
+func Sweep(runs []ScenarioRun, workers int) []SweepResult { return harness.Sweep(runs, workers) }

@@ -49,6 +49,73 @@ func TestPlatformRoundByRound(t *testing.T) {
 	}
 }
 
+// TestScenarioSweepAPI drives the declarative surface the way a
+// downstream user would: look up a registry scenario, shrink it, sweep it
+// across workers, and read ordered results.
+func TestScenarioSweepAPI(t *testing.T) {
+	sc, ok := GetScenario("fig9-r18")
+	if !ok {
+		t.Fatal("fig9-r18 not registered")
+	}
+	sc.Clients = 150
+	sc.ActivePerRound = 10
+	sc.MaxRounds = 2
+	sc.TargetAccuracy = 0.99
+	runs := sc.Expand()
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	results := Sweep(runs, 3)
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("run %d: %v", i, r.Err)
+		}
+		if r.Run.Cfg.System != runs[i].Cfg.System {
+			t.Fatal("results out of input order")
+		}
+		if r.Report.RoundsRun != 2 {
+			t.Fatalf("run %d: %d rounds", i, r.Report.RoundsRun)
+		}
+	}
+	if err := RegisterScenario(Scenario{Name: "user-custom", Clients: 99}); err != nil {
+		t.Fatal(err)
+	}
+	names := Scenarios()
+	found := false
+	for _, n := range names {
+		if n == "user-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("custom scenario missing from %v", names)
+	}
+}
+
+// The large-scale knobs re-exported on RunConfig: streaming selector plus
+// per-round observation, with the default path untouched.
+func TestStreamingRunAPI(t *testing.T) {
+	var rounds int
+	rep, err := Run(RunConfig{
+		Model:          ResNet18,
+		Clients:        5000,
+		ActivePerRound: 16,
+		Class:          MobileClients,
+		TargetAccuracy: 0.99,
+		MaxRounds:      3,
+		Selector:       SelectStream,
+		StreamOnly:     true,
+		OnRound:        func(RoundObservation) { rounds++ },
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 3 || rep.RoundsRun != 3 || len(rep.Rounds) != 0 {
+		t.Fatalf("rounds=%d reported=%d slices=%d", rounds, rep.RoundsRun, len(rep.Rounds))
+	}
+}
+
 func TestModelZooExported(t *testing.T) {
 	for _, m := range []ModelSpec{ResNet18, ResNet34, ResNet152} {
 		if m.Params == 0 || m.Bytes() == 0 {
