@@ -13,8 +13,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/flwork"
+	"repro/internal/harness"
 	"repro/internal/model"
 	"repro/internal/placement"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -120,6 +122,40 @@ func BenchmarkFig9R152SF(b *testing.B) {
 }
 func BenchmarkFig9R152SL(b *testing.B) {
 	benchFig9(b, core.SystemSL, model.ResNet152, 15, flwork.Server, 20)
+}
+
+// BenchmarkScenario measures every scenario-registry entry through the
+// same instrumented path cmd/liflbench uses (harness.MeasureScenario →
+// perfrec records), so `go test -bench BenchmarkScenario` and a liflbench
+// sweep report identical quantities — wall seconds, simulated hours, and
+// allocation counts per entry. -short skips the long-class entries, like
+// the PR-CI bench gate does.
+func BenchmarkScenario(b *testing.B) {
+	for _, name := range scenario.Names() {
+		sc := scenario.MustGet(name)
+		b.Run(name, func(b *testing.B) {
+			if testing.Short() && !sc.Bench.ShortClass() {
+				b.Skipf("%s is %s-class; run without -short", name, scenario.ClassLong)
+			}
+			for i := 0; i < b.N; i++ {
+				recs, err := harness.MeasureScenario(sc, harness.MeasureOptions{Repeats: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					var wallNS, simNS, mallocs float64
+					for _, r := range recs {
+						wallNS += float64(r.WallNS)
+						simNS += float64(r.SimNS)
+						mallocs += float64(r.Mallocs)
+					}
+					b.ReportMetric(wallNS/1e9, "wall-s")
+					b.ReportMetric(simNS/3600e9, "sim-h")
+					b.ReportMetric(mallocs, "mallocs")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFig13Queuing regenerates Fig. 13 / Appendix F: message-queuing

@@ -14,25 +14,30 @@
 //	liflsim scenario <name>    # sweep one registry scenario
 //	liflsim all                # everything above
 //
-// -parallel N fans each verb's independent runs across N workers (0 = one
-// per CPU). Every run owns its own simulation engine, so output is
-// byte-identical to the serial run for any worker count.
+// -parallel N fans each verb's independent runs across N workers (N >= 1;
+// pass the CPU count explicitly for a full fan-out). Every run owns its
+// own simulation engine, so output is byte-identical to the serial run for
+// any worker count.
+//
+// Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
+// (missing verb, -parallel < 1, unknown scenario name).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/experiments"
-	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/scenario"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
-	parallel := flag.Int("parallel", 1, "workers for independent runs (0 = one per CPU)")
+	parallel := flag.Int("parallel", 1, "workers for independent runs (>= 1)")
 	flag.Usage = usage
 	flag.Parse()
 	// Go's flag parsing stops at the first verb; keep consuming so
@@ -50,7 +55,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
-	experiments.Parallelism = harness.DefaultWorkers(*parallel)
+	// A worker pool needs at least one worker; silently mapping 0 or a
+	// negative to "one per CPU" hid flag typos (-parallel -4), so reject.
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "liflsim: -parallel must be >= 1 (got %d)\n", *parallel)
+		usage()
+		os.Exit(2)
+	}
+	experiments.Parallelism = *parallel
 	// Registry scenarios carry their own seeds; only an explicit -seed
 	// overrides them (0 = keep the scenario's default).
 	scenarioSeed := int64(0)
@@ -59,19 +71,42 @@ func main() {
 			scenarioSeed = *seed
 		}
 	})
+	// Resolve the whole verb sequence before executing any of it: an
+	// unknown verb or scenario name is a usage error (exit 2) caught up
+	// front, not a mid-sequence failure after earlier verbs already ran.
+	type step struct {
+		what string
+		seed int64
+	}
+	var steps []step
 	for i := 0; i < len(verbs); i++ {
 		what := verbs[i]
 		runSeed := *seed
+		if _, ok := handlers[what]; !ok && what != "scenario" {
+			fmt.Fprintf(os.Stderr, "liflsim: unknown experiment %q\n", what)
+			usage()
+			os.Exit(2)
+		}
 		if what == "scenario" {
 			if i+1 >= len(verbs) {
 				fmt.Fprintln(os.Stderr, "liflsim: scenario requires a name (see `liflsim scenarios`)")
+				usage()
 				os.Exit(2)
 			}
 			i++
+			if _, ok := scenario.Get(verbs[i]); !ok {
+				fmt.Fprintf(os.Stderr, "liflsim: unknown scenario %q (have: %s)\n",
+					verbs[i], strings.Join(scenario.Names(), ", "))
+				usage()
+				os.Exit(2)
+			}
 			what = "scenario:" + verbs[i]
 			runSeed = scenarioSeed
 		}
-		if err := run(what, runSeed); err != nil {
+		steps = append(steps, step{what, runSeed})
+	}
+	for _, s := range steps {
+		if err := run(os.Stdout, s.what, s.seed); err != nil {
 			fmt.Fprintf(os.Stderr, "liflsim: %v\n", err)
 			os.Exit(1)
 		}
@@ -82,54 +117,92 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig13|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
 }
 
-func run(what string, seed int64) error {
+// handlers is the single verb table: run dispatches through it and main
+// validates the whole verb sequence against it before any verb executes,
+// so the two can never drift. The scenario:<name> form is handled
+// separately in run.
+var handlers = map[string]func(w io.Writer, seed int64) error{
+	"fig4": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatFig4(experiments.Fig4(), experiments.Fig7c()))
+		return nil
+	},
+	"fig7": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatFig7(experiments.Fig7ab()))
+		return nil
+	},
+	"fig8": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatFig8(experiments.Fig8(nil)))
+		return nil
+	},
+	"fig9r18": func(w io.Writer, seed int64) error {
+		rows := experiments.Fig9(model.ResNet18, seed)
+		fmt.Fprint(w, experiments.FormatFig9(rows))
+		fmt.Fprint(w, experiments.FormatFig10(experiments.Fig10(rows)))
+		return nil
+	},
+	"fig9r152": func(w io.Writer, seed int64) error {
+		rows := experiments.Fig9(model.ResNet152, seed)
+		fmt.Fprint(w, experiments.FormatFig9(rows))
+		fmt.Fprint(w, experiments.FormatFig10(experiments.Fig10(rows)))
+		return nil
+	},
+	"fig13": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatFig13(experiments.Fig13()))
+		return nil
+	},
+	"overhead": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatOverhead(experiments.Overhead(10_000)))
+		return nil
+	},
+	"appendixe": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatAppendixE(experiments.AppendixE()))
+		return nil
+	},
+	"verify": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatVerify(experiments.Verify(false)))
+		return nil
+	},
+	"verifyfull": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatVerify(experiments.Verify(true)))
+		return nil
+	},
+	"scenarios": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatScenarioList())
+		return nil
+	},
+	"ablation": func(w io.Writer, _ int64) error {
+		fmt.Fprint(w, experiments.FormatAblations(
+			experiments.AblateFanIn(nil), experiments.AblateEWMA(nil), experiments.AblatePlacement()))
+		return nil
+	},
+}
+
+// "all" recurses through run, so it registers in init to break the
+// handlers → run → handlers initialization cycle.
+func init() {
+	handlers["all"] = func(w io.Writer, seed int64) error {
+		for _, sub := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152"} {
+			if err := run(w, sub, seed); err != nil {
+				return err
+			}
+			fmt.Fprintln(w)
+		}
+		return nil
+	}
+}
+
+func run(w io.Writer, what string, seed int64) error {
 	if name, ok := strings.CutPrefix(what, "scenario:"); ok {
 		out, err := experiments.RunScenario(name, seed)
 		if err != nil {
 			return err
 		}
-		fmt.Print(out)
+		fmt.Fprint(w, out)
 		return nil
 	}
-	switch what {
-	case "fig4":
-		fmt.Print(experiments.FormatFig4(experiments.Fig4(), experiments.Fig7c()))
-	case "fig7":
-		fmt.Print(experiments.FormatFig7(experiments.Fig7ab()))
-	case "fig8":
-		fmt.Print(experiments.FormatFig8(experiments.Fig8(nil)))
-	case "fig9r18":
-		rows := experiments.Fig9(model.ResNet18, seed)
-		fmt.Print(experiments.FormatFig9(rows))
-		fmt.Print(experiments.FormatFig10(experiments.Fig10(rows)))
-	case "fig9r152":
-		rows := experiments.Fig9(model.ResNet152, seed)
-		fmt.Print(experiments.FormatFig9(rows))
-		fmt.Print(experiments.FormatFig10(experiments.Fig10(rows)))
-	case "fig13":
-		fmt.Print(experiments.FormatFig13(experiments.Fig13()))
-	case "overhead":
-		fmt.Print(experiments.FormatOverhead(experiments.Overhead(10_000)))
-	case "appendixe":
-		fmt.Print(experiments.FormatAppendixE(experiments.AppendixE()))
-	case "verify":
-		fmt.Print(experiments.FormatVerify(experiments.Verify(false)))
-	case "verifyfull":
-		fmt.Print(experiments.FormatVerify(experiments.Verify(true)))
-	case "scenarios":
-		fmt.Print(experiments.FormatScenarioList())
-	case "ablation":
-		fmt.Print(experiments.FormatAblations(
-			experiments.AblateFanIn(nil), experiments.AblateEWMA(nil), experiments.AblatePlacement()))
-	case "all":
-		for _, w := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152"} {
-			if err := run(w, seed); err != nil {
-				return err
-			}
-			fmt.Println()
-		}
-	default:
+	h, ok := handlers[what]
+	if !ok {
 		return fmt.Errorf("unknown experiment %q", what)
 	}
-	return nil
+	return h(w, seed)
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestScenariosGolden pins the `liflsim scenarios` listing: the registry
+// is user-facing CLI surface, so entries appearing, vanishing, or
+// changing class must show up in review as a golden diff.
+// Regenerate with `go test ./cmd/liflsim -run Golden -update`.
+func TestScenariosGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "scenarios", 1); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "scenarios.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("scenarios listing drifted from %s (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestUnknownExperiment: the run dispatcher must reject unknown verbs
+// rather than fall through silently.
+func TestUnknownExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "nosuchfig", 1); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("unknown experiment produced output: %q", b.String())
+	}
+}

@@ -10,6 +10,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"repro/internal/coordinator"
 	"repro/internal/costmodel"
@@ -67,6 +69,9 @@ type InjectSpec struct {
 type RoundObservation struct {
 	Result systems.RoundResult
 	Acc    AccPoint
+	// Wall is the real (not simulated) time this round's simulation took —
+	// the per-round sample the perf-trajectory layer aggregates.
+	Wall time.Duration
 }
 
 // RunConfig parameterizes a full FL training run (the Fig. 9/10 workloads).
@@ -114,6 +119,12 @@ type RunConfig struct {
 	ServerOpt fedavg.ServerOpt
 	// OnRound, when set, observes every completed round as it happens.
 	OnRound func(RoundObservation)
+	// Milestones lists accuracy levels whose first crossings are exported in
+	// Report.Milestones (the machine-readable time-to-accuracy trajectory).
+	// Levels are visited in ascending order; unsorted input is sorted.
+	// Milestone capture is simulated-time only, so it is deterministic and
+	// survives StreamOnly runs.
+	Milestones []float64
 	// StreamOnly keeps the Report lean for very long or very large runs:
 	// per-round slices (Rounds, Acc, ActiveAggs, CPUPerRound) and the
 	// arrival series are not accumulated — pair with OnRound to stream
@@ -183,6 +194,15 @@ type AccPoint struct {
 	Accuracy float64
 }
 
+// MilestoneHit records the first round at which the accuracy trajectory
+// crossed one requested milestone level.
+type MilestoneHit struct {
+	// Target is the requested level (At.Accuracy is the accuracy actually
+	// observed at the crossing round, >= Target).
+	Target float64
+	At     AccPoint
+}
+
 // Report is the outcome of a training run.
 type Report struct {
 	System SystemKind
@@ -202,6 +222,15 @@ type Report struct {
 	CPUPerRound []float64
 	// FinalGlobal is the trained model.
 	FinalGlobal *tensor.Tensor
+	// Milestones holds the first crossing of each RunConfig.Milestones
+	// level that was reached, in ascending target order (simulated time —
+	// deterministic; survives StreamOnly).
+	Milestones []MilestoneHit
+	// RoundWallTotal and RoundWallMax are real wall-clock measurements of
+	// the simulation loop itself (how long this process took to simulate
+	// the rounds, not simulated time) — the quantities liflbench tracks.
+	RoundWallTotal time.Duration
+	RoundWallMax   time.Duration
 	// The scalar outcomes below survive StreamOnly runs, where the
 	// per-round slices above are left empty.
 	// RoundsRun counts completed rounds.
@@ -304,7 +333,13 @@ func (p *Platform) Run() (*Report, error) {
 	if cfg.Inject != nil {
 		first, last = 0, cfg.MaxRounds-1
 	}
+	// Milestone levels are consumed in ascending order as the (monotone)
+	// accuracy curve crosses them.
+	milestones := append([]float64(nil), cfg.Milestones...)
+	sort.Float64s(milestones)
+	nextMilestone := 0
 	for r := first; r <= last; r++ {
+		roundStart := time.Now()
 		jobs := p.roundJobs(rng, r)
 		var result *systems.RoundResult
 		p.Sys.RunRound(r, jobs, func(res systems.RoundResult) { result = &res })
@@ -315,6 +350,11 @@ func (p *Platform) Run() (*Report, error) {
 		}
 		if result == nil {
 			return nil, errors.New("core: round did not complete")
+		}
+		roundWall := time.Since(roundStart)
+		rep.RoundWallTotal += roundWall
+		if roundWall > rep.RoundWallMax {
+			rep.RoundWallMax = roundWall
 		}
 		rep.RoundsRun++
 		acc := p.Curve.At(r)
@@ -330,8 +370,12 @@ func (p *Platform) Run() (*Report, error) {
 			rep.CPUPerRound = append(rep.CPUPerRound, result.CPUTime.Seconds())
 			rep.Acc = append(rep.Acc, point)
 		}
+		for nextMilestone < len(milestones) && acc >= milestones[nextMilestone] {
+			rep.Milestones = append(rep.Milestones, MilestoneHit{Target: milestones[nextMilestone], At: point})
+			nextMilestone++
+		}
 		if cfg.OnRound != nil {
-			cfg.OnRound(RoundObservation{Result: *result, Acc: point})
+			cfg.OnRound(RoundObservation{Result: *result, Acc: point, Wall: roundWall})
 		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true

@@ -198,3 +198,71 @@ func TestCheckpointsWrittenDuringRun(t *testing.T) {
 		t.Fatalf("checkpoint at round %d, period is 10", rec.Round)
 	}
 }
+
+// TestMilestoneExport checks the time-to-accuracy trajectory: crossings
+// are recorded in ascending target order, agree with the Acc series, and
+// the final milestone matches TimeToTarget. Unsorted milestone input and
+// unreachable levels are handled.
+func TestMilestoneExport(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	cfg.Milestones = []float64{0.50, 0.30, 0.10, 0.99} // unsorted + unreachable
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached {
+		t.Fatal("target not reached")
+	}
+	if len(rep.Milestones) != 3 {
+		t.Fatalf("milestones = %+v, want the three reachable levels", rep.Milestones)
+	}
+	wantTargets := []float64{0.10, 0.30, 0.50}
+	for i, m := range rep.Milestones {
+		if m.Target != wantTargets[i] {
+			t.Fatalf("milestone %d target = %g, want %g", i, m.Target, wantTargets[i])
+		}
+		if m.At.Accuracy < m.Target {
+			t.Fatalf("milestone %d recorded below its level: %+v", i, m)
+		}
+		if i > 0 && m.At.Time < rep.Milestones[i-1].At.Time {
+			t.Fatal("milestone times not monotone")
+		}
+		// The crossing must be the *first* round at or above the level.
+		for _, p := range rep.Acc {
+			if p.Accuracy >= m.Target {
+				if p.Round != m.At.Round {
+					t.Fatalf("milestone %g at round %d, Acc series first crosses at %d", m.Target, m.At.Round, p.Round)
+				}
+				break
+			}
+		}
+	}
+	last := rep.Milestones[len(rep.Milestones)-1]
+	if last.At.Time != rep.TimeToTarget {
+		t.Fatalf("0.50 milestone time %v != TimeToTarget %v", last.At.Time, rep.TimeToTarget)
+	}
+	// Round wall timing is real-clock but must at least be populated and
+	// consistent.
+	if rep.RoundWallTotal <= 0 || rep.RoundWallMax <= 0 || rep.RoundWallMax > rep.RoundWallTotal {
+		t.Fatalf("round wall stats inconsistent: total %v max %v", rep.RoundWallTotal, rep.RoundWallMax)
+	}
+}
+
+// TestMilestonesSurviveStreamOnly: milestone capture is sim-time only, so
+// the lean report path keeps it.
+func TestMilestonesSurviveStreamOnly(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	cfg.Milestones = []float64{0.30, 0.50}
+	cfg.Selector = SelectStream
+	cfg.StreamOnly = true
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rounds) != 0 || len(rep.Acc) != 0 {
+		t.Fatal("StreamOnly report accumulated per-round slices")
+	}
+	if len(rep.Milestones) != 2 {
+		t.Fatalf("milestones lost on StreamOnly path: %+v", rep.Milestones)
+	}
+}

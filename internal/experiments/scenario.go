@@ -18,13 +18,14 @@ var Parallelism = 1
 // ScenarioNames lists the registered scenarios.
 func ScenarioNames() []string { return scenario.Names() }
 
-// FormatScenarioList renders the registry with descriptions.
+// FormatScenarioList renders the registry with descriptions and bench
+// scale classes (cmd/liflsim `scenarios`; pinned by a golden test).
 func FormatScenarioList() string {
 	var b strings.Builder
 	b.WriteString("Registered scenarios:\n")
 	for _, n := range scenario.Names() {
 		s := scenario.MustGet(n)
-		fmt.Fprintf(&b, "  %-18s %s (%d runs)\n", n, s.Description, len(s.Expand()))
+		fmt.Fprintf(&b, "  %-18s [%s] %s (%d runs)\n", n, s.Bench.ClassOrDefault(), s.Description, len(s.Expand()))
 	}
 	return b.String()
 }

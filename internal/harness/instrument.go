@@ -1,0 +1,203 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	runtimemetrics "runtime/metrics"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/perfrec"
+	"repro/internal/scenario"
+)
+
+// This file is the measurement half of the perf-trajectory subsystem: it
+// executes scenario runs under full instrumentation (wall clock, heap-
+// allocation deltas via runtime.ReadMemStats, peak live heap via a
+// runtime/metrics sampler, the deterministic sim-side outcomes) and emits
+// perfrec records. cmd/liflbench and the root BenchmarkScenario both build
+// on it, so every measurement channel reports identical quantities.
+//
+// Instrumented runs are executed serially on purpose: the process-global
+// allocation counters cannot attribute concurrent runs, and wall timings
+// of co-scheduled simulations measure the scheduler, not the code.
+
+// DefaultRepeats is the best-of-N repeat count when neither the caller nor
+// the scenario's BenchMeta specifies one.
+const DefaultRepeats = 3
+
+// MeasureOptions tunes instrumented measurement.
+type MeasureOptions struct {
+	// Repeats overrides every scenario's best-of-N count when > 0.
+	Repeats int
+}
+
+// heapSampler polls the live-heap gauge while a run executes and keeps the
+// maximum — a cheap stand-in for true high-water-mark tracking that is
+// accurate for runs lasting many sampling intervals.
+type heapSampler struct {
+	stop    chan struct{}
+	done    chan uint64
+	samples []runtimemetrics.Sample
+	tick    *time.Ticker
+}
+
+const heapSampleEvery = 2 * time.Millisecond
+
+// newHeapSampler allocates the sampler's resources and warms the
+// runtime/metrics internals WITHOUT starting to sample — setup allocations
+// must land before the caller's ReadMemStats baseline, while sampling must
+// begin only after the caller's runtime.GC() (or the first sample records
+// the previous run's uncollected garbage as this run's peak).
+func newHeapSampler() *heapSampler {
+	s := &heapSampler{
+		stop:    make(chan struct{}),
+		done:    make(chan uint64),
+		samples: []runtimemetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}},
+		tick:    time.NewTicker(heapSampleEvery),
+	}
+	runtimemetrics.Read(s.samples) // warm-up: first Read may allocate internally
+	return s
+}
+
+func (s *heapSampler) start() {
+	go func() {
+		defer s.tick.Stop()
+		var peak uint64
+		for {
+			runtimemetrics.Read(s.samples)
+			if v := s.samples[0].Value.Uint64(); v > peak {
+				peak = v
+			}
+			select {
+			case <-s.stop:
+				s.done <- peak
+				return
+			case <-s.tick.C:
+			}
+		}
+	}()
+}
+
+// Peak stops the sampler and returns the maximum observed live heap.
+func (s *heapSampler) Peak() uint64 {
+	close(s.stop)
+	return <-s.done
+}
+
+// measureOnce runs one RunConfig under instrumentation. The returned
+// record carries only the measured channels; identity fields are the
+// caller's.
+func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
+	// Ordering matters twice over: sampler resources are allocated before
+	// the MemStats baseline (so setup cost doesn't pollute the run's alloc
+	// delta), sampling starts after runtime.GC() (so the first sample
+	// doesn't record an earlier run's uncollected garbage as this run's
+	// peak). The goroutine spawn itself still costs a handful of allocs,
+	// which is why Mallocs is near- rather than bit-deterministic.
+	sampler := newHeapSampler()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	sampler.start()
+	t0 := time.Now()
+	rep, err := core.Run(cfg)
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	peak := sampler.Peak()
+	if err != nil {
+		return perfrec.Run{}, err
+	}
+	rec := perfrec.Run{
+		WallNS:           int64(wall),
+		SimNS:            int64(rep.Elapsed),
+		Rounds:           rep.RoundsRun,
+		Reached:          rep.Reached,
+		Mallocs:          after.Mallocs - before.Mallocs,
+		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes:    peak,
+		RoundWallTotalNS: int64(rep.RoundWallTotal),
+		RoundWallMaxNS:   int64(rep.RoundWallMax),
+	}
+	for _, m := range rep.Milestones {
+		rec.Milestones = append(rec.Milestones, perfrec.Milestone{
+			Accuracy: m.Target,
+			Round:    m.At.Round,
+			SimNS:    int64(m.At.Time),
+			CPUNS:    int64(m.At.CPUTime),
+		})
+	}
+	return rec, nil
+}
+
+// MeasureRun executes one expanded scenario run `repeats` times and
+// returns the best-of-N record: real-clock channels take the minimum
+// across repeats (the least-perturbed observation), simulated channels are
+// deterministic and checked to be identical across repeats.
+func MeasureRun(run scenario.Run, repeats int) (perfrec.Run, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	var best perfrec.Run
+	for i := 0; i < repeats; i++ {
+		rec, err := measureOnce(run.Cfg)
+		if err != nil {
+			return perfrec.Run{}, fmt.Errorf("harness: measuring %s/%s: %w", run.Scenario, run.Label, err)
+		}
+		if i == 0 {
+			best = rec
+			continue
+		}
+		if rec.SimNS != best.SimNS || rec.Rounds != best.Rounds || rec.Reached != best.Reached {
+			return perfrec.Run{}, fmt.Errorf("harness: %s/%s not deterministic across repeats (sim %d vs %d, rounds %d vs %d)",
+				run.Scenario, run.Label, rec.SimNS, best.SimNS, rec.Rounds, best.Rounds)
+		}
+		if rec.WallNS < best.WallNS {
+			best.WallNS = rec.WallNS
+			best.RoundWallTotalNS = rec.RoundWallTotalNS
+			best.RoundWallMaxNS = rec.RoundWallMaxNS
+		}
+		if rec.Mallocs < best.Mallocs {
+			best.Mallocs = rec.Mallocs
+		}
+		if rec.AllocBytes < best.AllocBytes {
+			best.AllocBytes = rec.AllocBytes
+		}
+		if rec.PeakHeapBytes < best.PeakHeapBytes {
+			best.PeakHeapBytes = rec.PeakHeapBytes
+		}
+	}
+	best.Scenario = run.Scenario
+	// An axis-free scenario labels its single run with the scenario name;
+	// drop the redundant label so record keys stay clean.
+	if run.Label != run.Scenario {
+		best.Label = run.Label
+	}
+	best.Repeats = repeats
+	return best, nil
+}
+
+// MeasureScenario expands the scenario and measures every run serially,
+// best-of-N per run. N comes from opt.Repeats, else the scenario's
+// BenchMeta, else DefaultRepeats. Each record is tagged with the
+// scenario's bench scale class.
+func MeasureScenario(sc scenario.Scenario, opt MeasureOptions) ([]perfrec.Run, error) {
+	repeats := opt.Repeats
+	if repeats <= 0 {
+		repeats = sc.Bench.Repeats
+	}
+	if repeats <= 0 {
+		repeats = DefaultRepeats
+	}
+	runs := sc.Expand()
+	out := make([]perfrec.Run, 0, len(runs))
+	for _, run := range runs {
+		rec, err := MeasureRun(run, repeats)
+		if err != nil {
+			return nil, err
+		}
+		rec.Class = sc.Bench.ClassOrDefault()
+		out = append(out, rec)
+	}
+	return out, nil
+}

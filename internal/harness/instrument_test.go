@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestMeasureScenarioFig8 instruments the short fig8-ablation entry and
+// checks the record invariants: every expanded run gets a record, sim-side
+// quantities match an uninstrumented sweep exactly, and the measured
+// channels are populated.
+func TestMeasureScenarioFig8(t *testing.T) {
+	sc := scenario.MustGet("fig8-ablation")
+	recs, err := MeasureScenario(sc, MeasureOptions{Repeats: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := sc.Expand()
+	if len(recs) != len(runs) {
+		t.Fatalf("got %d records for %d expanded runs", len(recs), len(runs))
+	}
+	plain := Sweep(runs, 1)
+	for i, rec := range recs {
+		if rec.Scenario != "fig8-ablation" || rec.Label != runs[i].Label {
+			t.Fatalf("record %d mislabelled: %q/%q", i, rec.Scenario, rec.Label)
+		}
+		if rec.Class != scenario.ClassShort || rec.Repeats != 2 {
+			t.Fatalf("record %d meta: class=%q repeats=%d", i, rec.Class, rec.Repeats)
+		}
+		if plain[i].Err != nil {
+			t.Fatal(plain[i].Err)
+		}
+		if rec.SimNS != int64(plain[i].Report.Elapsed) || rec.Rounds != plain[i].Report.RoundsRun {
+			t.Fatalf("record %d sim-side drift vs plain sweep: sim %d vs %d, rounds %d vs %d",
+				i, rec.SimNS, int64(plain[i].Report.Elapsed), rec.Rounds, plain[i].Report.RoundsRun)
+		}
+		if rec.WallNS <= 0 || rec.Mallocs == 0 || rec.AllocBytes == 0 {
+			t.Fatalf("record %d missing real-clock channels: %+v", i, rec)
+		}
+		if len(rec.Milestones) != 0 {
+			t.Fatalf("injected run %d should have no accuracy milestones: %+v", i, rec.Milestones)
+		}
+	}
+}
+
+// TestMeasureMilestones runs the momentum workload and checks the
+// time-to-accuracy export: the 0.70 crossing must match the report's
+// TimeToTarget channel.
+func TestMeasureMilestones(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full ResNet-18 workload")
+	}
+	sc := scenario.MustGet("fig9-r18-momentum")
+	recs, err := MeasureScenario(sc, MeasureOptions{Repeats: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if !rec.Reached {
+		t.Fatal("workload did not reach target")
+	}
+	if len(rec.Milestones) != 1 || rec.Milestones[0].Accuracy != 0.70 {
+		t.Fatalf("milestones = %+v, want single 0.70 crossing", rec.Milestones)
+	}
+	plain := Sweep(sc.Expand(), 1)
+	if plain[0].Err != nil {
+		t.Fatal(plain[0].Err)
+	}
+	if rec.Milestones[0].SimNS != int64(plain[0].Report.TimeToTarget) {
+		t.Fatalf("0.70 milestone sim time %d != TimeToTarget %d",
+			rec.Milestones[0].SimNS, int64(plain[0].Report.TimeToTarget))
+	}
+}

@@ -1,0 +1,284 @@
+package perfrec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleSuite() *Suite {
+	return &Suite{
+		Tool:      "liflbench",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Runs: []Run{
+			{
+				Scenario: "fig9-r18", Label: "lifl", Class: "long", Repeats: 3,
+				WallNS: 420_000_000, SimNS: int64(9.6 * 3600e9), Rounds: 273,
+				Reached: true, Mallocs: 305_000, AllocBytes: 2_100_000_000,
+				PeakHeapBytes: 96_000_000, RoundWallMaxNS: 4_000_000,
+				Milestones: []Milestone{
+					{Accuracy: 0.5, Round: 80, SimNS: int64(2.7 * 3600e9), CPUNS: int64(1.1 * 3600e9)},
+					{Accuracy: 0.7, Round: 273, SimNS: int64(9.6 * 3600e9), CPUNS: int64(4.0 * 3600e9)},
+				},
+			},
+			{
+				Scenario: "fig8-ablation", Label: "+1+2/60", Class: "short", Repeats: 5,
+				WallNS: 6_000_000, SimNS: 14_000_000_000, Rounds: 1,
+				Mallocs: 21_000, AllocBytes: 180_000_000,
+			},
+			{
+				Scenario: "placement-10k", Class: "short", Repeats: 3,
+				WallNS: 120_000, SimNS: 0, Mallocs: 40, AllocBytes: 1_600_000,
+				PlacementUS: 120,
+			},
+		},
+	}
+}
+
+// TestRoundTrip is the trajectory-format contract: encode → decode →
+// compare against itself must reproduce every field and yield zero
+// regressions at any tolerance.
+func TestRoundTrip(t *testing.T) {
+	s := sampleSuite()
+	data, err := Encode(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", got.Schema, SchemaVersion)
+	}
+	if len(got.Runs) != len(s.Runs) {
+		t.Fatalf("runs = %d, want %d", len(got.Runs), len(s.Runs))
+	}
+	for i, want := range s.Runs {
+		r, ok := got.Find(want.Key())
+		if !ok {
+			t.Fatalf("run %d (%s) lost in round trip", i, want.Key())
+		}
+		if r.WallNS != want.WallNS || r.SimNS != want.SimNS || r.Rounds != want.Rounds ||
+			r.Reached != want.Reached || r.Mallocs != want.Mallocs ||
+			r.AllocBytes != want.AllocBytes || r.PeakHeapBytes != want.PeakHeapBytes ||
+			r.PlacementUS != want.PlacementUS || len(r.Milestones) != len(want.Milestones) {
+			t.Fatalf("run %s mutated in round trip:\n got %+v\nwant %+v", want.Key(), r, want)
+		}
+		for j, m := range want.Milestones {
+			if r.Milestones[j] != m {
+				t.Fatalf("run %s milestone %d mutated: got %+v want %+v", want.Key(), j, r.Milestones[j], m)
+			}
+		}
+	}
+	for _, tol := range []float64{0.01, 0.15, 1.0} {
+		if regs := Regressions(Compare(s, got, Options{Tolerance: tol})); len(regs) != 0 {
+			t.Fatalf("self-compare at tolerance %g reported regressions: %v", tol, regs)
+		}
+	}
+}
+
+// TestCompareFlagsSlowdown doctors a 2× wall slowdown and a 2× alloc
+// growth; both must be flagged, and the untouched runs must stay clean.
+func TestCompareFlagsSlowdown(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	for i := range cur.Runs {
+		if cur.Runs[i].Scenario == "fig9-r18" {
+			cur.Runs[i].WallNS *= 2
+			cur.Runs[i].Mallocs *= 2
+		}
+	}
+	regs := Regressions(Compare(base, cur, Options{Tolerance: 0.15}))
+	metrics := map[string]bool{}
+	for _, v := range regs {
+		if !strings.HasPrefix(v.Key, "fig9-r18") {
+			t.Fatalf("unexpected regression on %s: %+v", v.Key, v)
+		}
+		metrics[v.Metric] = true
+	}
+	if !metrics["wall_ns"] || !metrics["mallocs"] {
+		t.Fatalf("2x slowdown not flagged on wall_ns+mallocs; got %v", regs)
+	}
+}
+
+// TestCompareNoiseFloor: wall jitter on a sub-floor run must not gate,
+// while its deterministic metrics still do.
+func TestCompareNoiseFloor(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	for i := range cur.Runs {
+		if cur.Runs[i].Scenario == "fig8-ablation" {
+			cur.Runs[i].WallNS *= 10 // 6 ms -> 60 ms: below the 50 ms baseline floor
+			cur.Runs[i].AllocBytes *= 3
+		}
+	}
+	regs := Regressions(Compare(base, cur, Options{Tolerance: 0.15}))
+	if len(regs) != 1 || regs[0].Metric != "alloc_bytes" {
+		t.Fatalf("want exactly one alloc_bytes regression (wall under noise floor), got %v", regs)
+	}
+	// With the floor disabled the wall jump gates too.
+	regs = Regressions(Compare(base, cur, Options{Tolerance: 0.15, MinWallNS: -1}))
+	found := false
+	for _, v := range regs {
+		if v.Metric == "wall_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("floor disabled but wall_ns regression not flagged: %v", regs)
+	}
+}
+
+// TestCompareMissingRun: a baseline run absent from the current suite is a
+// regression (the trajectory must not silently shrink).
+func TestCompareMissingRun(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	cur.Runs = cur.Runs[:1]
+	regs := Regressions(Compare(base, cur, Options{}))
+	missing := 0
+	for _, v := range regs {
+		if v.Metric == "missing" {
+			missing++
+		}
+	}
+	if missing != 2 {
+		t.Fatalf("want 2 missing-run regressions, got %d (%v)", missing, regs)
+	}
+	// FilterScenarios is the sanctioned way to run a subset.
+	filtered := FilterScenarios(base, []string{base.Runs[0].Scenario})
+	if regs := Regressions(Compare(filtered, cur, Options{})); len(regs) != 0 {
+		t.Fatalf("filtered baseline still regresses: %v", regs)
+	}
+}
+
+// TestTolerance checks the gate edges: growth inside tolerance passes,
+// beyond it fails, and improvements never gate.
+func TestTolerance(t *testing.T) {
+	base := &Suite{Runs: []Run{{Scenario: "s", WallNS: 1_000_000_000, SimNS: 1000, Mallocs: 1000, AllocBytes: 1000}}}
+	mk := func(scale float64) *Suite {
+		return &Suite{Runs: []Run{{
+			Scenario: "s",
+			WallNS:   int64(1_000_000_000 * scale),
+			SimNS:    int64(1000 * scale),
+			Mallocs:  uint64(1000 * scale),
+
+			AllocBytes: uint64(1000 * scale),
+		}}}
+	}
+	opt := Options{Tolerance: 0.15} // wall limit defaults to 1.60
+	if regs := Regressions(Compare(base, mk(1.10), opt)); len(regs) != 0 {
+		t.Fatalf("+10%% inside tolerance flagged: %v", regs)
+	}
+	if regs := Regressions(Compare(base, mk(0.5), opt)); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	regs := Regressions(Compare(base, mk(2.0), opt))
+	if len(regs) < 4 {
+		t.Fatalf("2x growth should flag all four gated metrics, got %v", regs)
+	}
+}
+
+func TestDecodeRejectsBadSchema(t *testing.T) {
+	for _, bad := range []string{
+		`{"schema": 0, "runs": []}`,
+		`{"schema": 99, "runs": []}`,
+		`{"runs": []}`,
+		`not json`,
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Fatalf("Decode(%q) accepted", bad)
+		}
+	}
+}
+
+func TestVerdictRatio(t *testing.T) {
+	if r := (Verdict{Baseline: 0, Current: 0}).Ratio(); r != 1 {
+		t.Fatalf("0/0 ratio = %g, want 1", r)
+	}
+	if r := (Verdict{Baseline: 0, Current: 5}).Ratio(); r < 1e9 || math.IsNaN(r) {
+		t.Fatalf("5/0 ratio = %g, want huge finite", r)
+	}
+	if r := (Verdict{Baseline: 2, Current: 3}).Ratio(); r != 1.5 {
+		t.Fatalf("ratio = %g, want 1.5", r)
+	}
+}
+
+// TestCompareGatesConvergence: a run that stops reaching its target is a
+// regression even when every cost metric shrinks; rounds drift beyond
+// tolerance gates too.
+func TestCompareGatesConvergence(t *testing.T) {
+	base := &Suite{Runs: []Run{{Scenario: "s", Rounds: 100, Reached: true, WallNS: 1, SimNS: 1000, Mallocs: 10, AllocBytes: 10}}}
+	cur := &Suite{Runs: []Run{{Scenario: "s", Rounds: 100, Reached: false, WallNS: 1, SimNS: 900, Mallocs: 9, AllocBytes: 9}}}
+	regs := Regressions(Compare(base, cur, Options{Tolerance: 0.15}))
+	if len(regs) != 1 || regs[0].Metric != "reached" {
+		t.Fatalf("convergence loss not flagged: %v", regs)
+	}
+	cur = &Suite{Runs: []Run{{Scenario: "s", Rounds: 130, Reached: true, WallNS: 1, SimNS: 1000, Mallocs: 10, AllocBytes: 10}}}
+	regs = Regressions(Compare(base, cur, Options{Tolerance: 0.15}))
+	if len(regs) != 1 || regs[0].Metric != "rounds" {
+		t.Fatalf("+30%% rounds not flagged: %v", regs)
+	}
+	// A never-reaching baseline (injected microbenchmarks) does not gate
+	// on Reached at all.
+	base.Runs[0].Reached = false
+	cur = &Suite{Runs: []Run{{Scenario: "s", Rounds: 100, Reached: false, WallNS: 1, SimNS: 1000, Mallocs: 10, AllocBytes: 10}}}
+	if regs := Regressions(Compare(base, cur, Options{Tolerance: 0.15})); len(regs) != 0 {
+		t.Fatalf("unreached baseline gated: %v", regs)
+	}
+}
+
+// TestExactToleranceKeepsWallHeadroom: -tolerance 0 (exact deterministic
+// gate) must not cascade into exact wall-clock equality.
+func TestExactToleranceKeepsWallHeadroom(t *testing.T) {
+	base := &Suite{Runs: []Run{{Scenario: "s", WallNS: 1_000_000_000, SimNS: 1000, Mallocs: 1000, AllocBytes: 1000}}}
+	cur := &Suite{Runs: []Run{{Scenario: "s", WallNS: 1_100_000_000, SimNS: 1000, Mallocs: 1000, AllocBytes: 1000}}}
+	if regs := Regressions(Compare(base, cur, Options{Tolerance: -1})); len(regs) != 0 {
+		t.Fatalf("10%% wall jitter gated under exact deterministic tolerance: %v", regs)
+	}
+	cur.Runs[0].Mallocs = 1001
+	regs := Regressions(Compare(base, cur, Options{Tolerance: -1}))
+	if len(regs) != 1 || regs[0].Metric != "mallocs" {
+		t.Fatalf("exact tolerance missed +1 malloc: %v", regs)
+	}
+}
+
+// TestPlacementNoiseFloor: sub-millisecond placement measurements must not
+// gate on ratio alone, but a real cliff above the floor must.
+func TestPlacementNoiseFloor(t *testing.T) {
+	base := &Suite{Runs: []Run{{Scenario: "placement-10k", PlacementUS: 8}}}
+	cur := &Suite{Runs: []Run{{Scenario: "placement-10k", PlacementUS: 80}}}
+	if regs := Regressions(Compare(base, cur, Options{})); len(regs) != 0 {
+		t.Fatalf("10x on an 8 us measurement gated below the noise floor: %v", regs)
+	}
+	cur.Runs[0].PlacementUS = 5000
+	regs := Regressions(Compare(base, cur, Options{}))
+	if len(regs) != 1 || regs[0].Metric != "placement_us" {
+		t.Fatalf("5 ms placement cliff not flagged: %v", regs)
+	}
+}
+
+// TestFilterClass: narrowing a baseline by its own class tags keeps
+// deleted-scenario detection alive in subset comparisons.
+func TestFilterClass(t *testing.T) {
+	base := sampleSuite() // one long entry, two short
+	short := FilterClass(base, "short")
+	if len(short.Runs) != 2 {
+		t.Fatalf("short filter kept %d runs, want 2", len(short.Runs))
+	}
+	// A short-class baseline entry whose scenario was deleted from the
+	// registry is absent from the current suite -> missing regression.
+	cur := &Suite{Runs: []Run{}}
+	for _, r := range short.Runs {
+		if r.Scenario != "fig8-ablation" {
+			cur.Runs = append(cur.Runs, r)
+		}
+	}
+	regs := Regressions(Compare(short, cur, Options{}))
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("deleted short scenario not flagged missing: %v", regs)
+	}
+}

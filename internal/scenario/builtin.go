@@ -37,6 +37,7 @@ func init() {
 		MC:             60, // smaller updates → higher per-node capacity (App. E)
 		Seed:           1,
 		Systems:        []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL},
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.60, 0.70}},
 	})
 	// Fig. 9(c,d) + Fig. 10(d-f): ResNet-152, 15 always-on server clients.
 	mustRegister(Scenario{
@@ -52,6 +53,7 @@ func init() {
 		MC:             20,
 		Seed:           1,
 		Systems:        []core.SystemKind{core.SystemLIFL, core.SystemSF, core.SystemSL},
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.60, 0.70}},
 	})
 	// Fig. 8(a-d): the orchestration ablation grid — five feature prefixes
 	// × three injected batch sizes, each cell a cold single-round cluster.
@@ -66,6 +68,8 @@ func init() {
 		Systems:     []core.SystemKind{core.SystemLIFL},
 		Variants:    AblationVariants(),
 		Loads:       []int{20, 60, 100},
+		// Injected single-round cells: no accuracy trajectory to milestone.
+		Bench: BenchMeta{Class: ClassShort, Repeats: 5},
 	})
 	// Appendix E, workload-level: sweep the configured MC around the
 	// calibrated knee to show the §6.2 outcome's sensitivity to the
@@ -82,6 +86,7 @@ func init() {
 		Nodes:          5,
 		Seed:           1,
 		MCs:            []float64{10, 20, 40},
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.70}},
 	})
 	// Roadmap scale: a million-client population on the streaming
 	// O(ActivePerRound) selector with a lean (non-accumulating) report.
@@ -98,6 +103,7 @@ func init() {
 		MC:             60,
 		Seed:           1,
 		Streaming:      true,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
 	})
 	// Failure model: the §3 resilience path under a lossy mobile fleet —
 	// heartbeat-detected failures covered by over-provisioned standbys.
@@ -114,6 +120,7 @@ func init() {
 		MC:             60,
 		Seed:           1,
 		FailureRate:    0.10,
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.70}},
 	})
 	// Server-momentum variant of the ResNet-18 workload: exercises the
 	// FedAvgM (ScaleAdd-fused) model-install path end to end.
@@ -130,6 +137,7 @@ func init() {
 		MC:             60,
 		Seed:           1,
 		ServerMomentum: 0.9,
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.70}},
 	})
 }
 

@@ -27,6 +27,44 @@ import (
 	"repro/internal/systems"
 )
 
+// Bench scale classes: how a registry entry participates in the
+// perf-trajectory gates (cmd/liflbench, CI).
+const (
+	// ClassShort entries are fast enough to repeat on every PR: the CI
+	// bench job gates on them against the committed baseline.
+	ClassShort = "short"
+	// ClassLong entries (full Fig. 9 workloads, million-client synthesis)
+	// run only in the nightly drift check.
+	ClassLong = "long"
+)
+
+// BenchMeta tags a scenario for the perf-trajectory subsystem: how
+// liflbench should measure it and which accuracy crossings to export.
+type BenchMeta struct {
+	// Class is the expected scale class (ClassShort/ClassLong; empty is
+	// treated as ClassLong — unclassified work never slows PR CI).
+	Class string
+	// Repeats is the best-of-N repeat count for real-clock metrics
+	// (0 = harness.DefaultRepeats).
+	Repeats int
+	// Milestones are accuracy levels whose first-crossing times are
+	// recorded (Report.Milestones); empty for injected microbenchmarks,
+	// which have no accuracy trajectory.
+	Milestones []float64
+}
+
+// ClassOrDefault resolves the scale class, defaulting the empty string to
+// ClassLong (unclassified work never slows PR CI).
+func (m BenchMeta) ClassOrDefault() string {
+	if m.Class == "" {
+		return ClassLong
+	}
+	return m.Class
+}
+
+// ShortClass reports whether the entry belongs to the PR-CI bench gate.
+func (m BenchMeta) ShortClass() bool { return m.ClassOrDefault() == ClassShort }
+
 // FlagVariant is one labelled point of an orchestration-flag axis (the
 // Fig. 8 feature-prefix ablation).
 type FlagVariant struct {
@@ -69,6 +107,12 @@ type Scenario struct {
 	// does not accumulate per-round slices (pair with core.RunConfig.OnRound
 	// for observation). Required for million-client populations.
 	Streaming bool
+
+	// Bench is the entry's perf-trajectory metadata. Its Milestones are
+	// wired into every expanded RunConfig (milestone capture is simulated-
+	// time only, so this costs nothing and keeps liflsim sweeps, liflbench
+	// and go test -bench reporting identical quantities).
+	Bench BenchMeta
 
 	// Sweep axes.
 	Systems  []core.SystemKind
@@ -131,6 +175,7 @@ func (s Scenario) Expand() []Run {
 							MC:             mc,
 							Seed:           seed,
 							FailureRate:    s.FailureRate,
+							Milestones:     s.Bench.Milestones,
 						}
 						if len(s.Variants) > 0 {
 							flags := v.Flags
@@ -199,6 +244,7 @@ func (s Scenario) clone() Scenario {
 	s.Loads = append([]int(nil), s.Loads...)
 	s.MCs = append([]float64(nil), s.MCs...)
 	s.Seeds = append([]int64(nil), s.Seeds...)
+	s.Bench.Milestones = append([]float64(nil), s.Bench.Milestones...)
 	return s
 }
 
