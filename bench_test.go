@@ -158,6 +158,24 @@ func BenchmarkScenario(b *testing.B) {
 	}
 }
 
+// BenchmarkFig11Async regenerates the Fig. 11 buffered-async workload (the
+// fig11-async registry entry): time-to-accuracy of the event-driven
+// buffered-async system, plus its versions and mean staleness.
+func BenchmarkFig11Async(b *testing.B) {
+	cfg := scenario.MustGet("fig11-async").Expand()[0].Cfg
+	for i := 0; i < b.N; i++ {
+		rep, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(rep.TimeToTarget.Hours(), "wall-h")
+			b.ReportMetric(float64(rep.RoundsRun), "versions")
+			b.ReportMetric(rep.MeanStaleness, "staleness")
+		}
+	}
+}
+
 // BenchmarkFig13Queuing regenerates Fig. 13 / Appendix F: message-queuing
 // overheads of the four pipelines.
 func BenchmarkFig13Queuing(b *testing.B) {

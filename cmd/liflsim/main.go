@@ -8,6 +8,7 @@
 //	liflsim fig8               # orchestration ablation (Fig. 8(a-d))
 //	liflsim fig9r18            # ResNet-18 time/cost-to-accuracy + Fig. 10(a-c)
 //	liflsim fig9r152           # ResNet-152 time/cost-to-accuracy + Fig. 10(d-f)
+//	liflsim fig11              # buffered-async vs synchronous (Fig. 11 / Appendix A)
 //	liflsim fig13              # message-queuing overheads (Appendix F)
 //	liflsim overhead           # orchestration overhead (§6.1)
 //	liflsim scenarios          # list the workload registry
@@ -114,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig13|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
 }
 
 // handlers is the single verb table: run dispatches through it and main
@@ -144,6 +145,10 @@ var handlers = map[string]func(w io.Writer, seed int64) error{
 		rows := experiments.Fig9(model.ResNet152, seed)
 		fmt.Fprint(w, experiments.FormatFig9(rows))
 		fmt.Fprint(w, experiments.FormatFig10(experiments.Fig10(rows)))
+		return nil
+	},
+	"fig11": func(w io.Writer, seed int64) error {
+		fmt.Fprint(w, experiments.FormatFig11(experiments.Fig11(seed)))
 		return nil
 	},
 	"fig13": func(w io.Writer, _ int64) error {
@@ -181,7 +186,7 @@ var handlers = map[string]func(w io.Writer, seed int64) error{
 // handlers → run → handlers initialization cycle.
 func init() {
 	handlers["all"] = func(w io.Writer, seed int64) error {
-		for _, sub := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152"} {
+		for _, sub := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152", "fig11"} {
 			if err := run(w, sub, seed); err != nil {
 				return err
 			}

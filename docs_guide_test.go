@@ -1,0 +1,90 @@
+package lifl
+
+// The docs gate: every fenced code block in docs/GUIDE.md must carry a
+// language tag, and every `go`-tagged block must be a complete, parseable,
+// gofmt-clean Go file (snippets are written as full programs so readers
+// can paste-and-run them). Blocks that are illustrative output are tagged
+// `text`. CI runs this alongside the gofmt/vet gate, so the guide's code
+// can never rot silently.
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// guideBlocks extracts (tag, body, startLine) triples for every fenced
+// block in the given markdown.
+func guideBlocks(t *testing.T, md string) [][3]string {
+	t.Helper()
+	var blocks [][3]string
+	lines := strings.Split(md, "\n")
+	for i := 0; i < len(lines); i++ {
+		l := strings.TrimSpace(lines[i])
+		if !strings.HasPrefix(l, "```") {
+			continue
+		}
+		tag := strings.TrimPrefix(l, "```")
+		start := i + 1
+		var body []string
+		i++
+		for ; i < len(lines); i++ {
+			if strings.TrimSpace(lines[i]) == "```" {
+				break
+			}
+			body = append(body, lines[i])
+		}
+		if i == len(lines) {
+			t.Fatalf("GUIDE.md line %d: unterminated fence", start)
+		}
+		blocks = append(blocks, [3]string{tag, strings.Join(body, "\n"), fmt.Sprint(start)})
+	}
+	return blocks
+}
+
+func TestGuideSnippets(t *testing.T) {
+	md, err := os.ReadFile("docs/GUIDE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := guideBlocks(t, string(md))
+	if len(blocks) == 0 {
+		t.Fatal("GUIDE.md has no fenced blocks — the guide lost its examples")
+	}
+	goBlocks := 0
+	for _, b := range blocks {
+		tag, body, line := b[0], b[1], b[2]
+		switch tag {
+		case "":
+			t.Errorf("GUIDE.md line %s: fenced block without a language tag (use go/sh/text)", line)
+		case "go":
+			goBlocks++
+			src := []byte(body + "\n")
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, "snippet.go", src, parser.AllErrors); err != nil {
+				t.Errorf("GUIDE.md line %s: go block does not parse: %v", line, err)
+				continue
+			}
+			formatted, err := format.Source(src)
+			if err != nil {
+				t.Errorf("GUIDE.md line %s: gofmt: %v", line, err)
+				continue
+			}
+			if !bytes.Equal(formatted, src) {
+				t.Errorf("GUIDE.md line %s: go block is not gofmt-clean", line)
+			}
+		case "sh", "text", "yaml", "json":
+			// Non-Go blocks only need their honest tag.
+		default:
+			t.Errorf("GUIDE.md line %s: unexpected fence tag %q", line, tag)
+		}
+	}
+	if goBlocks == 0 {
+		t.Fatal("GUIDE.md has no go-tagged snippets to lint")
+	}
+}

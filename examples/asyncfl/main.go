@@ -1,6 +1,10 @@
-// AsyncFL: the paper's future-work direction (Fig. 11) — asynchronous FL
-// with a fixed training concurrency, comparing eager and lazy aggregation
-// timing plus staleness damping.
+// AsyncFL: buffered-asynchronous federated learning (Fig. 11 / Appendix A)
+// on the first-class async system — a fixed concurrency of clients trains
+// at all times, the service folds updates into a FedBuff-style buffer of
+// size K, and every K folds the global model advances one version through
+// a staleness-weighted merge. The same workload then runs synchronously on
+// LIFL for the Fig. 11 comparison: async reaches the target with no round
+// barriers, trading a little staleness for wall-clock time.
 //
 //	go run ./examples/asyncfl
 package main
@@ -9,55 +13,53 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/asyncfl"
-	"repro/internal/sim"
-	"repro/internal/tensor"
+	lifl "repro"
 )
 
 func main() {
-	for _, eager := range []bool{true, false} {
-		eng := sim.NewEngine()
-		svc, err := asyncfl.New(eng, asyncfl.Config{
-			Goal:              2, // Fig. 11: aggregation goal = 2
-			Concurrency:       4, // Fig. 11: concurrency = 4
-			Eager:             eager,
-			StalenessHalfLife: 2,
-		}, tensor.FromSlice(make([]float32, 64)))
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Four clients with very different speeds train continuously; each
-		// re-enters as soon as its slot frees (async: no round barrier).
-		speeds := []sim.Duration{8 * sim.Second, 11 * sim.Second, 23 * sim.Second, 47 * sim.Second}
-		rng := sim.NewRNG(11)
-		var loop func(client int)
-		submitted := 0
-		loop = func(client int) {
-			base := svc.Version()
-			eng.After(rng.Jitter(speeds[client], 0.1), func() {
-				if submitted >= 40 {
-					return
-				}
-				submitted++
-				u := tensor.FromSlice(make([]float32, 64))
-				u.Fill(float32(base + 1))
-				if err := svc.Submit(asyncfl.Update{Tensor: u, Weight: 1, BaseVersion: base}); err != nil {
-					log.Fatal(err)
-				}
-				loop(client)
-			})
-		}
-		for c := range speeds {
-			loop(c)
-		}
-		if err := eng.RunUntilIdle(); err != nil {
-			log.Fatal(err)
-		}
-		mode := "eager"
-		if !eager {
-			mode = "lazy"
-		}
-		fmt.Printf("%-5s: %2d versions from %d updates in %v; mean staleness %.2f versions\n",
-			mode, svc.Version(), svc.Received, eng.Now().Round(sim.Second), svc.MeanStaleness())
+	base := lifl.RunConfig{
+		Model:          lifl.ResNet18,
+		Clients:        400, // client population
+		ActivePerRound: 32,  // async: training concurrency; sync: active per round
+		Class:          lifl.MobileClients,
+		TargetAccuracy: 0.60,
+		MaxRounds:      80,
+		Nodes:          2,
+		Seed:           7,
 	}
+
+	async := base
+	async.System = lifl.SystemAsync
+	async.Async = &lifl.AsyncSpec{
+		BufferK:           8, // updates folded per version bump
+		StalenessHalfLife: 4, // a 4-version-old update weighs half
+	}
+	// Stream the first few version bumps as they happen — there is no
+	// round barrier to wait for.
+	shown := 0
+	async.OnRound = func(o lifl.RoundObservation) {
+		if shown < 5 {
+			fmt.Printf("version %2d: t=%6.1fs folded=%d acc=%.2f\n",
+				o.Result.Round, o.Acc.Time.Seconds(), o.Result.Updates, o.Acc.Accuracy)
+			shown++
+		}
+	}
+	arep, err := lifl.Run(async)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("... %d versions total, mean staleness %.2f, %d discarded\n",
+		arep.RoundsRun, arep.MeanStaleness, arep.UpdatesDiscarded)
+
+	srep, err := lifl.Run(base) // defaults to synchronous LIFL
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Printf("%-6s %10s %9s %9s %11s\n", "mode", "rounds/ver", "tta(h)", "cpu(h)", "staleness")
+	fmt.Printf("%-6s %10d %9.2f %9.2f %11.2f\n",
+		"async", arep.RoundsRun, arep.TimeToTarget.Hours(), arep.CPUToTarget.Hours(), arep.MeanStaleness)
+	fmt.Printf("%-6s %10d %9.2f %9.2f %11.2f\n",
+		"sync", srep.RoundsRun, srep.TimeToTarget.Hours(), srep.CPUToTarget.Hours(), srep.MeanStaleness)
 }

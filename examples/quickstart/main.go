@@ -2,6 +2,11 @@
 // per-round results plus the final time-to-accuracy summary.
 //
 //	go run ./examples/quickstart
+//
+// RunConfig.System selects among the five systems — synchronous rounds on
+// LIFL/SL-H/SF/SL, or buffered-async training (lifl.SystemAsync; see
+// examples/asyncfl). Named, sweepable workloads live in the scenario
+// registry (`liflsim scenarios`); docs/GUIDE.md walks the whole workflow.
 package main
 
 import (

@@ -1,16 +1,3 @@
-// Package aggcore implements LIFL's aggregator: the step-based processing
-// model of Appendix G (Fig. 14). An aggregator is a multiple-producer,
-// single-consumer pipeline of three steps — Recv (enqueue incoming updates
-// into a FIFO; in LIFL only the shm object key is enqueued), Agg (dequeue
-// and fold one update into the cumulative FedAvg state, repeating until the
-// aggregation goal is met), and Send (emit the aggregate to the designated
-// consumer). Recv and Agg overlap, which is exactly what enables eager
-// aggregation (§5.4); lazy aggregation defers Agg until the whole batch has
-// arrived (Fig. 1).
-//
-// Aggregators are stateless across rounds and use homogenized runtimes, so
-// a warm leaf can be converted into a middle or top aggregator with nothing
-// but a role flip (§5.3).
 package aggcore
 
 import (
@@ -112,6 +99,17 @@ type Aggregator struct {
 	// instead of Transport.
 	OnComplete func(*Aggregator, Update)
 
+	// Reweigh, when set, recomputes an update's effective FedAvg weight at
+	// the moment it is folded (the Agg-step dequeue) instead of when it
+	// arrived. The buffered-async system uses it for staleness decay
+	// measured against the model version current at fold time (there,
+	// Update.Round carries the producer's base version). Returning a weight
+	// <= 0 discards the update: its shm reference is released, Discarded
+	// increments, and the aggregation goal does not advance. The update's
+	// stored Weight is never mutated, so a §3 failover replay re-weighs
+	// from the original value.
+	Reweigh func(Update) float64
+
 	Tracer *trace.Recorder
 	// TraceName is the actor label in timelines ("LF1", "Top", ...).
 	TraceName string
@@ -146,6 +144,8 @@ type Aggregator struct {
 	// Stats.
 	TotalAggregated uint64
 	RoundsCompleted uint64
+	// Discarded counts updates dropped by Reweigh before folding.
+	Discarded uint64
 }
 
 // New creates an aggregator with the given algorithm. phys/virtual size the
@@ -249,6 +249,18 @@ func (a *Aggregator) pump() {
 		a.queue = a.queue[:0] // drained: recycle the backing array
 		a.qhead = 0
 	}
+	w := u.Weight
+	if a.Reweigh != nil {
+		if w = a.Reweigh(u); w <= 0 {
+			// Discarded at the queue head before any Agg-step work: release
+			// the payload and keep draining. The comparison is a version-tag
+			// check, so no CPU demand is charged.
+			u.release()
+			a.Discarded++
+			a.pump()
+			return
+		}
+	}
 	a.busy = true
 	a.inflight = u
 	a.hasInflight = true
@@ -261,7 +273,7 @@ func (a *Aggregator) pump() {
 			return // the instance failed mid-step; the update was replayed
 		}
 		a.Tracer.Add(a.TraceName, trace.KindAgg, start, end, a.Round)
-		if err := a.state.Accumulate(u.Tensor, u.Weight); err != nil {
+		if err := a.state.Accumulate(u.Tensor, w); err != nil {
 			panic(fmt.Sprintf("aggcore %s: %v", a.ID, err))
 		}
 		a.consumed = append(a.consumed, u)

@@ -259,3 +259,119 @@ func TestAggregationCorrectnessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Reweigh recomputes weights at the Agg-step dequeue (fold time). The
+// buffered-async system hangs staleness decay here: the folded aggregate
+// must use the reweighed values while the stored updates keep their
+// original weights for failover replay.
+func TestReweighAppliesAtFoldTime(t *testing.T) {
+	eng, n := rig()
+	a := New("buf", RoleTop, n, fedavg.FedAvg{}, 2, 2)
+	ct := &captureTransport{eng: eng}
+	a.Transport = ct
+	a.Mode = Eager
+	// Halve every weight: the mean is unchanged, the total weight halves.
+	a.Reweigh = func(u Update) float64 { return u.Weight / 2 }
+	a.Assign(RoleTop, 2, "up", 1)
+	a.Receive(mkUpdate(2, 1))
+	a.Receive(mkUpdate(4, 3))
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.count != 1 {
+		t.Fatalf("sends = %d", ct.count)
+	}
+	// (2·0.5 + 4·1.5)/2 = 3.5, total weight 0.5 + 1.5 = 2.
+	if got := ct.out.Tensor.Data[0]; got < 3.49 || got > 3.51 {
+		t.Fatalf("aggregate = %v", got)
+	}
+	if ct.out.Weight != 2 {
+		t.Fatalf("total weight = %v, want reweighed 2", ct.out.Weight)
+	}
+}
+
+// A reweigh verdict of <= 0 discards the update without advancing the goal:
+// the buffer only fills with live contributions.
+func TestReweighDiscardsWithoutAdvancingGoal(t *testing.T) {
+	eng, n := rig()
+	a := New("buf", RoleTop, n, fedavg.FedAvg{}, 2, 2)
+	ct := &captureTransport{eng: eng}
+	a.Transport = ct
+	a.Mode = Eager
+	a.Reweigh = func(u Update) float64 {
+		if u.Round == 0 { // "too stale"
+			return 0
+		}
+		return u.Weight
+	}
+	a.Assign(RoleTop, 2, "up", 1)
+	stale := mkUpdate(100, 5)
+	stale.Round = 0
+	a.Receive(stale)
+	a.Receive(mkUpdate(1, 1))
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.count != 0 {
+		t.Fatal("goal met with a discarded update")
+	}
+	if a.Discarded != 1 || a.Done() != 1 {
+		t.Fatalf("discarded = %d, done = %d", a.Discarded, a.Done())
+	}
+	a.Receive(mkUpdate(3, 1))
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.count != 1 {
+		t.Fatal("goal did not complete after live updates")
+	}
+	// The discarded value-100 update must not have leaked in: (1 + 3)/2 = 2.
+	if got := ct.out.Tensor.Data[0]; got != 2 {
+		t.Fatalf("aggregate = %v, want 2", got)
+	}
+}
+
+// A discarded shm-resident update must release its reference; a folded one
+// still releases at Send — either way the store drains to empty.
+func TestReweighDiscardReleasesShmReference(t *testing.T) {
+	eng, n := rig()
+	a := New("buf", RoleTop, n, fedavg.FedAvg{}, 2, 2)
+	ct := &captureTransport{eng: eng}
+	a.Transport = ct
+	a.Mode = Eager
+	a.Reweigh = func(u Update) float64 {
+		if u.Producer == "stale" {
+			return 0
+		}
+		return u.Weight
+	}
+	a.Assign(RoleTop, 2, "up", 1)
+	recv := func(producer string, v float32) {
+		u := tensor.FromSlice([]float32{v, v})
+		key, err := n.Shm.Put(u, 1, producer, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := n.Shm.Get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Receive(Update{Tensor: obj.Tensor, Weight: obj.Weight, Size: obj.Size,
+			Round: 1, Producer: producer, Key: key, Store: n.Shm})
+	}
+	recv("stale", 9)
+	recv("live", 1)
+	recv("live", 3)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if ct.count != 1 {
+		t.Fatalf("sends = %d", ct.count)
+	}
+	if a.Discarded != 1 {
+		t.Fatalf("discarded = %d", a.Discarded)
+	}
+	if n.Shm.Len() != 0 {
+		t.Fatalf("shm holds %d objects after send; discarded reference leaked", n.Shm.Len())
+	}
+}

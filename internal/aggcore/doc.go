@@ -1,0 +1,18 @@
+// Package aggcore implements LIFL's aggregator: the step-based processing
+// model of Appendix G (Fig. 14). An aggregator is a multiple-producer,
+// single-consumer pipeline of three steps — Recv (enqueue incoming updates
+// into a FIFO; in LIFL only the shm object key is enqueued), Agg (dequeue
+// and fold one update into the cumulative FedAvg state, repeating until the
+// aggregation goal is met), and Send (emit the aggregate to the designated
+// consumer). Recv and Agg overlap, which is exactly what enables eager
+// aggregation (§5.4); lazy aggregation defers Agg until the whole batch has
+// arrived (Fig. 1).
+//
+// Aggregators are stateless across rounds and use homogenized runtimes, so
+// a warm leaf can be converted into a middle or top aggregator with nothing
+// but a role flip (§5.3).
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// Recv/Agg/Send aggregator pipeline every system assembles its hierarchy
+// (or async buffer) from.
+package aggcore

@@ -1,169 +1,129 @@
-// Package asyncfl implements the asynchronous-FL semantics of Fig. 11
-// (Appendix A) — the paper's stated future-work direction, following
-// PAPAYA's buffered asynchronous aggregation (Huba et al., 2022; Nguyen et
-// al., 2022). Unlike synchronous FL, the service keeps a fixed concurrency
-// of clients training at all times; whenever the aggregation goal k (< the
-// concurrency) is met, the global model advances one version and the slots
-// are refilled — clients that trained against older versions contribute
-// staleness-weighted updates instead of being discarded.
-//
-// Both aggregation timings of Fig. 11 are supported: eager folds each
-// update into the pending version on arrival; lazy parks updates until the
-// goal's worth has queued.
 package asyncfl
 
 import (
-	"errors"
 	"fmt"
 	"math"
 
-	"repro/internal/fedavg"
-	"repro/internal/sim"
 	"repro/internal/tensor"
 )
 
-// Update is one asynchronous client contribution.
-type Update struct {
-	Tensor *tensor.Tensor
-	Weight float64
-	// BaseVersion is the global model version the client trained against.
-	BaseVersion int
-	Producer    string
+// Decay is the staleness-damping policy: an update trained lag versions ago
+// contributes with weight factor 2^(−lag/HalfLife), and updates staler than
+// MaxStaleness (when set) are discarded outright. The zero value performs
+// no damping at all.
+type Decay struct {
+	// HalfLife is the version lag at which a contribution's weight halves;
+	// <= 0 disables damping (every lag weighs 1).
+	HalfLife float64
+	// MaxStaleness, when > 0, is the hard cutoff: updates with lag greater
+	// than this weigh exactly 0 (the dispatcher discards them).
+	MaxStaleness int
 }
 
-// Config parameterizes the asynchronous aggregator.
-type Config struct {
-	// Goal k: updates folded per version bump (Fig. 11 uses 2).
-	Goal int
-	// Concurrency: simultaneously training clients (Fig. 11 uses 4).
-	Concurrency int
-	// Eager selects the Fig. 11(a) timing; false = lazy, Fig. 11(b).
-	Eager bool
-	// StalenessHalfLife damps contributions trained s versions ago by
-	// 2^(−s/half-life); 0 disables damping.
-	StalenessHalfLife float64
-	// Phys/Virtual size the accumulator.
-	Phys, Virtual int
-}
-
-// Service is the asynchronous aggregation service.
-type Service struct {
-	cfg   Config
-	eng   *sim.Engine
-	algo  fedavg.Algorithm
-	state fedavg.State
-
-	version int
-	global  *tensor.Tensor
-	queue   []Update
-
-	// OnVersion fires after every version bump with the new global model.
-	OnVersion func(version int, global *tensor.Tensor)
-
-	// Stats.
-	Received  uint64
-	Folded    uint64
-	Discarded uint64
-	// StalenessSum accumulates version lag for mean-staleness reporting.
-	StalenessSum uint64
-}
-
-// New builds the service around an initial global model.
-func New(eng *sim.Engine, cfg Config, initial *tensor.Tensor) (*Service, error) {
-	if cfg.Goal <= 0 {
-		return nil, errors.New("asyncfl: goal must be positive")
-	}
-	if cfg.Concurrency < cfg.Goal {
-		return nil, fmt.Errorf("asyncfl: concurrency %d below goal %d", cfg.Concurrency, cfg.Goal)
-	}
-	if cfg.Phys == 0 {
-		cfg.Phys = initial.Len()
-		cfg.Virtual = initial.VirtualLen
-	}
-	alg := fedavg.FedAvg{}
-	return &Service{
-		cfg:    cfg,
-		eng:    eng,
-		algo:   alg,
-		state:  alg.NewState(cfg.Phys, cfg.Virtual),
-		global: initial.Clone(),
-	}, nil
-}
-
-// Version returns the current global model version.
-func (s *Service) Version() int { return s.version }
-
-// Global returns the current global model (read-only by convention).
-func (s *Service) Global() *tensor.Tensor { return s.global }
-
-// Pending returns queued-but-unfolded updates (non-zero only under lazy).
-func (s *Service) Pending() int { return len(s.queue) }
-
-// stalenessWeight damps a contribution trained against an old version.
-func (s *Service) stalenessWeight(base int) float64 {
-	lag := s.version - base
+// Weight returns the damping factor for an update trained lag versions
+// behind the current global model. Negative lags (an update trained against
+// the current or a never-published version) clamp to 0 and weigh 1. The
+// returned factor is in [0, 1]; it reaches 0 at the MaxStaleness cutoff or
+// when 2^(−lag/HalfLife) underflows to zero for extreme lag/HalfLife
+// ratios — callers must treat a zero weight as "discard", never divide by it.
+func (d Decay) Weight(lag int) float64 {
 	if lag < 0 {
 		lag = 0
 	}
-	s.StalenessSum += uint64(lag)
-	if s.cfg.StalenessHalfLife <= 0 || lag == 0 {
-		return 1
-	}
-	return math.Exp2(-float64(lag) / s.cfg.StalenessHalfLife)
-}
-
-// Submit delivers one client update to the service.
-func (s *Service) Submit(u Update) error {
-	if u.Weight <= 0 {
-		return fmt.Errorf("asyncfl: non-positive weight %v", u.Weight)
-	}
-	s.Received++
-	if s.cfg.Eager {
-		return s.fold(u)
-	}
-	s.queue = append(s.queue, u)
-	if len(s.queue) >= s.cfg.Goal {
-		batch := s.queue
-		s.queue = nil
-		for _, q := range batch {
-			if err := s.fold(q); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// fold accumulates one update and bumps the version at the goal.
-func (s *Service) fold(u Update) error {
-	w := u.Weight * s.stalenessWeight(u.BaseVersion)
-	if w <= 0 {
-		s.Discarded++
-		return nil
-	}
-	if err := s.state.Accumulate(u.Tensor, w); err != nil {
-		return err
-	}
-	s.Folded++
-	if s.state.Count() >= s.cfg.Goal {
-		agg, _, err := s.state.Result()
-		if err != nil {
-			return err
-		}
-		s.state.Reset()
-		s.version++
-		s.global = agg
-		if s.OnVersion != nil {
-			s.OnVersion(s.version, s.global)
-		}
-	}
-	return nil
-}
-
-// MeanStaleness reports the average version lag of received updates.
-func (s *Service) MeanStaleness() float64 {
-	if s.Received == 0 {
+	if d.MaxStaleness > 0 && lag > d.MaxStaleness {
 		return 0
 	}
-	return float64(s.StalenessSum) / float64(s.Received)
+	if d.HalfLife <= 0 || lag == 0 {
+		return 1
+	}
+	return math.Exp2(-float64(lag) / d.HalfLife)
+}
+
+// Merger installs a buffer aggregate into the global model with one fused
+// tensor.ScaleAdd sweep: next = (1−Mix)·global + Mix·aggregate. Mix = 1
+// adopts the (staleness-weighted) buffer mean outright — the buffered-async
+// analogue of fedavg.Adopt — while smaller rates blend it in, damping the
+// version-to-version jitter of a small buffer.
+type Merger struct {
+	// Mix is the server mixing rate η in (0, 1]; 0 defaults to 1 (adopt).
+	Mix float64
+}
+
+// Merge returns the next global model. Neither input is mutated.
+func (m Merger) Merge(global, aggregate *tensor.Tensor) (*tensor.Tensor, error) {
+	mix := m.Mix
+	if mix == 0 {
+		mix = 1
+	}
+	if mix < 0 || mix > 1 {
+		return nil, fmt.Errorf("asyncfl: mix rate %v outside (0, 1]", m.Mix)
+	}
+	next := global.Clone()
+	if err := next.ScaleAdd(float32(1-mix), float32(mix), aggregate); err != nil {
+		return nil, err
+	}
+	return next, nil
+}
+
+// Tracker is the per-client version-tracking table: every dispatched client
+// registers the global version it trained against and receives a ticket;
+// completing the ticket against the then-current version records the
+// arrival staleness. The table is how the service knows, at any moment,
+// which versions its in-flight training slots are based on.
+type Tracker struct {
+	inflight map[int]int // ticket → base version
+	next     int
+	done     uint64
+	lagSum   uint64
+}
+
+// NewTracker returns an empty table.
+func NewTracker() *Tracker {
+	return &Tracker{inflight: make(map[int]int)}
+}
+
+// Dispatch registers one in-flight client training against baseVersion and
+// returns its ticket.
+func (t *Tracker) Dispatch(baseVersion int) int {
+	t.next++
+	t.inflight[t.next] = baseVersion
+	return t.next
+}
+
+// Base returns the base version a ticket was dispatched against.
+func (t *Tracker) Base(ticket int) (int, bool) {
+	v, ok := t.inflight[ticket]
+	return v, ok
+}
+
+// Complete retires a ticket at the given current version and returns the
+// arrival lag (current − base, clamped at 0). Completing an unknown or
+// already-retired ticket is a dispatcher bug.
+func (t *Tracker) Complete(ticket, currentVersion int) (int, error) {
+	base, ok := t.inflight[ticket]
+	if !ok {
+		return 0, fmt.Errorf("asyncfl: completing unknown ticket %d", ticket)
+	}
+	delete(t.inflight, ticket)
+	lag := currentVersion - base
+	if lag < 0 {
+		lag = 0
+	}
+	t.done++
+	t.lagSum += uint64(lag)
+	return lag, nil
+}
+
+// InFlight returns the number of registered, uncompleted dispatches.
+func (t *Tracker) InFlight() int { return len(t.inflight) }
+
+// Completed returns how many tickets have been retired.
+func (t *Tracker) Completed() uint64 { return t.done }
+
+// MeanStaleness reports the mean arrival lag across completed tickets.
+func (t *Tracker) MeanStaleness() float64 {
+	if t.done == 0 {
+		return 0
+	}
+	return float64(t.lagSum) / float64(t.done)
 }

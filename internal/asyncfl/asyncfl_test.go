@@ -1,177 +1,137 @@
 package asyncfl
 
 import (
+	"math"
 	"testing"
-	"testing/quick"
 
-	"repro/internal/sim"
 	"repro/internal/tensor"
 )
 
-func newSvc(t *testing.T, eager bool, goal, conc int) (*sim.Engine, *Service) {
-	t.Helper()
-	eng := sim.NewEngine()
-	s, err := New(eng, Config{Goal: goal, Concurrency: conc, Eager: eager}, tensor.FromSlice([]float32{0, 0}))
+func TestDecayWeight(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Decay
+		lag  int
+		want float64
+	}{
+		{"zero value damps nothing", Decay{}, 37, 1},
+		{"fresh update weighs 1", Decay{HalfLife: 2}, 0, 1},
+		{"negative lag clamps to fresh", Decay{HalfLife: 2}, -3, 1},
+		{"one half-life halves", Decay{HalfLife: 2}, 2, 0.5},
+		{"two half-lives quarter", Decay{HalfLife: 2}, 4, 0.25},
+		{"at the cutoff still weighted", Decay{HalfLife: 2, MaxStaleness: 4}, 4, 0.25},
+		{"beyond the cutoff weighs 0", Decay{HalfLife: 2, MaxStaleness: 4}, 5, 0},
+		{"cutoff without half-life", Decay{MaxStaleness: 1}, 2, 0},
+	}
+	for _, c := range cases {
+		if got := c.d.Weight(c.lag); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: Weight(%d) = %v, want %v", c.name, c.lag, got, c.want)
+		}
+	}
+}
+
+// Zero-weight decay: an extreme lag/half-life ratio underflows 2^(−lag/h)
+// to exactly 0. Callers treat 0 as "discard", so the policy must produce a
+// true zero rather than a denormal sliver that would divide into garbage.
+func TestDecayUnderflowsToZero(t *testing.T) {
+	d := Decay{HalfLife: 1e-3}
+	if got := d.Weight(10); got != 0 {
+		t.Fatalf("Weight(10) with half-life 1e-3 = %v, want exact 0", got)
+	}
+	// And monotone: weight never increases with lag.
+	prev := 1.0
+	dd := Decay{HalfLife: 3}
+	for lag := 0; lag < 100; lag++ {
+		w := dd.Weight(lag)
+		if w > prev {
+			t.Fatalf("weight increased at lag %d: %v > %v", lag, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestMergerAdoptAndBlend(t *testing.T) {
+	g := tensor.FromSlice([]float32{1, 2, 3, 4})
+	a := tensor.FromSlice([]float32{5, 6, 7, 8})
+
+	// Mix 0 defaults to 1: adopt the aggregate.
+	out, err := Merger{}.Merge(g, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return eng, s
-}
+	if d, _ := out.MaxAbsDiff(a); d != 0 {
+		t.Fatalf("adopt merge diverged from aggregate by %v", d)
+	}
+	// Inputs must be untouched.
+	if g.Data[0] != 1 || a.Data[0] != 5 {
+		t.Fatal("merge mutated an input")
+	}
 
-func upd(v float32, base int) Update {
-	return Update{Tensor: tensor.FromSlice([]float32{v, v}), Weight: 1, BaseVersion: base, Producer: "c"}
-}
-
-func TestVersionAdvancesAtGoal(t *testing.T) {
-	_, s := newSvc(t, true, 2, 4)
-	var versions []int
-	s.OnVersion = func(v int, _ *tensor.Tensor) { versions = append(versions, v) }
-	// Fig. 11: goal 2 — every second update bumps the version.
-	for i := 0; i < 6; i++ {
-		if err := s.Submit(upd(float32(i), s.Version())); err != nil {
-			t.Fatal(err)
-		}
-	}
-	if s.Version() != 3 || len(versions) != 3 {
-		t.Fatalf("version = %d, bumps = %v", s.Version(), versions)
-	}
-	if s.Folded != 6 {
-		t.Fatalf("folded = %d", s.Folded)
-	}
-}
-
-func TestEagerFoldsImmediatelyLazyQueues(t *testing.T) {
-	_, eager := newSvc(t, true, 3, 4)
-	_ = eager.Submit(upd(1, 0))
-	if eager.Pending() != 0 {
-		t.Fatal("eager queued")
-	}
-	_, lazy := newSvc(t, false, 3, 4)
-	_ = lazy.Submit(upd(1, 0))
-	_ = lazy.Submit(upd(2, 0))
-	if lazy.Pending() != 2 {
-		t.Fatalf("lazy pending = %d", lazy.Pending())
-	}
-	_ = lazy.Submit(upd(3, 0))
-	if lazy.Pending() != 0 || lazy.Version() != 1 {
-		t.Fatalf("lazy did not flush at goal: pending=%d v=%d", lazy.Pending(), lazy.Version())
-	}
-}
-
-func TestEagerAndLazyAgreeOnModel(t *testing.T) {
-	_, a := newSvc(t, true, 2, 4)
-	_, b := newSvc(t, false, 2, 4)
-	for i := 0; i < 8; i++ {
-		_ = a.Submit(upd(float32(i), a.Version()))
-		_ = b.Submit(upd(float32(i), b.Version()))
-	}
-	d, err := a.Global().MaxAbsDiff(b.Global())
-	if err != nil || d > 1e-5 {
-		t.Fatalf("eager/lazy diverged: %v %v", d, err)
-	}
-	if a.Version() != b.Version() {
-		t.Fatalf("versions differ: %d vs %d", a.Version(), b.Version())
-	}
-}
-
-func TestStaleUpdatesAreDamped(t *testing.T) {
-	eng := sim.NewEngine()
-	s, err := New(eng, Config{Goal: 2, Concurrency: 4, Eager: true, StalenessHalfLife: 1},
-		tensor.FromSlice([]float32{0}))
+	// Mix 0.5 is the midpoint, computed by the fused ScaleAdd.
+	out, err = Merger{Mix: 0.5}.Merge(g, a)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Advance two versions with value-10 updates.
-	for i := 0; i < 4; i++ {
-		_ = s.Submit(Update{Tensor: tensor.FromSlice([]float32{10}), Weight: 1, BaseVersion: s.Version()})
-	}
-	if s.Version() != 2 {
-		t.Fatalf("version = %d", s.Version())
-	}
-	// One fresh value-0 update and one very stale (base 0 → lag 2,
-	// weight 2^-2 = 0.25): the aggregate must lean toward the fresh one.
-	_ = s.Submit(Update{Tensor: tensor.FromSlice([]float32{0}), Weight: 1, BaseVersion: 2})
-	_ = s.Submit(Update{Tensor: tensor.FromSlice([]float32{8}), Weight: 1, BaseVersion: 0})
-	got := float64(s.Global().Data[0])
-	// (0·1 + 8·0.25)/1.25 = 1.6
-	if got < 1.5 || got > 1.7 {
-		t.Fatalf("staleness-weighted aggregate = %v, want ≈1.6", got)
-	}
-	if s.MeanStaleness() == 0 {
-		t.Fatal("staleness not recorded")
-	}
-}
-
-func TestConfigValidation(t *testing.T) {
-	eng := sim.NewEngine()
-	if _, err := New(eng, Config{Goal: 0, Concurrency: 4}, tensor.New(1)); err == nil {
-		t.Fatal("zero goal accepted")
-	}
-	if _, err := New(eng, Config{Goal: 4, Concurrency: 2}, tensor.New(1)); err == nil {
-		t.Fatal("concurrency < goal accepted")
-	}
-	_, s := newSvc(t, true, 2, 4)
-	if err := s.Submit(Update{Tensor: tensor.FromSlice([]float32{1, 1}), Weight: 0}); err == nil {
-		t.Fatal("zero weight accepted")
-	}
-}
-
-// Simulated async pipeline: 4 concurrent clients with heterogeneous train
-// times; the model keeps advancing while slow clients lag (Fig. 11's whole
-// point) — faster clients contribute to more versions.
-func TestConcurrencyPipelineSimulation(t *testing.T) {
-	eng, s := newSvc(t, true, 2, 4)
-	trainTimes := []sim.Duration{10 * sim.Second, 13 * sim.Second, 29 * sim.Second, 61 * sim.Second}
-	contrib := make([]int, 4)
-	var launch func(client int)
-	launch = func(client int) {
-		base := s.Version()
-		eng.After(trainTimes[client], func() {
-			if s.Received >= 14 {
-				return // end of experiment
-			}
-			if err := s.Submit(upd(1, base)); err != nil {
-				t.Errorf("submit: %v", err)
-			}
-			contrib[client]++
-			launch(client) // slot refilled immediately (concurrency held)
-		})
-	}
-	for c := 0; c < 4; c++ {
-		launch(c)
-	}
-	if err := eng.RunUntilIdle(); err != nil {
-		t.Fatal(err)
-	}
-	if s.Version() < 5 {
-		t.Fatalf("async made only %d versions", s.Version())
-	}
-	if contrib[0] <= contrib[3] {
-		t.Fatalf("fast client contributed %d ≤ slow client %d", contrib[0], contrib[3])
-	}
-	if s.MeanStaleness() == 0 {
-		t.Fatal("pipelining should produce staleness")
-	}
-}
-
-// Property: total folded count is conserved and version = folded / goal.
-func TestVersionArithmetic(t *testing.T) {
-	f := func(nRaw, goalRaw uint8) bool {
-		n := int(nRaw % 60)
-		goal := int(goalRaw%5) + 1
-		eng := sim.NewEngine()
-		s, err := New(eng, Config{Goal: goal, Concurrency: goal}, tensor.FromSlice([]float32{0}))
-		if err != nil {
-			return false
+	want := []float32{3, 4, 5, 6}
+	for i, v := range want {
+		if out.Data[i] != v {
+			t.Fatalf("blend[%d] = %v, want %v", i, out.Data[i], v)
 		}
-		for i := 0; i < n; i++ {
-			if err := s.Submit(Update{Tensor: tensor.FromSlice([]float32{1}), Weight: 1, BaseVersion: s.Version()}); err != nil {
-				return false
-			}
-		}
-		return s.Version() == n/goal && int(s.Folded) == n-s.Pending()
 	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Fatal(err)
+}
+
+func TestMergerRejectsBadInput(t *testing.T) {
+	g := tensor.FromSlice([]float32{1, 2})
+	if _, err := (Merger{Mix: 1.5}).Merge(g, g); err == nil {
+		t.Fatal("mix > 1 accepted")
+	}
+	if _, err := (Merger{Mix: -0.1}).Merge(g, g); err == nil {
+		t.Fatal("negative mix accepted")
+	}
+	if _, err := (Merger{}).Merge(g, tensor.FromSlice([]float32{1})); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestTrackerLifecycle(t *testing.T) {
+	tr := NewTracker()
+	t1 := tr.Dispatch(0)
+	t2 := tr.Dispatch(0)
+	t3 := tr.Dispatch(2)
+	if tr.InFlight() != 3 {
+		t.Fatalf("in-flight = %d", tr.InFlight())
+	}
+	if base, ok := tr.Base(t3); !ok || base != 2 {
+		t.Fatalf("Base(t3) = %d, %v", base, ok)
+	}
+	lag, err := tr.Complete(t1, 3) // base 0 at version 3
+	if err != nil || lag != 3 {
+		t.Fatalf("lag = %d, err = %v", lag, err)
+	}
+	lag, err = tr.Complete(t3, 1) // trained ahead of a rolled-back reading: clamp
+	if err != nil || lag != 0 {
+		t.Fatalf("clamped lag = %d, err = %v", lag, err)
+	}
+	lag, err = tr.Complete(t2, 3)
+	if err != nil || lag != 3 {
+		t.Fatalf("lag = %d, err = %v", lag, err)
+	}
+	if tr.InFlight() != 0 || tr.Completed() != 3 {
+		t.Fatalf("in-flight = %d, completed = %d", tr.InFlight(), tr.Completed())
+	}
+	if got := tr.MeanStaleness(); got != 2 {
+		t.Fatalf("mean staleness = %v, want 2", got)
+	}
+	if _, err := tr.Complete(t1, 5); err == nil {
+		t.Fatal("double-complete accepted")
+	}
+	if _, err := tr.Complete(999, 5); err == nil {
+		t.Fatal("unknown ticket accepted")
+	}
+}
+
+func TestTrackerEmptyMeanIsZero(t *testing.T) {
+	if NewTracker().MeanStaleness() != 0 {
+		t.Fatal("empty tracker reported staleness")
 	}
 }

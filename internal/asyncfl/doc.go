@@ -1,0 +1,18 @@
+// Package asyncfl holds the buffered-asynchronous aggregation policies of
+// Fig. 11 (Appendix A), following PAPAYA/FedBuff-style buffered async FL
+// (Huba et al., 2022; Nguyen et al., 2022): instead of synchronous rounds,
+// a fixed concurrency of clients trains at all times, the service folds
+// arriving updates into a buffer of size K, and every K folded updates the
+// global model advances one version — clients that trained against older
+// versions contribute staleness-damped weight instead of being discarded.
+//
+// This package is a pure policy leaf over tensors — the staleness Decay,
+// the fused-ScaleAdd model Merger, and the per-client version Tracker. The
+// event-driven system assembly that drives these policies with gateways,
+// shared memory, and a sandboxed aggregator pipeline is the "async" system
+// in internal/systems; the concurrency-limited client dispatch loop is
+// internal/core's async progress loop.
+//
+// Layer (DESIGN.md): component model under internal/systems, beside
+// placement and autoscaler — it knows nothing about whole systems.
+package asyncfl

@@ -1,0 +1,11 @@
+// Package autoscaler implements the two scaling designs the paper compares:
+// LIFL's hierarchy-aware planner (§5.2) — which sizes a per-node, two-level
+// k-ary aggregation tree from EWMA-smoothed queue estimates so every level
+// reaches maximal parallelism — and the threshold-based reactive autoscaler
+// of existing serverless platforms (Knative/OpenFaaS style), which scales a
+// single pool of identical functions from a concurrency target and is blind
+// to the hierarchy (§2.3 "Application-agnostic, simple, autoscaling").
+//
+// Layer (DESIGN.md): component model under internal/systems — EWMA +
+// hierarchy planning vs threshold scaling (§5.2).
+package autoscaler

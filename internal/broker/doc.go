@@ -1,0 +1,10 @@
+// Package broker implements the stateful message broker that serverless FL
+// baselines interpose between functions (§2.3, Fig. 2(b), Fig. 5): a
+// persistent store-and-forward component that buffers model updates while
+// aggregators spawn, and relays messages because ephemeral functions cannot
+// hold direct routes. Every pass through the broker costs an extra copy in,
+// a copy out, and buffer memory — the "+MB" share of Fig. 7(a).
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// stateful message broker of the SL baseline.
+package broker

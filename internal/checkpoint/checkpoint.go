@@ -1,9 +1,3 @@
-// Package checkpoint implements Appendix B: periodic, asynchronous saving
-// of the global model parameters to an external persistent storage service.
-// The aggregator submits a checkpoint request to the LIFL agent, which
-// performs the upload in the background so checkpoint time never lands on
-// the aggregation critical path; on failure, recovery restarts from the
-// latest persisted version.
 package checkpoint
 
 import (

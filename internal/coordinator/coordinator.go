@@ -1,8 +1,3 @@
-// Package coordinator implements the cluster-wide control-plane pieces that
-// sit between the FL job designer and the serverless control plane (Fig. 3):
-// client selection with over-provisioning, keep-alive failure detection for
-// clients (§3), round lifecycle bookkeeping, and the opportunistic
-// aggregator-reuse policy of §5.3.
 package coordinator
 
 import (

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/systems"
+)
+
+// smallAsync is a fast end-to-end buffered-async workload.
+func smallAsync() RunConfig {
+	return RunConfig{
+		System:         SystemAsync,
+		Model:          model.ResNet18,
+		Clients:        200,
+		ActivePerRound: 16,
+		TargetAccuracy: 0.50,
+		MaxRounds:      80,
+		Nodes:          2,
+		MC:             60,
+		Seed:           3,
+		Async:          &AsyncSpec{BufferK: 4, StalenessHalfLife: 2},
+		Milestones:     []float64{0.30, 0.50},
+	}
+}
+
+func TestAsyncRunReachesTarget(t *testing.T) {
+	rep, err := Run(smallAsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached {
+		t.Fatalf("async run never reached 0.50 in %d versions", rep.RoundsRun)
+	}
+	if rep.TimeToTarget <= 0 || rep.CPUToTarget <= 0 {
+		t.Fatalf("tta = %v, cta = %v", rep.TimeToTarget, rep.CPUToTarget)
+	}
+	// Versions advance per BufferK folds: reaching eff-round ~28 of 16
+	// updates with K=4 needs >> 28 versions.
+	if rep.RoundsRun < 50 {
+		t.Fatalf("only %d versions", rep.RoundsRun)
+	}
+	if len(rep.Acc) != rep.RoundsRun {
+		t.Fatalf("Acc points %d vs versions %d", len(rep.Acc), rep.RoundsRun)
+	}
+	// Continuous pipelining must produce some staleness with K < concurrency.
+	if rep.MeanStaleness <= 0 {
+		t.Fatal("no staleness observed in a pipelined async run")
+	}
+	if len(rep.Milestones) != 2 || rep.Milestones[0].Target != 0.30 || rep.Milestones[1].Target != 0.50 {
+		t.Fatalf("milestones = %+v", rep.Milestones)
+	}
+	if rep.Milestones[0].At.Time > rep.Milestones[1].At.Time {
+		t.Fatal("milestone times not monotone")
+	}
+	if rep.FinalGlobal == nil || len(rep.Rounds) != 0 {
+		t.Fatalf("async report shape: global=%v rounds=%d", rep.FinalGlobal != nil, len(rep.Rounds))
+	}
+}
+
+// Async runs must be deterministic per seed: the engine totally orders
+// events and every draw is seeded, so two runs agree bitwise.
+func TestAsyncRunDeterministic(t *testing.T) {
+	a, err := Run(smallAsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallAsync())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.CPUTotal != b.CPUTotal || a.RoundsRun != b.RoundsRun ||
+		a.TimeToTarget != b.TimeToTarget || a.MeanStaleness != b.MeanStaleness {
+		t.Fatalf("async runs diverged: %+v vs %+v", a, b)
+	}
+	d, err := a.FinalGlobal.MaxAbsDiff(b.FinalGlobal)
+	if err != nil || d != 0 {
+		t.Fatalf("final models differ by %v (%v)", d, err)
+	}
+}
+
+func TestAsyncStreamOnlyKeepsReportLean(t *testing.T) {
+	cfg := smallAsync()
+	cfg.Selector = SelectStream
+	cfg.StreamOnly = true
+	versions := 0
+	cfg.OnRound = func(o RoundObservation) {
+		versions++
+		if o.Result.Updates != 4 {
+			t.Fatalf("version folded %d updates, want BufferK=4", o.Result.Updates)
+		}
+		// ACT keeps its contract: a positive span from first fold to the
+		// model install, strictly inside [FirstArrival, End].
+		if o.Result.ACT <= 0 || o.Result.FirstArrival+o.Result.ACT > o.Result.End {
+			t.Fatalf("version %d ACT out of contract: %+v", o.Result.Round, o.Result)
+		}
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Acc) != 0 || len(rep.ActiveAggs) != 0 || len(rep.ArrivalsPerMinute) != 0 {
+		t.Fatal("StreamOnly report accumulated per-version slices")
+	}
+	if versions != rep.RoundsRun || !rep.Reached {
+		t.Fatalf("streamed %d versions, report has %d (reached=%v)", versions, rep.RoundsRun, rep.Reached)
+	}
+	if len(rep.Milestones) == 0 {
+		t.Fatal("milestones must survive StreamOnly")
+	}
+}
+
+func TestAsyncFailuresCoveredBySelector(t *testing.T) {
+	cfg := smallAsync()
+	cfg.FailureRate = 0.2
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached || rep.FailuresDetected == 0 {
+		t.Fatalf("reached=%v failures=%d", rep.Reached, rep.FailuresDetected)
+	}
+}
+
+func TestAsyncKnobValidation(t *testing.T) {
+	cfg := smallAsync()
+	cfg.System = SystemLIFL
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "Async") {
+		t.Fatalf("sync system accepted Async knobs: %v", err)
+	}
+	cfg = smallAsync()
+	f := systems.AllFlags()
+	cfg.Flags = &f
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("async system accepted orchestration Flags")
+	}
+	cfg = smallAsync()
+	cfg.Inject = &InjectSpec{Updates: 10}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("async system accepted injected rounds")
+	}
+	cfg = smallAsync()
+	cfg.Async = &AsyncSpec{MixRate: 1.5}
+	if _, err := Run(cfg); err == nil || !strings.Contains(err.Error(), "MixRate") {
+		t.Fatalf("out-of-range MixRate accepted: %v", err)
+	}
+	cfg = smallAsync()
+	cfg.Async = &AsyncSpec{BufferK: -1}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("negative BufferK accepted")
+	}
+	cfg = smallAsync()
+	cfg.Async = nil // defaults apply
+	rep, err := Run(cfg)
+	if err != nil || rep.RoundsRun == 0 {
+		t.Fatalf("default async spec failed: %v", err)
+	}
+}
+
+// The bound: with an unreachable target, the run stops at
+// MaxRounds×ActivePerRound folded updates.
+func TestAsyncStopsAtFoldedBound(t *testing.T) {
+	cfg := smallAsync()
+	cfg.TargetAccuracy = 0.99
+	cfg.MaxRounds = 10 // bound: 160 folds = 40 versions of K=4
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reached {
+		t.Fatal("unreachable target reported reached")
+	}
+	if rep.RoundsRun != 40 {
+		t.Fatalf("stopped after %d versions, want 40", rep.RoundsRun)
+	}
+}

@@ -1,10 +1,3 @@
-// Package core is the top of the LIFL library: it assembles a complete FL
-// platform (system under test + client population + learning curve) and
-// runs synchronous FedAvg training to a target accuracy, collecting every
-// metric the paper's evaluation reports — time-to-accuracy, cost-to-
-// accuracy, per-round ACT and CPU, arrival-rate and active-aggregator time
-// series. The examples and the experiment harness are thin layers over
-// this package; the root package lifl re-exports it for downstream users.
 package core
 
 import (
@@ -27,12 +20,19 @@ import (
 // SystemKind selects the system under test.
 type SystemKind string
 
-// The four systems of §6.
+// The four synchronous systems of §6, plus the buffered-async system of
+// Fig. 11 (Appendix A).
 const (
 	SystemLIFL SystemKind = "lifl" // full LIFL (all flags)
 	SystemSLH  SystemKind = "slh"  // LIFL data plane, conventional control plane
 	SystemSF   SystemKind = "sf"   // serverful baseline
 	SystemSL   SystemKind = "sl"   // serverless baseline
+	// SystemAsync is the fifth system: LIFL's event-driven data plane
+	// driving FedBuff-style buffered-async aggregation — no rounds, a
+	// fixed training concurrency, staleness-weighted merges per version.
+	// Tuned by RunConfig.Async; driven by the event-driven progress loop
+	// in async.go instead of the synchronous round loop.
+	SystemAsync SystemKind = "async"
 )
 
 // SelectorKind picks the per-round client sampling algorithm.
@@ -63,6 +63,46 @@ type InjectSpec struct {
 	Window sim.Duration
 	// Weight is the FedAvg weight per injected update (default 1).
 	Weight float64
+}
+
+// AsyncSpec tunes the buffered-async system (SystemAsync). The zero value
+// defers every knob: buffer 10, concurrency ActivePerRound, no staleness
+// damping, adopt-the-mean merges.
+type AsyncSpec struct {
+	// BufferK is the FedBuff buffer size K: updates folded per version
+	// bump (default 10).
+	BufferK int
+	// Concurrency is the number of clients kept training at all times —
+	// the async analogue of ActivePerRound, which it defaults to.
+	Concurrency int
+	// StalenessHalfLife damps an update trained s versions ago by
+	// 2^(−s/HalfLife); 0 disables damping.
+	StalenessHalfLife float64
+	// MaxStaleness, when > 0, discards updates staler than this many
+	// versions outright.
+	MaxStaleness int
+	// MixRate is the server mixing rate η of the per-version ScaleAdd
+	// merge next = (1−η)·global + η·bufferMean; 0 defaults to 1 (adopt).
+	MixRate float64
+}
+
+// validate rejects knobs that would otherwise surface as mid-run panics
+// (an aggcore goal of -1, a Merger mix outside (0, 1]) — construction-time
+// errors, like the Flags/Inject misuse checks beside it in NewPlatform.
+func (a AsyncSpec) validate() error {
+	if a.BufferK < 0 {
+		return fmt.Errorf("core: async BufferK %d must be >= 0", a.BufferK)
+	}
+	if a.Concurrency < 0 {
+		return fmt.Errorf("core: async Concurrency %d must be >= 0", a.Concurrency)
+	}
+	if a.MaxStaleness < 0 {
+		return fmt.Errorf("core: async MaxStaleness %d must be >= 0", a.MaxStaleness)
+	}
+	if a.MixRate < 0 || a.MixRate > 1 {
+		return fmt.Errorf("core: async MixRate %v outside [0, 1] (0 = adopt)", a.MixRate)
+	}
+	return nil
 }
 
 // RoundObservation is delivered to RunConfig.OnRound after each round.
@@ -111,6 +151,13 @@ type RunConfig struct {
 	// population-driven ones (the Fig. 8 microbenchmark mode); rounds are
 	// numbered from 0 and MaxRounds defaults to 1.
 	Inject *InjectSpec
+	// Async tunes the buffered-async system; only SystemAsync honours it
+	// (NewPlatform rejects it on synchronous systems). For SystemAsync a
+	// nil Async takes every default. Async runs reuse the round-oriented
+	// knobs: ActivePerRound defaults the training concurrency, MaxRounds
+	// bounds the run at MaxRounds×ActivePerRound folded updates, and the
+	// Selector defaults to SelectStream (O(1) per dispatch).
+	Async *AsyncSpec
 	// ServerOpt post-processes each round's aggregate into the next global
 	// model (default fedavg.Adopt — plain FedAvg). Stateful optimizers
 	// (fedavg.FedAvgM) carry per-run state: give every run its own
@@ -166,6 +213,24 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.Params.CoresPerNode == 0 {
 		c.Params = costmodel.Default()
+	}
+	if c.System == SystemAsync {
+		a := AsyncSpec{}
+		if c.Async != nil {
+			a = *c.Async
+		}
+		if a.BufferK == 0 {
+			a.BufferK = 10
+		}
+		if a.Concurrency == 0 {
+			a.Concurrency = c.ActivePerRound
+		}
+		c.Async = &a
+		// Async dispatches clients one at a time as slots free; only the
+		// streaming selector is O(1) per draw, so it is the async default.
+		if c.Selector == "" {
+			c.Selector = SelectStream
+		}
 	}
 	if c.Selector == "" {
 		c.Selector = SelectPerm
@@ -241,13 +306,24 @@ type Report struct {
 	CPUTotal sim.Duration
 	// FailuresDetected counts clients the heartbeat monitor declared dead.
 	FailuresDetected int
+	// MeanStaleness is the buffered-async mean version lag of folded
+	// updates (always zero for synchronous runs, where every update is
+	// trained against the round's own global model). For async runs,
+	// RoundsRun counts versions and each Acc point's Round is a version.
+	MeanStaleness float64
+	// UpdatesDiscarded counts async updates dropped by the staleness
+	// cutoff (zero for synchronous runs).
+	UpdatesDiscarded int
 }
 
 // Platform couples an engine, a system and a population.
 type Platform struct {
-	Cfg   RunConfig
-	Eng   *sim.Engine
+	Cfg RunConfig
+	Eng *sim.Engine
+	// Sys is the synchronous system under test; nil for SystemAsync runs,
+	// which drive Asys through the event-driven loop in async.go instead.
 	Sys   systems.Service
+	Asys  systems.AsyncService
 	Pop   *flwork.Population
 	Curve flwork.Curve
 
@@ -273,8 +349,31 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		ServerOpt: cfg.ServerOpt,
 		Tracer:    cfg.Tracer,
 	}
+	if cfg.Async != nil && cfg.System != SystemAsync {
+		// Silently dropping async knobs would turn an async sweep cell
+		// into a synchronous run with a straight face.
+		return nil, fmt.Errorf("core: %s does not take Async knobs (only %s does)", cfg.System, SystemAsync)
+	}
 	var sys systems.Service
+	var asys systems.AsyncService
 	switch cfg.System {
+	case SystemAsync:
+		if cfg.Flags != nil {
+			return nil, fmt.Errorf("core: %s does not take orchestration Flags (only %s does)", cfg.System, SystemLIFL)
+		}
+		if cfg.Inject != nil {
+			return nil, fmt.Errorf("core: %s has no rounds to inject into (use Loads with a synchronous system)", cfg.System)
+		}
+		if err := cfg.Async.validate(); err != nil {
+			return nil, err
+		}
+		scfg.Async = systems.AsyncParams{
+			BufferK:           cfg.Async.BufferK,
+			StalenessHalfLife: cfg.Async.StalenessHalfLife,
+			MaxStaleness:      cfg.Async.MaxStaleness,
+			MixRate:           cfg.Async.MixRate,
+		}
+		asys = systems.NewAsync(eng, scfg)
 	case SystemLIFL:
 		scfg.Flags = systems.AllFlags()
 		if cfg.Flags != nil {
@@ -315,6 +414,7 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Cfg:   cfg,
 		Eng:   eng,
 		Sys:   sys,
+		Asys:  asys,
 		Pop:   pop,
 		Curve: flwork.CurveFor(cfg.Model),
 		Beats: coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
@@ -322,8 +422,12 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 	}, nil
 }
 
-// Run executes rounds until the accuracy target or MaxRounds.
+// Run executes rounds until the accuracy target or MaxRounds. Async runs
+// have no rounds; they divert to the event-driven loop in async.go.
 func (p *Platform) Run() (*Report, error) {
+	if p.Cfg.System == SystemAsync {
+		return p.runAsync()
+	}
 	cfg := p.Cfg
 	rng := sim.NewRNG(cfg.Seed + 2)
 	rep := &Report{System: cfg.System, Model: cfg.Model}

@@ -1,0 +1,13 @@
+// Package core is the top of the LIFL library: it assembles a complete FL
+// platform (system under test + client population + learning curve) and
+// runs synchronous FedAvg training to a target accuracy, collecting every
+// metric the paper's evaluation reports — time-to-accuracy, cost-to-
+// accuracy, per-round ACT and CPU, arrival-rate and active-aggregator time
+// series. The examples and the experiment harness are thin layers over
+// this package; the root package lifl re-exports it for downstream users.
+//
+// Layer (DESIGN.md): the top of the library. scenario expands into this
+// package's RunConfigs; below it sit the five systems and the shared
+// component/population/curve models. The synchronous round loop lives in
+// core.go, the buffered-async progress loop in async.go.
+package core

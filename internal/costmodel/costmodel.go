@@ -1,21 +1,3 @@
-// Package costmodel concentrates every calibrated constant of the LIFL
-// simulation in one place. Each number is tied to a measurement the paper
-// reports; the comment on each field names the figure it is calibrated
-// against. Experiments never hard-code latencies — they compose these
-// per-component costs, so the relative results (who wins, by what factor)
-// emerge from the same structural differences the paper describes:
-//
-//   - LIFL intra-node:  gateway writes once to shm, aggregators exchange
-//     16-byte object keys via SKMSG (≈ free), so per-transfer cost is one
-//     shm write.
-//   - Serverful (SF):   direct gRPC over the kernel loopback — serialize,
-//     copy through the kernel, deserialize.
-//   - Serverless (SL):  the SF path plus a container sidecar interception on
-//     each side plus a store-and-forward message broker hop.
-//
-// Calibration targets (Fig. 7(a), ResNet-152 ≈ 232 MB intra-node transfer):
-// LIFL 0.76 s, SF ≈ 3× LIFL, SL ≈ 5.8× LIFL. CPU (Fig. 7(b)): LIFL 2.45 G
-// cycles, SL ≈ 8× LIFL. Cross-node ResNet-152 transfer ≈ 4.2 s (§6.1).
 package costmodel
 
 import (

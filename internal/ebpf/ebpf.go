@@ -1,10 +1,3 @@
-// Package ebpf simulates the kernel eBPF machinery LIFL relies on (§4.3,
-// §4.4, Appendix A): generic BPF maps, the special BPF_MAP_TYPE_SOCKMAP
-// holding references to registered sockets, and SKMSG programs attached to
-// socket send() hooks. The functional semantics mirror the kernel exactly —
-// key-based socket redirection, in-kernel key/value metrics, strictly
-// event-driven execution (a program runs only when a send() event fires, so
-// idle cost is zero) — while the kernel boundary itself is simulated.
 package ebpf
 
 import (

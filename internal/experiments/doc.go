@@ -1,0 +1,9 @@
+// Package experiments contains one runner per table/figure of the paper's
+// evaluation (§6 and the appendices). Each runner builds the exact setup the
+// figure describes, executes it on the simulation, and returns the same
+// rows/series the paper plots, so `liflsim <figure>` regenerates the result.
+// EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Layer (DESIGN.md): side quest above scenario + harness — one file per
+// figure/table, reduced to sweeping registry scenarios and formatting.
+package experiments

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Fig11Row is one system's outcome on the async×sync ablation workload.
+type Fig11Row struct {
+	Label string
+	// Rounds counts synchronous rounds, or model versions for the async
+	// system (a version folds BufferK updates, a round ActivePerRound).
+	Rounds  int
+	Reached bool
+	// TTA/CTA are simulated time and CPU cost at the 0.70 crossing.
+	TTA sim.Duration
+	CTA sim.Duration
+	// MeanStaleness is the mean version lag of folded updates — zero for
+	// the synchronous systems by construction.
+	MeanStaleness float64
+}
+
+// Fig11 reproduces the Appendix A comparison at workload scale: the
+// buffered-async system against LIFL/SF/SL on the same ResNet-18
+// population (the fig11-ablation registry entry). seed overrides the
+// scenario default when non-zero. Runs fan across the package worker pool.
+func Fig11(seed int64) []Fig11Row {
+	sc := scenario.MustGet("fig11-ablation")
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	runs := sc.Expand()
+	results := harness.Sweep(runs, Parallelism)
+	rows := make([]Fig11Row, 0, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			panic(fmt.Sprintf("fig11 %s: %v", runs[i].Label, res.Err))
+		}
+		rep := res.Report
+		rows = append(rows, Fig11Row{
+			Label:         runs[i].Label,
+			Rounds:        rep.RoundsRun,
+			Reached:       rep.Reached,
+			TTA:           rep.TimeToTarget,
+			CTA:           rep.CPUToTarget,
+			MeanStaleness: rep.MeanStaleness,
+		})
+	}
+	return rows
+}
+
+// FormatFig11 renders the async×sync comparison table.
+func FormatFig11(rows []Fig11Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 11 (Appendix A) — buffered-async vs synchronous, ResNet-18 to 70%\n")
+	fmt.Fprintf(&b, "%-8s %16s %9s %9s %11s\n", "system", "rounds/versions", "tta(h)", "cpu(h)", "staleness")
+	for _, r := range rows {
+		if !r.Reached {
+			fmt.Fprintf(&b, "%-8s %16d %9s %9s %11.2f  (target not reached)\n",
+				r.Label, r.Rounds, "-", "-", r.MeanStaleness)
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s %16d %9.2f %9.2f %11.2f\n",
+			r.Label, r.Rounds, r.TTA.Hours(), r.CTA.Hours(), r.MeanStaleness)
+	}
+	return b.String()
+}

@@ -1,0 +1,20 @@
+// Package flwork generates the FL workloads of §6.2: a FEMNIST-like
+// population of 2,800 clients with FedScale-style non-IID data (power-law
+// sample counts, Dirichlet label skew), two client archetypes — battery-
+// powered mobile devices that hibernate for random intervals in [0,60] s
+// (the ResNet-18 setup, producing the bursty arrival pattern of Fig. 10(a))
+// and always-on server clients (the ResNet-152 setup, Fig. 10(d)) — plus a
+// trainer timing model and an empirical saturating accuracy curve.
+//
+// Substitution note (see DESIGN.md): training is not executed on real
+// FEMNIST images. Client updates are real tensors derived from the global
+// model (so FedAvg arithmetic is exact and property-testable), and accuracy
+// follows a saturating curve calibrated to published FEMNIST/ResNet
+// behaviour. Because every system under test shares the same algorithm and
+// population, accuracy-vs-round is system-independent; time-to-accuracy
+// differences then come from the system round latency — precisely the
+// quantity the paper evaluates.
+//
+// Layer (DESIGN.md): workload layer under internal/core — client
+// population, non-IID workload, accuracy curve shared by every system.
+package flwork

@@ -1,0 +1,14 @@
+// Package gateway implements LIFL's per-node gateway (§4.2, Appendix C):
+// the one stateful data-plane component on each worker node. It receives
+// model updates from remote clients (or from peer gateways), performs the
+// consolidated one-time payload processing — protocol handling,
+// deserialization, tensor→array conversion — and writes the result into the
+// node's shared-memory object store, where it is instantly accessible to
+// local aggregators ("in-place message queuing"). It also performs
+// inter-node routing (Appendix A) using a routing table keyed by aggregator
+// ID, and scales its assigned CPU cores vertically with load so it never
+// becomes the data-plane bottleneck.
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// per-node gateway (§4.2): routing, vertical scaling, shm commit.
+package gateway

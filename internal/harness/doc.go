@@ -1,0 +1,13 @@
+// Package harness runs independent simulation runs in parallel. Every run
+// owns its own sim.Engine and seed-derived randomness (nothing is shared
+// between runs), so fanning a scenario's expansion across a worker pool
+// cannot perturb any run's result: a sweep's outputs are byte-identical
+// whether it runs on 1 worker or N. Results are collected in input order,
+// which keeps downstream formatting deterministic too — this is the
+// cell-per-run isolation the related cell-routing design argues for,
+// applied to figure regeneration.
+//
+// Layer (DESIGN.md): the layer above internal/scenario — fans expanded
+// runs across workers (harness.go) and measures them under instrumentation
+// for the perf trajectory (instrument.go).
+package harness

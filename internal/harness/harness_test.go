@@ -109,3 +109,41 @@ func TestSweepSurfacesPerRunErrors(t *testing.T) {
 		t.Fatalf("good runs failed: %v %v", res[0].Err, res[2].Err)
 	}
 }
+
+// The buffered-async system through the harness: a trimmed fig11-async
+// sweep must be byte-identical whether it runs serially or fanned across
+// workers — the same guarantee the synchronous systems carry, now on the
+// event-driven path (this is what lets liflsim scenario fig11-async take
+// -parallel and liflbench trust its records).
+func TestAsyncSweepParallelMatchesSerial(t *testing.T) {
+	sc := scenario.MustGet("fig11-async")
+	// Trim the workload so the test stays fast; three seeds give the pool
+	// genuinely concurrent cells.
+	sc.TargetAccuracy = 0.50
+	sc.MaxRounds = 60
+	sc.Clients = 400
+	sc.ActivePerRound = 24
+	sc.Seeds = []int64{1, 2, 3}
+	runs := sc.Expand()
+	serial := Sweep(runs, 1)
+	parallel := Sweep(runs, len(runs))
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("run %d errs: %v %v", i, a.Err, b.Err)
+		}
+		if a.Report.Elapsed != b.Report.Elapsed || a.Report.CPUTotal != b.Report.CPUTotal ||
+			a.Report.RoundsRun != b.Report.RoundsRun ||
+			a.Report.TimeToTarget != b.Report.TimeToTarget ||
+			a.Report.MeanStaleness != b.Report.MeanStaleness {
+			t.Fatalf("async run %d diverged serial vs parallel", i)
+		}
+		d, err := a.Report.FinalGlobal.MaxAbsDiff(b.Report.FinalGlobal)
+		if err != nil || d != 0 {
+			t.Fatalf("async run %d models differ: %v %v", i, d, err)
+		}
+		if !a.Report.Reached {
+			t.Fatalf("async run %d never reached its trimmed target", i)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+// Package metrics implements the metrics server of LIFL's control plane
+// (Fig. 3): time-series storage fed by the per-node agents (which drain the
+// eBPF metrics maps, §4.3), sliding-window arrival-rate meters used by the
+// load balancer's k_{i,t}, and execution-time averages used for E_{i,t}.
+//
+// Layer (DESIGN.md): component support under internal/core — arrival
+// meters feeding the placement/planner inputs.
+package metrics

@@ -1,0 +1,9 @@
+// Package model defines the model zoo used throughout the paper's
+// evaluation: ResNet-18 (~44 MB), ResNet-34 (~83 MB) and ResNet-152
+// (~232 MB). A Spec records the true parameter count — which drives every
+// data-plane cost in the simulator — and the physical down-scale factor used
+// for the real aggregation arithmetic (see internal/tensor).
+//
+// Layer (DESIGN.md): side quest — the ResNet model zoo with down-scaled
+// physical vectors and full-size virtual lengths (see internal/tensor).
+package model

@@ -1,8 +1,3 @@
-// Package model defines the model zoo used throughout the paper's
-// evaluation: ResNet-18 (~44 MB), ResNet-34 (~83 MB) and ResNet-152
-// (~232 MB). A Spec records the true parameter count — which drives every
-// data-plane cost in the simulator — and the physical down-scale factor used
-// for the real aggregation arithmetic (see internal/tensor).
 package model
 
 import (

@@ -1,0 +1,11 @@
+// Package netstack models kernel-based networking between FL components:
+// the loopback path used by serverful gRPC channels between co-located
+// aggregators, and the NIC path for cross-node transfers. All CPU-bound
+// stages (serialization, protocol processing, copies) contend on the node's
+// core pool, which reproduces the contention the paper measures in Fig. 4
+// when co-located leaf aggregators exchange updates with the top aggregator
+// over the kernel.
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// kernel networking path the baselines pay and LIFL bypasses.
+package netstack

@@ -1,15 +1,3 @@
-// Package perfrec is the repo's perf-trajectory record format: a versioned
-// JSON schema for per-run performance measurements (real wall clock,
-// simulated time, rounds, heap allocations, peak heap, time-to-accuracy
-// milestones, placement decision time) plus baseline load/compare with
-// tolerance-based regression verdicts. cmd/liflbench emits these files
-// (BENCH_*.json at the repo root), CI gates on Compare against the
-// committed BENCH_baseline.json, and bench_test.go reports the same
-// quantities via testing.B — one schema for every way the repo measures
-// itself.
-//
-// The package is a leaf: stdlib only, no simulation imports, so any layer
-// (harness, cmd, tests, future tooling) can depend on it.
 package perfrec
 
 import (

@@ -1,0 +1,10 @@
+// Package runtime models the serverless function runtime: sandboxed
+// aggregator instances with cold/warm start, a per-node warm pool with
+// keep-alive reclamation, and the LIFL agent's lifecycle management
+// (creation, termination, §3). LIFL's aggregators use homogenized runtimes
+// — same code and libraries regardless of role — which is what makes
+// opportunistic role conversion (§5.3) free of state synchronization.
+//
+// Layer (DESIGN.md): component model under internal/systems — sandboxes:
+// cold starts, keep-alive, reaping.
+package runtime

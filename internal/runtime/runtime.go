@@ -1,9 +1,3 @@
-// Package runtime models the serverless function runtime: sandboxed
-// aggregator instances with cold/warm start, a per-node warm pool with
-// keep-alive reclamation, and the LIFL agent's lifecycle management
-// (creation, termination, §3). LIFL's aggregators use homogenized runtimes
-// — same code and libraries regardless of role — which is what makes
-// opportunistic role conversion (§5.3) free of state synchronization.
 package runtime
 
 import (

@@ -122,6 +122,67 @@ func init() {
 		FailureRate:    0.10,
 		Bench:          BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.70}},
 	})
+	// Fig. 11 (Appendix A): the buffered-async workload — 120 clients
+	// training at all times, FedBuff buffer K=10, staleness half-life 4
+	// versions. The async analogue of fig9-r18, version-for-round.
+	mustRegister(Scenario{
+		Name:           "fig11-async",
+		Description:    "Fig. 11 buffered-async FL: ResNet-18, buffer K=10, staleness half-life 4",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          2,
+		MC:             60,
+		Seed:           1,
+		Systems:        []core.SystemKind{core.SystemAsync},
+		AsyncBufferK:   10,
+		AsyncHalfLife:  4,
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Async×sync ablation: the buffered-async system against the three
+	// synchronous systems on the same workload, population and seed — the
+	// Fig. 11 argument (event-driven designs pay off most without round
+	// barriers) as a single sweep axis.
+	mustRegister(Scenario{
+		Name:           "fig11-ablation",
+		Description:    "Fig. 11 async×sync ablation: buffered-async vs LIFL/SF/SL time-to-accuracy",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      400,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Systems:        []core.SystemKind{core.SystemAsync, core.SystemLIFL, core.SystemSF, core.SystemSL},
+		AsyncBufferK:   10,
+		AsyncHalfLife:  4,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Roadmap scale, async edition: a million-client population feeding the
+	// buffered-async service through the streaming selector, lean report.
+	mustRegister(Scenario{
+		Name:           "async-million-clients",
+		Description:    "scale: 1M-client buffered-async run, streaming selector, lean report",
+		Model:          model.ResNet18,
+		Clients:        1_000_000,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      100,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Systems:        []core.SystemKind{core.SystemAsync},
+		AsyncBufferK:   60,
+		AsyncHalfLife:  4,
+		Streaming:      true,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
 	// Server-momentum variant of the ResNet-18 workload: exercises the
 	// FedAvgM (ScaleAdd-fused) model-install path end to end.
 	mustRegister(Scenario{

@@ -1,0 +1,20 @@
+// Package scenario is the declarative workload layer of the reproduction:
+// a Scenario names a complete experimental setting — system under test,
+// model, population size and class mix, failure model, and scale knobs —
+// plus the sweep axes the paper's figures iterate over (systems, ablation
+// flag variants, injected load levels, MC values, seeds). A Scenario
+// expands into concrete core.RunConfigs, one per point of the cross
+// product, each fully independent (its own seed-derived randomness, its
+// own engine once run), so a harness can fan them across workers without
+// any cross-run coupling.
+//
+// The package also keeps a named registry: the paper's §6.2 workloads
+// (Fig. 9 ResNet-18/152, the Fig. 8 orchestration-ablation grid, the
+// Appendix E MC sweep) and the roadmap's scale scenarios (million-client
+// populations on the streaming selector) are registry entries, not
+// bespoke loops in internal/experiments.
+//
+// Layer (DESIGN.md): the declarative workload layer between
+// internal/harness and internal/core — named registry entries expand into
+// independent RunConfigs.
+package scenario

@@ -1,18 +1,3 @@
-// Package scenario is the declarative workload layer of the reproduction:
-// a Scenario names a complete experimental setting — system under test,
-// model, population size and class mix, failure model, and scale knobs —
-// plus the sweep axes the paper's figures iterate over (systems, ablation
-// flag variants, injected load levels, MC values, seeds). A Scenario
-// expands into concrete core.RunConfigs, one per point of the cross
-// product, each fully independent (its own seed-derived randomness, its
-// own engine once run), so a harness can fan them across workers without
-// any cross-run coupling.
-//
-// The package also keeps a named registry: the paper's §6.2 workloads
-// (Fig. 9 ResNet-18/152, the Fig. 8 orchestration-ablation grid, the
-// Appendix E MC sweep) and the roadmap's scale scenarios (million-client
-// populations on the streaming selector) are registry entries, not
-// bespoke loops in internal/experiments.
 package scenario
 
 import (
@@ -102,6 +87,15 @@ type Scenario struct {
 	// gets its own optimizer state.
 	ServerMomentum float64
 
+	// Async knobs, applied to every expanded run whose system-axis point is
+	// core.SystemAsync (the buffered-async system); synchronous points
+	// ignore them. Concurrency comes from ActivePerRound, so async and
+	// sync cells of one sweep stay throughput-comparable.
+	AsyncBufferK      int     // FedBuff buffer size K (0 = core default 10)
+	AsyncHalfLife     float64 // staleness half-life in versions (0 = no damping)
+	AsyncMaxStaleness int     // hard staleness cutoff (0 = keep everything)
+	AsyncMixRate      float64 // ScaleAdd merge rate η (0 = adopt the mean)
+
 	// Streaming switches the run to the large-scale path: the
 	// O(ActivePerRound) streaming client selector plus a lean report that
 	// does not accumulate per-round slices (pair with core.RunConfig.OnRound
@@ -176,6 +170,14 @@ func (s Scenario) Expand() []Run {
 							Seed:           seed,
 							FailureRate:    s.FailureRate,
 							Milestones:     s.Bench.Milestones,
+						}
+						if sys == core.SystemAsync {
+							cfg.Async = &core.AsyncSpec{
+								BufferK:           s.AsyncBufferK,
+								StalenessHalfLife: s.AsyncHalfLife,
+								MaxStaleness:      s.AsyncMaxStaleness,
+								MixRate:           s.AsyncMixRate,
+							}
 						}
 						if len(s.Variants) > 0 {
 							flags := v.Flags

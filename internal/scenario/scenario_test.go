@@ -212,3 +212,52 @@ func TestRegistryRoundTrip(t *testing.T) {
 		t.Fatal("Names misses registered scenario")
 	}
 }
+
+// Async knobs must reach exactly the async cells of a sweep: the
+// fig11-ablation entry expands async and sync systems side by side, and
+// only the async cell carries an AsyncSpec.
+func TestAsyncKnobsReachOnlyAsyncCells(t *testing.T) {
+	runs := MustGet("fig11-ablation").Expand()
+	if len(runs) != 4 {
+		t.Fatalf("runs = %d, want 4 systems", len(runs))
+	}
+	if runs[0].Cfg.System != core.SystemAsync {
+		t.Fatalf("first cell is %s, want async", runs[0].Cfg.System)
+	}
+	a := runs[0].Cfg.Async
+	if a == nil || a.BufferK != 10 || a.StalenessHalfLife != 4 {
+		t.Fatalf("async cell spec = %+v", a)
+	}
+	for _, r := range runs[1:] {
+		if r.Cfg.Async != nil {
+			t.Fatalf("sync cell %s carries async knobs", r.Cfg.System)
+		}
+	}
+	// Each async cell owns its spec: tweaking one cannot leak.
+	runs2 := MustGet("fig11-ablation").Expand()
+	runs[0].Cfg.Async.BufferK = 99
+	if runs2[0].Cfg.Async.BufferK != 10 {
+		t.Fatal("async specs share storage across expansions")
+	}
+}
+
+// The async registry entries expand to runnable configs: streaming entries
+// keep the lean-report path, and the fig11-async entry's milestones ride
+// into every expanded run.
+func TestAsyncRegistryEntries(t *testing.T) {
+	sc := MustGet("fig11-async")
+	runs := sc.Expand()
+	if len(runs) != 1 || runs[0].Label != "async" {
+		t.Fatalf("fig11-async runs = %+v", runs)
+	}
+	if got := runs[0].Cfg.Milestones; len(got) != 2 || got[0] != 0.50 {
+		t.Fatalf("milestones = %v", got)
+	}
+	am := MustGet("async-million-clients").Expand()[0].Cfg
+	if am.Selector != core.SelectStream || !am.StreamOnly {
+		t.Fatalf("async-million-clients not on the streaming path: %+v", am)
+	}
+	if am.Async == nil || am.Async.BufferK != 60 {
+		t.Fatalf("async-million-clients spec = %+v", am.Async)
+	}
+}

@@ -1,0 +1,13 @@
+// Package shm implements LIFL's per-node shared-memory object store (§4.1).
+//
+// The store holds immutable model-update objects addressed by 16-byte random
+// keys. Immutability guarantees safe lock-free sharing between co-located
+// aggregators (the paper's design: "LIFL only allows immutable (read-only)
+// objects ... eliminating the need for locks"); zero-copy hand-off between
+// aggregators is achieved by passing only the object key over the eBPF
+// SKMSG channel while the payload stays in place. The LIFL agent owns
+// allocation, recycling and destruction of buffers.
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// per-node shared-memory object store (§4.1) behind in-place queuing.
+package shm

@@ -1,0 +1,10 @@
+// Package sidecar implements the two sidecar designs the paper contrasts
+// (§2.3, §4.3): the conventional container-based sidecar — an always-on
+// process that intercepts every message in and out of its function, burning
+// CPU even when idle and holding resident memory — and LIFL's eBPF-based
+// sidecar, which runs as kernel code triggered by send() events and consumes
+// exactly zero resources when idle.
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// sidecar designs contrasted in Fig. 7.
+package sidecar

@@ -1,18 +1,3 @@
-// Package sim provides a deterministic discrete-event simulation kernel.
-//
-// All LIFL experiments run on virtual time: components schedule callbacks on
-// an Engine, contend for multi-core CPU Stations and bandwidth Queues, and
-// the engine executes events in strict (time, sequence) order. Determinism
-// comes from the total event order plus seeded randomness (see RNG); running
-// the same experiment twice yields byte-identical results.
-//
-// The engine is allocation-lean by design: a Fig. 9 full-workload run
-// schedules millions of events, so the pending set is a value-based 4-ary
-// min-heap ([]event, no per-event box, no container/heap interface
-// conversions). Popped slots are cleared and the backing array is retained
-// as a free list, so steady-state scheduling performs zero heap allocations
-// beyond the caller's own closure — and AtSpan removes even that for the
-// dominant (start, end)-completion shape.
 package sim
 
 import (

@@ -1,0 +1,18 @@
+// Package systems assembles the complete FL systems the paper evaluates
+// against each other (§6): LIFL (with its four orchestration features
+// individually switchable for the Fig. 8 ablation), the serverful baseline
+// SF (Fig. 2(a), always-on hierarchy, direct gRPC), and the serverless
+// baseline SL (Fig. 2(b), Knative-style: container sidecars, message
+// broker, threshold autoscaling, least-connection load balancing). SL-H —
+// the Fig. 8 baseline with LIFL's data plane but a conventional control
+// plane — is the LIFL assembly with every flag off.
+//
+// All systems implement Service and run the same synchronous FedAvg round
+// protocol: broadcast the global model, clients train and upload, the
+// hierarchy aggregates, the top aggregator installs the new global model
+// and evaluates it.
+//
+// Layer (DESIGN.md): wires the component models into whole systems —
+// the only package that knows what LIFL or a baseline is. core drives these
+// assemblies; nothing below imports this package.
+package systems

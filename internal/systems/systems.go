@@ -1,16 +1,3 @@
-// Package systems assembles the complete FL systems the paper evaluates
-// against each other (§6): LIFL (with its four orchestration features
-// individually switchable for the Fig. 8 ablation), the serverful baseline
-// SF (Fig. 2(a), always-on hierarchy, direct gRPC), and the serverless
-// baseline SL (Fig. 2(b), Knative-style: container sidecars, message
-// broker, threshold autoscaling, least-connection load balancing). SL-H —
-// the Fig. 8 baseline with LIFL's data plane but a conventional control
-// plane — is the LIFL assembly with every flag off.
-//
-// All systems implement Service and run the same synchronous FedAvg round
-// protocol: broadcast the global model, clients train and upload, the
-// hierarchy aggregates, the top aggregator installs the new global model
-// and evaluates it.
 package systems
 
 import (
@@ -66,6 +53,9 @@ type Config struct {
 	// stable window, ~60-90 s). Shorter than a round gap, it makes SL
 	// cold-start its fleet nearly every round — the churn of Fig. 10(b).
 	SLKeepAlive sim.Duration
+	// Async parameterizes the buffered-async system (the fifth assembly;
+	// see async.go). The synchronous systems ignore it.
+	Async AsyncParams
 	// ServerOpt turns each round's aggregate into the next global model
 	// (default fedavg.Adopt, i.e. plain FedAvg; fedavg.FedAvgM adds server
 	// momentum on the ScaleAdd-fused path). All systems share the same

@@ -1,0 +1,13 @@
+// Package tensor implements the dense parameter vectors that carry model
+// updates through LIFL. Aggregation arithmetic (FedAvg weighted averaging,
+// cumulative accumulation) runs on real float32 data so correctness is
+// testable, while the *virtual* byte size — the size the paper's cost models
+// charge for — may be far larger than the physical backing array. A
+// ResNet-152 update is ~232 MB; shipping that through an in-process simulator
+// thousands of times would only slow the experiments, so large models carry a
+// down-scaled physical vector (see internal/model) and a full-size virtual
+// length. Every data-plane cost in the simulator uses VirtualBytes.
+//
+// Layer (DESIGN.md): leaf — dense parameter vectors + aggregation
+// arithmetic; see the tensor hot-path invariants in DESIGN.md.
+package tensor

@@ -1,0 +1,12 @@
+// Package topology implements the Topology Abstraction Graph (TAG) of
+// Appendix D — the control plane's generic description of connectivity
+// between FL components. Each graph node carries a "role" (aggregator or
+// client) and each channel a communication medium plus a groupBy label; the
+// coordinator expresses locality-aware placement by giving co-located roles
+// the same groupBy label, and the routing manager turns the TAG's edges
+// into sockmap entries and inter-node routing-table rows (Appendix A,
+// "online hierarchy update").
+//
+// Layer (DESIGN.md): component model under internal/systems — the
+// Topology Abstraction Graph (Appendix D).
+package topology

@@ -1,0 +1,7 @@
+// Package trace records per-actor task spans on the virtual timeline so
+// experiments can regenerate the paper's Gantt-style figures (Fig. 4 and
+// Fig. 7(c): Network / Agg / Eval bars per aggregator) and round logs.
+//
+// Layer (DESIGN.md): component support under internal/core — task spans
+// for Fig. 7(c)-style timelines.
+package trace

@@ -1,11 +1,3 @@
-// Package wire is the binary serialization format for model updates — the
-// concrete counterpart of the gRPC marshalling the cost model charges for.
-// It frames a tensor together with its FL metadata (round, FedAvg weight,
-// producer, virtual geometry) in a little-endian layout with a magic/version
-// header and a length-checked payload, so corrupt or truncated frames are
-// rejected instead of silently mis-aggregated. The checkpoint store encodes
-// persisted models with it, and external client implementations can use it
-// as the upload format.
 package wire
 
 import (

@@ -4,10 +4,12 @@
 //
 // The package re-exports the library's stable surface:
 //
-//   - Run / RunConfig / Report: execute a full synchronous FedAvg workload
-//     on one of the four systems (LIFL, SL-H, SF, SL) and collect the
-//     paper's evaluation metrics (time-to-accuracy, cost-to-accuracy,
-//     per-round ACT/CPU, arrival and instance time series).
+//   - Run / RunConfig / Report: execute a full FedAvg workload on one of
+//     the five systems — synchronous rounds on LIFL, SL-H, SF or SL, or
+//     buffered-asynchronous training (SystemAsync, Fig. 11 / Appendix A,
+//     tuned by RunConfig.Async) — and collect the paper's evaluation
+//     metrics (time-to-accuracy, cost-to-accuracy, per-round ACT/CPU,
+//     arrival and instance time series; versions and staleness for async).
 //   - NewPlatform: assemble a platform for round-by-round control.
 //   - Scenario / GetScenario / RegisterScenario / Scenarios: the
 //     declarative workload layer. A Scenario names a complete setting
@@ -25,7 +27,9 @@
 //
 // Deeper layers (the discrete-event engine, shared-memory store, eBPF
 // substrate, gateways, aggregators, placement/autoscaling policies) live in
-// internal/ packages; see DESIGN.md for the map.
+// internal/ packages; see DESIGN.md for the map. For the operator-facing
+// workflow — running scenarios with cmd/liflsim, reading Reports, and the
+// cmd/liflbench baseline-gating loop — see docs/GUIDE.md.
 package lifl
 
 import (
@@ -39,10 +43,11 @@ import (
 
 // System kinds selectable in RunConfig.
 const (
-	SystemLIFL = core.SystemLIFL // full LIFL: shm data plane + orchestration
-	SystemSLH  = core.SystemSLH  // LIFL data plane, conventional control plane
-	SystemSF   = core.SystemSF   // serverful baseline (always-on hierarchy)
-	SystemSL   = core.SystemSL   // serverless baseline (sidecars + broker)
+	SystemLIFL  = core.SystemLIFL  // full LIFL: shm data plane + orchestration
+	SystemSLH   = core.SystemSLH   // LIFL data plane, conventional control plane
+	SystemSF    = core.SystemSF    // serverful baseline (always-on hierarchy)
+	SystemSL    = core.SystemSL    // serverless baseline (sidecars + broker)
+	SystemAsync = core.SystemAsync // buffered-async FL (Fig. 11), RunConfig.Async knobs
 )
 
 // Client classes for the workload generator.
@@ -61,6 +66,8 @@ const (
 type (
 	// RunConfig parameterizes a full FL training run.
 	RunConfig = core.RunConfig
+	// AsyncSpec tunes the buffered-async system (RunConfig.Async).
+	AsyncSpec = core.AsyncSpec
 	// Report is the outcome of a training run.
 	Report = core.Report
 	// Platform couples an engine, a system and a population.
