@@ -10,6 +10,7 @@
 //	liflsim fig9r152           # ResNet-152 time/cost-to-accuracy + Fig. 10(d-f)
 //	liflsim fig11              # buffered-async vs synchronous (Fig. 11 / Appendix A)
 //	liflsim fig13              # message-queuing overheads (Appendix F)
+//	liflsim geo                # multi-cell federation fabric + cell failover
 //	liflsim overhead           # orchestration overhead (§6.1)
 //	liflsim scenarios          # list the workload registry
 //	liflsim scenario <name>    # sweep one registry scenario
@@ -115,7 +116,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
 }
 
 // handlers is the single verb table: run dispatches through it and main
@@ -155,6 +156,14 @@ var handlers = map[string]func(w io.Writer, seed int64) error{
 		fmt.Fprint(w, experiments.FormatFig13(experiments.Fig13()))
 		return nil
 	},
+	"geo": func(w io.Writer, seed int64) error {
+		out, err := experiments.RunGeo(seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+		return nil
+	},
 	"overhead": func(w io.Writer, _ int64) error {
 		fmt.Fprint(w, experiments.FormatOverhead(experiments.Overhead(10_000)))
 		return nil
@@ -186,7 +195,7 @@ var handlers = map[string]func(w io.Writer, seed int64) error{
 // handlers → run → handlers initialization cycle.
 func init() {
 	handlers["all"] = func(w io.Writer, seed int64) error {
-		for _, sub := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152", "fig11"} {
+		for _, sub := range []string{"fig7", "fig4", "fig13", "fig8", "overhead", "appendixe", "ablation", "fig9r18", "fig9r152", "fig11", "geo"} {
 			if err := run(w, sub, seed); err != nil {
 				return err
 			}

@@ -1,0 +1,22 @@
+// Package cell is the multi-cell federation fabric: the sixth deployment
+// shape, layered above whole systems. A Fabric owns K cells — independent
+// LIFL (or baseline) instances, each with its own cluster, topology and
+// gateway stack — and stitches them together with a deterministic locality
+// router (clients are homed on cells by region weight, seed-stable) and a
+// per-round cross-cell aggregation tier that folds the K cell-level
+// aggregates into the global model through aggcore's eager pipeline with
+// one fused tensor.ScaleAdd install per round. With K = 1 the tier
+// vanishes and a fixed-seed run is byte-identical to the plain
+// single-cluster run (TestFabricK1MatchesPlainRun).
+//
+// The fabric also carries the cell-outage path: cells heartbeat the
+// fabric's control plane; a silent cell is declared dead one sweep past
+// the timeout, and then — per the straggler-cell policy — either its
+// partial round is discarded and its clients re-route to the surviving
+// cells (quorum), or a replacement is restored from the cell's last
+// durable checkpoint and the interrupted round replayed (wait-all).
+//
+// Layer (DESIGN.md): above internal/core, beside internal/harness — it
+// drives per-cell core.Platforms round by round via Platform.StepRound,
+// and harness sweeps dispatch RunConfigs with Cells set here.
+package cell

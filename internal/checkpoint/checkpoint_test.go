@@ -71,3 +71,60 @@ func TestLatestReturnsNewest(t *testing.T) {
 		t.Fatalf("count = %d", s.Count())
 	}
 }
+
+// Restore under load: checkpoints requested while earlier uploads are
+// still in flight and the engine is busy with foreground work must (a)
+// snapshot their model at request time, (b) become durable in request
+// order, and (c) round-trip bit-exact through the wire encoding — the
+// guarantees the cell fabric's wait-all restore leans on when it resumes
+// a dead cell from Latest() mid-run.
+func TestRestoreUnderLoad(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewStore(eng, 1e9)
+	// Foreground "training" keeps the engine loaded while uploads drain.
+	busy := 0
+	var tick func()
+	tick = func() {
+		if busy++; busy < 50 {
+			eng.After(40*sim.Millisecond, tick)
+		}
+	}
+	eng.After(0, tick)
+	m := tensor.NewVirtual(8, 100_000_000) // 0.4 GB virtual → 0.4 s upload
+	want := make([][]float32, 0, 3)
+	for r := 1; r <= 3; r++ {
+		for i := range m.Data {
+			m.Data[i] = float32(r*10 + i)
+		}
+		snap := append([]float32(nil), m.Data...)
+		want = append(want, snap)
+		s.SaveAsync(r*10, m, nil)
+		// Overlap: the next request lands before this upload is durable.
+		if s.InFlight == 0 {
+			t.Fatalf("round %d: upload completed synchronously", r)
+		}
+	}
+	// Mutate the live model after every request: snapshots must not see it.
+	m.Fill(-1)
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 3 || s.InFlight != 0 {
+		t.Fatalf("durable %d, in-flight %d", s.Count(), s.InFlight)
+	}
+	rec, err := s.Latest()
+	if err != nil || rec.Round != 30 {
+		t.Fatalf("latest: %+v %v", rec, err)
+	}
+	for i, v := range rec.Model.Data {
+		if v != want[2][i] {
+			t.Fatalf("restored model[%d] = %v, want %v (request-time snapshot)", i, v, want[2][i])
+		}
+	}
+	if rec.Model.VirtualLen != m.VirtualLen {
+		t.Fatalf("restored geometry %d != %d", rec.Model.VirtualLen, m.VirtualLen)
+	}
+	if busy < 50 {
+		t.Fatalf("foreground load did not run alongside uploads (%d ticks)", busy)
+	}
+}

@@ -5,6 +5,10 @@
 // the aggregation critical path; on failure, recovery restarts from the
 // latest persisted version.
 //
+// The multi-cell fabric (internal/cell) leans on this path for cell
+// failover: every LIFL cell checkpoints periodically, and a wait-all
+// restore resumes a dead cell from its store's latest durable record.
+//
 // Layer (DESIGN.md): side quest — Appendix B model checkpoints, written
 // asynchronously off the aggregation critical path.
 package checkpoint

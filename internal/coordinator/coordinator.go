@@ -77,6 +77,16 @@ func (h *Heartbeats) Failed() []ClientID {
 // Forget drops a client (round ended or reassigned).
 func (h *Heartbeats) Forget(c ClientID) { delete(h.last, c) }
 
+// Deadline returns the instant c will be declared failed absent further
+// beats (lastBeat + timeout), and whether c has an outstanding beat at
+// all. The cell fabric uses it to schedule its detection sweeps instead of
+// polling every period from time zero: cells are few and beat rarely, so
+// the control plane wakes exactly when a silence could first matter.
+func (h *Heartbeats) Deadline(c ClientID) (sim.Duration, bool) {
+	t, ok := h.last[c]
+	return t + h.timeout, ok
+}
+
 // Pending returns how many clients have an outstanding beat — contacted
 // but neither forgotten (delivered their update) nor yet swept by Failed.
 func (h *Heartbeats) Pending() int { return len(h.last) }

@@ -4,6 +4,12 @@
 // clients (§3), round lifecycle bookkeeping, and the opportunistic
 // aggregator-reuse policy of §5.3.
 //
+// The same heartbeat machinery monitors whole cells in the multi-cell
+// fabric (internal/cell): cells beat the fabric's control plane every
+// HeartbeatPeriod, and Deadline lets the fabric schedule its detection
+// sweeps exactly where a silence could first matter.
+//
 // Layer (DESIGN.md): component model under internal/systems — the
-// control plane: heartbeats, guided role flips (§5.3).
+// control plane: heartbeats, guided role flips (§5.3), cell outage
+// detection.
 package coordinator

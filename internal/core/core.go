@@ -105,6 +105,94 @@ func (a AsyncSpec) validate() error {
 	return nil
 }
 
+// CellSpec federates a run across K locality-routed cells (internal/cell):
+// independent clusters, each running its own aggregation hierarchy over the
+// clients the locality router homes on it, stitched together by a per-round
+// cross-cell aggregation tier. Core only validates the knobs; the fabric
+// itself lives above core in internal/cell (harness sweeps dispatch there
+// automatically, and core.Run rejects a cell config loudly).
+type CellSpec struct {
+	// Count is the number of cells K (>= 1). K = 1 degenerates to the
+	// plain single-cluster run and is byte-identical to it for a fixed
+	// seed — the invariant TestFabricK1MatchesPlainRun pins down.
+	Count int
+	// Regions weight the locality router's client → home-cell draw
+	// (region i is homed on cell i). nil = uniform across Count cells;
+	// otherwise exactly Count non-negative entries with a positive sum.
+	Regions []float64
+	// RTT is the inter-cell round-trip time; 0 takes the costmodel
+	// default (Params.InterCellRTT).
+	RTT sim.Duration
+	// Bandwidth is the inter-cell link rate in bytes/sec per direction;
+	// 0 takes Params.InterCellBandwidth.
+	Bandwidth float64
+	// Quorum is the straggler-cell policy, and it bites only when a cell
+	// goes silent: healthy rounds always wait for every live cell. With
+	// Quorum > 0 an outage round closes over the live cells alone
+	// (provided at least Quorum of them), the dead cell's partial round is
+	// discarded, and its clients re-route to the survivors; with 0
+	// (wait-all) the round blocks until a replacement is restored from the
+	// dead cell's last durable checkpoint and its replayed round delivers.
+	Quorum int
+	// OutageRound, when > 0, kills cell OutageCell at that global round's
+	// start: its heartbeats stop and the fabric's monitor declares it dead
+	// one sweep after the timeout. Under a quorum the dead cell's partial
+	// round is discarded and its clients re-route to the surviving cells;
+	// under wait-all the cell is restored from its last durable checkpoint
+	// and the interrupted round is replayed on the replacement.
+	OutageRound int
+	// OutageCell indexes the cell OutageRound kills.
+	OutageCell int
+	// CheckpointRounds overrides Params.CheckpointPeriodRounds for the
+	// per-cell model checkpoint cadence (0 = keep the params value).
+	CheckpointRounds int
+}
+
+// Validate rejects fabric knobs that would otherwise surface as mid-run
+// panics or silently absurd topologies — construction-time errors, like
+// AsyncSpec.validate beside it.
+func (s CellSpec) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("core: cell Count %d must be >= 1", s.Count)
+	}
+	if s.Regions != nil {
+		if len(s.Regions) != s.Count {
+			return fmt.Errorf("core: %d region weights for %d cells", len(s.Regions), s.Count)
+		}
+		total := 0.0
+		for _, w := range s.Regions {
+			if w < 0 {
+				return fmt.Errorf("core: negative region weight %v", w)
+			}
+			total += w
+		}
+		if total <= 0 {
+			return fmt.Errorf("core: region weights sum to %v (need > 0)", total)
+		}
+	}
+	if s.Quorum < 0 || s.Quorum > s.Count {
+		return fmt.Errorf("core: cell Quorum %d outside [0, %d]", s.Quorum, s.Count)
+	}
+	if s.RTT < 0 || s.Bandwidth < 0 || s.CheckpointRounds < 0 {
+		return fmt.Errorf("core: negative cell RTT/Bandwidth/CheckpointRounds")
+	}
+	if s.OutageRound < 0 {
+		return fmt.Errorf("core: cell OutageRound %d must be >= 0", s.OutageRound)
+	}
+	if s.OutageRound > 0 {
+		if s.OutageCell < 0 || s.OutageCell >= s.Count {
+			return fmt.Errorf("core: OutageCell %d outside [0, %d)", s.OutageCell, s.Count)
+		}
+		if s.Count < 2 {
+			return fmt.Errorf("core: a cell outage needs at least one surviving cell (Count %d)", s.Count)
+		}
+		if s.Quorum > s.Count-1 {
+			return fmt.Errorf("core: Quorum %d unreachable after the cell %d outage", s.Quorum, s.OutageCell)
+		}
+	}
+	return nil
+}
+
 // RoundObservation is delivered to RunConfig.OnRound after each round.
 type RoundObservation struct {
 	Result systems.RoundResult
@@ -151,6 +239,13 @@ type RunConfig struct {
 	// population-driven ones (the Fig. 8 microbenchmark mode); rounds are
 	// numbered from 0 and MaxRounds defaults to 1.
 	Inject *InjectSpec
+	// Cells, when set, federates the run across Count locality-routed
+	// cells with a per-round cross-cell aggregation tier (the sixth
+	// deployment shape). The fabric lives above core: harness sweeps and
+	// the scenario registry dispatch cell configs to internal/cell, and
+	// core.Run itself rejects them rather than silently running a single
+	// cluster. Only synchronous per-cell systems are federated today.
+	Cells *CellSpec
 	// Async tunes the buffered-async system; only SystemAsync honours it
 	// (NewPlatform rejects it on synchronous systems). For SystemAsync a
 	// nil Async takes every default. Async runs reuse the round-oriented
@@ -251,6 +346,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	return c
 }
 
+// Defaulted returns the config with core's defaulting rules applied — the
+// exact values NewPlatform would run with. The cell fabric (internal/cell)
+// uses it to resolve population and round knobs *before* sharding them into
+// per-cell configs, so fabric math and platform behaviour can never drift.
+func (c RunConfig) Defaulted() RunConfig { return c.withDefaults() }
+
 // AccPoint is one point of the accuracy trajectory.
 type AccPoint struct {
 	Round    int
@@ -349,6 +450,13 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		ServerOpt: cfg.ServerOpt,
 		Tracer:    cfg.Tracer,
 	}
+	if cfg.Cells != nil {
+		// A cell config reaching the single-cluster assembly would run one
+		// cluster with a straight face; the fabric (internal/cell) strips
+		// Cells from the per-cell configs it builds, so anything arriving
+		// here took a wrong turn.
+		return nil, fmt.Errorf("core: Cells is a multi-cell fabric knob; run it through internal/cell (harness sweeps dispatch there automatically)")
+	}
 	if cfg.Async != nil && cfg.System != SystemAsync {
 		// Silently dropping async knobs would turn an async sweep cell
 		// into a synchronous run with a straight face.
@@ -443,19 +551,10 @@ func (p *Platform) Run() (*Report, error) {
 	sort.Float64s(milestones)
 	nextMilestone := 0
 	for r := first; r <= last; r++ {
-		roundStart := time.Now()
-		jobs := p.roundJobs(rng, r)
-		var result *systems.RoundResult
-		p.Sys.RunRound(r, jobs, func(res systems.RoundResult) { result = &res })
-		// Advance only until the round completes: pending keep-alive expiry
-		// checks must not stall the next round's start (they fire naturally
-		// as later rounds run).
-		for result == nil && p.Eng.Step() {
+		result, roundWall, err := p.StepRound(rng, r, 0)
+		if err != nil {
+			return nil, err
 		}
-		if result == nil {
-			return nil, errors.New("core: round did not complete")
-		}
-		roundWall := time.Since(roundStart)
 		rep.RoundWallTotal += roundWall
 		if roundWall > rep.RoundWallMax {
 			rep.RoundWallMax = roundWall
@@ -469,7 +568,7 @@ func (p *Platform) Run() (*Report, error) {
 			Accuracy: acc,
 		}
 		if !cfg.StreamOnly {
-			rep.Rounds = append(rep.Rounds, *result)
+			rep.Rounds = append(rep.Rounds, result)
 			rep.ActiveAggs = append(rep.ActiveAggs, p.Sys.ActiveAggregators())
 			rep.CPUPerRound = append(rep.CPUPerRound, result.CPUTime.Seconds())
 			rep.Acc = append(rep.Acc, point)
@@ -479,7 +578,7 @@ func (p *Platform) Run() (*Report, error) {
 			nextMilestone++
 		}
 		if cfg.OnRound != nil {
-			cfg.OnRound(RoundObservation{Result: *result, Acc: point, Wall: roundWall})
+			cfg.OnRound(RoundObservation{Result: result, Acc: point, Wall: roundWall})
 		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true
@@ -499,17 +598,53 @@ func (p *Platform) Run() (*Report, error) {
 	return rep, nil
 }
 
+// StepRound runs one synchronous round end to end — client selection, the
+// system's round, and the event stepping until the result fires — and
+// returns the result plus the real wall clock the simulation took. It is
+// the per-round primitive Platform.Run loops over and the cross-cell
+// fabric (internal/cell) drives directly, interleaving its cross-cell
+// aggregation tier between rounds. goal overrides cfg.ActivePerRound when
+// > 0 (the fabric's per-cell share, which grows when a dead cell's clients
+// re-route); pass 0 for the configured value.
+func (p *Platform) StepRound(rng *sim.RNG, round, goal int) (systems.RoundResult, time.Duration, error) {
+	roundStart := time.Now()
+	jobs := p.roundJobs(rng, round, goal)
+	var result *systems.RoundResult
+	p.Sys.RunRound(round, jobs, func(res systems.RoundResult) { result = &res })
+	// Advance only until the round completes: pending keep-alive expiry
+	// checks must not stall the next round's start (they fire naturally
+	// as later rounds run).
+	for result == nil && p.Eng.Step() {
+	}
+	if result == nil {
+		return systems.RoundResult{}, 0, errors.New("core: round did not complete")
+	}
+	return *result, time.Since(roundStart), nil
+}
+
+// InstallGlobal replaces the system's global model between rounds — the
+// cross-cell fabric's model-install hook: after the per-round cross-cell
+// fold, every cell adopts the federated global before its next round.
+func (p *Platform) InstallGlobal(t *tensor.Tensor) { p.Sys.SetGlobal(t) }
+
+// ArrivalSeries renders the Fig. 10 arrivals-per-minute series collected so
+// far (the fabric merges the per-cell series into its global report).
+func (p *Platform) ArrivalSeries() []float64 { return p.arrivals.series() }
+
 // roundJobs selects the round's active clients and builds their jobs,
 // recording scheduled arrival minutes for the Fig. 10 arrival series. The
 // selector over-provisions; clients that fail (per FailureRate) are caught
 // by the heartbeat monitor and replaced by standbys, so the aggregation
 // goal is still met (§3 resilience).
-func (p *Platform) roundJobs(rng *sim.RNG, round int) []systems.ClientJob {
+func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob {
 	cfg := p.Cfg
 	if cfg.Inject != nil {
 		return p.injectedJobs()
 	}
-	idx := p.sel.selectRound(p, rng, cfg.ActivePerRound)
+	if goal <= 0 {
+		goal = cfg.ActivePerRound
+	}
+	idx := p.sel.selectRound(p, rng, goal)
 	jobs := make([]systems.ClientJob, 0, len(idx))
 	base := p.Eng.Now()
 	for _, i := range idx {

@@ -9,5 +9,8 @@
 // Layer (DESIGN.md): the top of the library. scenario expands into this
 // package's RunConfigs; below it sit the five systems and the shared
 // component/population/curve models. The synchronous round loop lives in
-// core.go, the buffered-async progress loop in async.go.
+// core.go (its per-round primitive, Platform.StepRound, is also what the
+// multi-cell fabric in internal/cell drives), the buffered-async progress
+// loop in async.go. RunConfig.Cells (CellSpec) is validated here but
+// executed by internal/cell, one layer up.
 package core

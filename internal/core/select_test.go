@@ -151,11 +151,11 @@ func benchSelect(b *testing.B, clients int, kind SelectorKind) {
 	rng := sim.NewRNG(3)
 	// Warm one round outside the timer so the streaming selector's one-time
 	// O(population) pool setup doesn't smear into the per-round figure.
-	p.roundJobs(rng, 0)
+	p.roundJobs(rng, 0, 0)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if jobs := p.roundJobs(rng, 1); len(jobs) != 120 {
+		if jobs := p.roundJobs(rng, 1, 0); len(jobs) != 120 {
 			b.Fatalf("selected %d", len(jobs))
 		}
 	}

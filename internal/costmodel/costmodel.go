@@ -129,6 +129,18 @@ type Params struct {
 	// platform reclaims it.
 	KeepAliveIdle sim.Duration
 
+	// ---- Cross-cell fabric (internal/cell) ----
+
+	// InterCellRTT: round-trip time between cells over the WAN backbone
+	// (cells are independent clusters in different localities; the
+	// cross-cell tier pays one half-RTT per aggregate uplink and one per
+	// global broadcast).
+	InterCellRTT sim.Duration
+	// InterCellBandwidth: provisioned inter-cell link rate, bytes/sec per
+	// direction — an order of magnitude below the intra-cluster NIC rate,
+	// which is what makes cell-local aggregation worth the second tier.
+	InterCellBandwidth float64
+
 	// ---- Control plane ----
 
 	// EWMAAlpha: smoothing coefficient for queue-length estimates (§5.2,
@@ -205,6 +217,9 @@ func Default() Params {
 		AggregatorMemBytes:   350 << 20,
 		RuntimeUpkeepCPUFrac: 0.05,
 		KeepAliveIdle:        6 * sim.Minute,
+
+		InterCellRTT:       60 * sim.Millisecond, // cross-region backbone
+		InterCellBandwidth: 2.5e8,                // 2 Gb/s dedicated inter-cell link
 
 		EWMAAlpha:              0.7,
 		LeafFanIn:              2,

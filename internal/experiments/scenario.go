@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cell"
 	"repro/internal/harness"
 	"repro/internal/scenario"
 )
@@ -49,7 +50,8 @@ func RunScenario(name string, seed int64) (string, error) {
 
 // FormatScenario renders one sweep's outcomes: per-run scalar metrics that
 // survive both workload runs and injected microbenchmarks (and StreamOnly
-// lean reports).
+// lean reports). Multi-cell (fabric) runs are followed by their per-cell
+// detail lines.
 func FormatScenario(sc scenario.Scenario, results []harness.Result) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Scenario %s — %s\n", sc.Name, sc.Description)
@@ -65,6 +67,46 @@ func FormatScenario(sc scenario.Scenario, results []harness.Result) string {
 			r.Run.Label, rep.RoundsRun, rep.Reached,
 			rep.Elapsed.Hours(), rep.CPUTotal.Hours(), rep.TimeToTarget.Hours(),
 			rep.FailuresDetected)
+		if r.Cells != nil {
+			b.WriteString(formatCellDetail(r.Cells))
+		}
 	}
 	return b.String()
+}
+
+// formatCellDetail renders a fabric run's per-cell lines (indented under
+// the run's row) plus the outage summary when one was injected.
+func formatCellDetail(d *cell.Detail) string {
+	var b strings.Builder
+	for _, c := range d.Cells {
+		state := "ok"
+		switch {
+		case c.Dead:
+			state = fmt.Sprintf("dead@r%d", c.DiedRound)
+		case c.RestoredRound > 0:
+			state = fmt.Sprintf("restored@r%d", c.RestoredRound)
+		}
+		fmt.Fprintf(&b, "    cell %d: clients=%d active=%d rounds=%d ckpts=%d cpu(h)=%.2f %s\n",
+			c.Cell, c.Clients, c.ActivePerRound, c.RoundsRun, c.Checkpoints, c.CPUTime.Hours(), state)
+	}
+	if d.OutageDetectedAt > 0 {
+		fmt.Fprintf(&b, "    outage: detected at %.1f min, %d clients re-routed, %d partial round(s) discarded\n",
+			d.OutageDetectedAt.Minutes(), d.ReRoutedClients, d.CellRoundsDiscarded)
+	}
+	return b.String()
+}
+
+// RunGeo sweeps the geo scenario family — the locality-routed multi-cell
+// fabric and its failover policies — rendering each scenario with per-cell
+// detail (the `liflsim geo` verb).
+func RunGeo(seed int64) (string, error) {
+	var b strings.Builder
+	for _, name := range []string{"geo-4cell", "cell-outage"} {
+		out, err := RunScenario(name, seed)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(out)
+	}
+	return b.String(), nil
 }

@@ -8,6 +8,7 @@
 // applied to figure regeneration.
 //
 // Layer (DESIGN.md): the layer above internal/scenario — fans expanded
-// runs across workers (harness.go) and measures them under instrumentation
-// for the perf trajectory (instrument.go).
+// runs across workers (harness.go), measures them under instrumentation
+// for the perf trajectory (instrument.go), and dispatches configs with a
+// Cells spec to the multi-cell fabric (Execute → internal/cell).
 package harness

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/scenario"
 )
@@ -59,16 +60,31 @@ func Map[T any](workers, n int, fn func(i int) T) []T {
 type Result struct {
 	Run    scenario.Run
 	Report *core.Report
-	Err    error
+	// Cells carries the per-cell detail of a multi-cell (fabric) run;
+	// nil for single-cluster runs.
+	Cells *cell.Detail
+	Err   error
+}
+
+// Execute runs one RunConfig through the right entry point: configs with
+// a Cells spec go to the multi-cell fabric (internal/cell), everything
+// else to core.Run. Every sweep and every instrumented measurement funnels
+// through here, so a cell config can never silently run single-cluster.
+func Execute(cfg core.RunConfig) (*core.Report, *cell.Detail, error) {
+	if cfg.Cells != nil {
+		return cell.Run(cfg)
+	}
+	rep, err := core.Run(cfg)
+	return rep, nil, err
 }
 
 // Sweep executes every run on a pool of `workers` goroutines (<= 0 means
 // one per CPU) and returns results in input order. Per-run determinism is
-// unaffected by the worker count: each core.Run builds a private platform
-// from its RunConfig.
+// unaffected by the worker count: each run builds a private platform (or
+// fabric of platforms) from its RunConfig.
 func Sweep(runs []scenario.Run, workers int) []Result {
 	return Map(DefaultWorkers(workers), len(runs), func(i int) Result {
-		rep, err := core.Run(runs[i].Cfg)
-		return Result{Run: runs[i], Report: rep, Err: err}
+		rep, det, err := Execute(runs[i].Cfg)
+		return Result{Run: runs[i], Report: rep, Cells: det, Err: err}
 	})
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -145,5 +146,53 @@ func TestAsyncSweepParallelMatchesSerial(t *testing.T) {
 		if !a.Report.Reached {
 			t.Fatalf("async run %d never reached its trimmed target", i)
 		}
+	}
+}
+
+// The geo (multi-cell fabric) scenarios through the harness: byte-identical
+// whether the sweep runs serially or fanned across workers — every fabric
+// builds its private engines — and a K=1 fabric through the same path is
+// byte-identical to the plain single-cluster SystemLIFL run for the same
+// seed (the degenerate-fabric invariant, here guarded end to end through
+// scenario expansion and the sweep dispatch).
+func TestGeoSweepParallelMatchesSerial(t *testing.T) {
+	sc := scenario.MustGet("geo-4cell")
+	// Trim the workload so the test stays fast; the cells axis gives the
+	// pool a degenerate fabric, a small one, and the scenario's own shape.
+	sc.Clients = 360
+	sc.ActivePerRound = 24
+	sc.MaxRounds = 95
+	sc.CellRegions = nil
+	sc.CellCounts = []int{1, 2, 4}
+	runs := sc.Expand()
+	serial := Sweep(runs, 1)
+	parallel := Sweep(runs, len(runs))
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Err != nil || b.Err != nil {
+			t.Fatalf("run %d errs: %v %v", i, a.Err, b.Err)
+		}
+		a.Report.RoundWallTotal, a.Report.RoundWallMax = 0, 0
+		b.Report.RoundWallTotal, b.Report.RoundWallMax = 0, 0
+		if !reflect.DeepEqual(a.Report, b.Report) {
+			t.Fatalf("geo run %d (%s) diverged serial vs parallel", i, a.Run.Label)
+		}
+		if !reflect.DeepEqual(a.Cells, b.Cells) {
+			t.Fatalf("geo run %d (%s) cell detail diverged serial vs parallel", i, a.Run.Label)
+		}
+		if a.Cells == nil || !a.Report.Reached {
+			t.Fatalf("geo run %d (%s) missing detail or target: %+v", i, a.Run.Label, a.Report.Reached)
+		}
+	}
+	// The cells=1 run must match plain SystemLIFL bit for bit.
+	plainCfg := runs[0].Cfg
+	plainCfg.Cells = nil
+	plain, err := core.Run(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.RoundWallTotal, plain.RoundWallMax = 0, 0
+	if !reflect.DeepEqual(plain, serial[0].Report) {
+		t.Fatal("K=1 fabric diverged from the plain SystemLIFL run")
 	}
 }

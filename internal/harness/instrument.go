@@ -101,7 +101,7 @@ func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
 	runtime.ReadMemStats(&before)
 	sampler.start()
 	t0 := time.Now()
-	rep, err := core.Run(cfg)
+	rep, _, err := Execute(cfg)
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
 	peak := sampler.Peak()

@@ -18,6 +18,11 @@
 // §6.1 bound of placing 10,000 clients in under 17 ms holds with three
 // orders of magnitude of headroom, and 1M clients place in well under 5 ms.
 //
+// Above the node level, CellRouter is level one of the geo fabric's
+// two-level placement: a deterministic, seed-stable, region-weighted map
+// client → home cell (internal/cell), under which the per-cell engines
+// place updates onto nodes as before.
+//
 // Layer (DESIGN.md): component model under internal/systems — the
 // indexed locality-aware load balancer (§5.1); see the hot-path invariants
 // in DESIGN.md.

@@ -447,3 +447,84 @@ func MaxCapacityOffline(probe func(k float64) sim.Duration, kStart, kStep, infla
 	}
 	return k * probe(k).Seconds()
 }
+
+// ---- Level one of the geo fabric's two-level placement ----
+//
+// The engine above places *updates onto nodes* inside one cluster (§5.1).
+// The cell fabric adds a level above it: *clients onto cells*, decided by
+// locality. CellRouter is that first level — a deterministic, seed-stable
+// map client → home cell, weighted by region share. The draw for client i
+// hashes (seed, i), so it is independent of enumeration order and stable
+// as the population grows: adding clients never re-homes existing ones.
+
+// CellRouter routes clients to their home cell by region weight.
+type CellRouter struct {
+	cum  []float64 // cumulative normalized weights, cum[len-1] == 1
+	seed uint64
+}
+
+// NewCellRouter builds a router over cells weighted by `weights` (nil or
+// empty with cells > 0 means uniform). Weights must be non-negative with a
+// positive sum.
+func NewCellRouter(cells int, weights []float64, seed int64) (*CellRouter, error) {
+	if cells < 1 {
+		return nil, fmt.Errorf("placement: router needs >= 1 cell (got %d)", cells)
+	}
+	if len(weights) == 0 {
+		weights = make([]float64, cells)
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	if len(weights) != cells {
+		return nil, fmt.Errorf("placement: %d region weights for %d cells", len(weights), cells)
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("placement: negative region weight %v", w)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("placement: region weights sum to %v (need > 0)", total)
+	}
+	r := &CellRouter{cum: make([]float64, cells), seed: uint64(seed)}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		r.cum[i] = acc
+	}
+	r.cum[cells-1] = 1 // absorb rounding so the last region owns [cum[n-2], 1)
+	return r, nil
+}
+
+// Cells returns the number of cells the router spreads over.
+func (r *CellRouter) Cells() int { return len(r.cum) }
+
+// Home returns client i's home cell: a uniform hash of (seed, i) mapped
+// through the cumulative region weights. O(log cells) per call.
+func (r *CellRouter) Home(client int) int {
+	u := hash01(r.seed ^ (uint64(client)+1)*0x9E3779B97F4A7C15)
+	return sort.SearchFloat64s(r.cum, u)
+}
+
+// Counts partitions clients 0..n-1 across the cells and returns the
+// per-cell population sizes.
+func (r *CellRouter) Counts(n int) []int {
+	out := make([]int, len(r.cum))
+	for i := 0; i < n; i++ {
+		out[r.Home(i)]++
+	}
+	return out
+}
+
+// hash01 maps a 64-bit key to a uniform float64 in [0, 1) via SplitMix64
+// finalization — deterministic across platforms, no RNG state to carry.
+func hash01(x uint64) float64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}

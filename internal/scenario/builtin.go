@@ -183,6 +183,69 @@ func init() {
 		Streaming:      true,
 		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
 	})
+	// Geo family: the multi-cell federation fabric (internal/cell). Four
+	// locality-routed cells over a skewed region mix, each an independent
+	// LIFL stack, stitched by the per-round cross-cell tier. Short-class:
+	// the PR bench gate watches the fabric's hot path.
+	mustRegister(Scenario{
+		Name:           "geo-4cell",
+		Description:    "geo fabric: 4 locality-routed LIFL cells, skewed regions, cross-cell fold",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      120,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Cells:          4,
+		CellRegions:    []float64{0.4, 0.3, 0.2, 0.1},
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Roadmap scale, geo edition: a million clients routed across 8 skewed
+	// regions, each region an independent cell on the streaming selector.
+	mustRegister(Scenario{
+		Name:           "geo-million-clients",
+		Description:    "scale: 1M clients routed across 8 skewed-region cells, streaming selector",
+		Model:          model.ResNet18,
+		Clients:        1_000_000,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      100,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Cells:          8,
+		CellRegions:    []float64{0.30, 0.20, 0.15, 0.10, 0.10, 0.05, 0.05, 0.05},
+		Streaming:      true,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Cell failover: kill one of four cells mid-training and compare the
+	// straggler-cell policies — wait-all (block, restore from the cell's
+	// last durable checkpoint, replay the round) vs quorum-3 (mask the
+	// outage, discard the partial round, re-route the dead cell's clients)
+	// — by their time-to-accuracy penalty.
+	mustRegister(Scenario{
+		Name:            "cell-outage",
+		Description:     "cell failover: kill 1 of 4 cells at round 30, wait-all restore vs quorum-3 masking",
+		Model:           model.ResNet18,
+		Clients:         2800,
+		ActivePerRound:  120,
+		Class:           flwork.Mobile,
+		TargetAccuracy:  0.70,
+		MaxRounds:       160,
+		Nodes:           5,
+		MC:              60,
+		Seed:            1,
+		Cells:           4,
+		CellRegions:     []float64{0.4, 0.3, 0.2, 0.1},
+		CellOutageRound: 30,
+		CellOutageCell:  1,
+		CellQuorums:     []int{0, 3},
+		Bench:           BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
 	// Server-momentum variant of the ResNet-18 workload: exercises the
 	// FedAvgM (ScaleAdd-fused) model-install path end to end.
 	mustRegister(Scenario{

@@ -11,8 +11,10 @@
 // The package also keeps a named registry: the paper's §6.2 workloads
 // (Fig. 9 ResNet-18/152, the Fig. 8 orchestration-ablation grid, the
 // Appendix E MC sweep) and the roadmap's scale scenarios (million-client
-// populations on the streaming selector) are registry entries, not
-// bespoke loops in internal/experiments.
+// populations on the streaming selector, the geo multi-cell family with
+// its cells/quorum axes) are registry entries, not bespoke loops in
+// internal/experiments. Registering a duplicate name fails loudly;
+// Replace overwrites deliberately.
 //
 // Layer (DESIGN.md): the declarative workload layer between
 // internal/harness and internal/core — named registry entries expand into

@@ -62,7 +62,7 @@ type FlagVariant struct {
 // active, target 0.70, 5 nodes, ...). Slice fields are sweep axes: a nil
 // axis contributes a single default point, a populated one multiplies the
 // expansion. Axis order in the cross product is Systems × Variants ×
-// Loads × MCs × Seeds, outermost first.
+// Loads × MCs × CellCounts × CellQuorums × Seeds, outermost first.
 type Scenario struct {
 	Name        string
 	Description string
@@ -96,6 +96,26 @@ type Scenario struct {
 	AsyncMaxStaleness int     // hard staleness cutoff (0 = keep everything)
 	AsyncMixRate      float64 // ScaleAdd merge rate η (0 = adopt the mean)
 
+	// Cells, when > 0, federates every expanded run across that many
+	// locality-routed cells (internal/cell): region-weighted client
+	// routing, per-cell aggregation stacks, a per-round cross-cell fold.
+	// Cells = 1 is a valid degenerate fabric (byte-identical to 0).
+	Cells int
+	// CellRegions skews the locality router (one weight per cell). Under a
+	// swept CellCounts axis it applies only to the counts its length
+	// matches (the rest route uniformly); with a scalar Cells a length
+	// mismatch is an authoring error and fails the run's validation.
+	CellRegions []float64
+	// CellQuorum is the straggler-cell policy: 0 blocks an outage round
+	// until the dead cell is checkpoint-restored (wait-all); Q > 0 masks
+	// the outage by closing over the live cells (>= Q) and re-routing the
+	// dead cell's clients.
+	CellQuorum int
+	// CellOutageRound / CellOutageCell inject a cell outage (see
+	// core.CellSpec); 0 = healthy run.
+	CellOutageRound int
+	CellOutageCell  int
+
 	// Streaming switches the run to the large-scale path: the
 	// O(ActivePerRound) streaming client selector plus a lean report that
 	// does not accumulate per-round slices (pair with core.RunConfig.OnRound
@@ -109,11 +129,13 @@ type Scenario struct {
 	Bench BenchMeta
 
 	// Sweep axes.
-	Systems  []core.SystemKind
-	Variants []FlagVariant // LIFL orchestration-flag ablation
-	Loads    []int         // injected single-round batch sizes (Fig. 8 mode)
-	MCs      []float64     // per-node service-capacity sweep (Appendix E)
-	Seeds    []int64       // overrides Seed when non-empty
+	Systems     []core.SystemKind
+	Variants    []FlagVariant // LIFL orchestration-flag ablation
+	Loads       []int         // injected single-round batch sizes (Fig. 8 mode)
+	MCs         []float64     // per-node service-capacity sweep (Appendix E)
+	CellCounts  []int         // cell-count sweep (overrides Cells when non-empty)
+	CellQuorums []int         // straggler-policy sweep (overrides CellQuorum)
+	Seeds       []int64       // overrides Seed when non-empty
 }
 
 // Run is one expanded point of a scenario: a concrete RunConfig plus the
@@ -147,6 +169,14 @@ func (s Scenario) Expand() []Run {
 	if len(mcs) == 0 {
 		mcs = []float64{s.MC}
 	}
+	cells := s.CellCounts
+	if len(cells) == 0 {
+		cells = []int{s.Cells}
+	}
+	quorums := s.CellQuorums
+	if len(quorums) == 0 {
+		quorums = []int{s.CellQuorum}
+	}
 	seeds := s.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{s.Seed}
@@ -156,50 +186,71 @@ func (s Scenario) Expand() []Run {
 		for _, v := range variants {
 			for _, load := range loads {
 				for _, mc := range mcs {
-					for _, seed := range seeds {
-						cfg := core.RunConfig{
-							System:         sys,
-							Model:          s.Model,
-							Clients:        s.Clients,
-							ActivePerRound: s.ActivePerRound,
-							Class:          s.Class,
-							TargetAccuracy: s.TargetAccuracy,
-							MaxRounds:      s.MaxRounds,
-							Nodes:          s.Nodes,
-							MC:             mc,
-							Seed:           seed,
-							FailureRate:    s.FailureRate,
-							Milestones:     s.Bench.Milestones,
-						}
-						if sys == core.SystemAsync {
-							cfg.Async = &core.AsyncSpec{
-								BufferK:           s.AsyncBufferK,
-								StalenessHalfLife: s.AsyncHalfLife,
-								MaxStaleness:      s.AsyncMaxStaleness,
-								MixRate:           s.AsyncMixRate,
+					for _, nc := range cells {
+						for _, q := range quorums {
+							for _, seed := range seeds {
+								cfg := core.RunConfig{
+									System:         sys,
+									Model:          s.Model,
+									Clients:        s.Clients,
+									ActivePerRound: s.ActivePerRound,
+									Class:          s.Class,
+									TargetAccuracy: s.TargetAccuracy,
+									MaxRounds:      s.MaxRounds,
+									Nodes:          s.Nodes,
+									MC:             mc,
+									Seed:           seed,
+									FailureRate:    s.FailureRate,
+									Milestones:     s.Bench.Milestones,
+								}
+								if sys == core.SystemAsync {
+									cfg.Async = &core.AsyncSpec{
+										BufferK:           s.AsyncBufferK,
+										StalenessHalfLife: s.AsyncHalfLife,
+										MaxStaleness:      s.AsyncMaxStaleness,
+										MixRate:           s.AsyncMixRate,
+									}
+								}
+								if nc > 0 {
+									spec := core.CellSpec{
+										Count:       nc,
+										Quorum:      q,
+										OutageRound: s.CellOutageRound,
+										OutageCell:  s.CellOutageCell,
+									}
+									// A swept CellCounts axis uses the region
+									// weights only where they fit (other counts
+									// route uniformly); with a scalar Cells a
+									// mismatch is an authoring error, passed
+									// through so CellSpec.Validate fails loudly.
+									if len(s.CellRegions) == nc || (len(s.CellCounts) == 0 && len(s.CellRegions) > 0) {
+										spec.Regions = append([]float64(nil), s.CellRegions...)
+									}
+									cfg.Cells = &spec
+								}
+								if len(s.Variants) > 0 {
+									flags := v.Flags
+									cfg.Flags = &flags
+								}
+								if load > 0 {
+									cfg.Inject = &core.InjectSpec{Updates: load}
+								}
+								if s.ServerMomentum > 0 {
+									cfg.ServerOpt = &fedavg.FedAvgM{Beta: s.ServerMomentum}
+								}
+								if s.Streaming {
+									cfg.Selector = core.SelectStream
+									cfg.StreamOnly = true
+								}
+								runs = append(runs, Run{
+									Scenario: s.Name,
+									Label:    s.label(sys, v.Label, load, mc, nc, q, seed),
+									Variant:  v.Label,
+									Load:     load,
+									Cfg:      cfg,
+								})
 							}
 						}
-						if len(s.Variants) > 0 {
-							flags := v.Flags
-							cfg.Flags = &flags
-						}
-						if load > 0 {
-							cfg.Inject = &core.InjectSpec{Updates: load}
-						}
-						if s.ServerMomentum > 0 {
-							cfg.ServerOpt = &fedavg.FedAvgM{Beta: s.ServerMomentum}
-						}
-						if s.Streaming {
-							cfg.Selector = core.SelectStream
-							cfg.StreamOnly = true
-						}
-						runs = append(runs, Run{
-							Scenario: s.Name,
-							Label:    s.label(sys, v.Label, load, mc, seed),
-							Variant:  v.Label,
-							Load:     load,
-							Cfg:      cfg,
-						})
 					}
 				}
 			}
@@ -210,7 +261,7 @@ func (s Scenario) Expand() []Run {
 
 // label renders the axis coordinates of one run, including only the axes
 // the scenario actually sweeps.
-func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float64, seed int64) string {
+func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float64, cells, quorum int, seed int64) string {
 	var parts []string
 	if len(s.Systems) > 0 {
 		parts = append(parts, string(sys))
@@ -223,6 +274,12 @@ func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float6
 	}
 	if len(s.MCs) > 0 {
 		parts = append(parts, fmt.Sprintf("mc=%g", mc))
+	}
+	if len(s.CellCounts) > 0 {
+		parts = append(parts, fmt.Sprintf("cells=%d", cells))
+	}
+	if len(s.CellQuorums) > 0 {
+		parts = append(parts, fmt.Sprintf("q=%d", quorum))
 	}
 	if len(s.Seeds) > 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", seed))
@@ -245,6 +302,9 @@ func (s Scenario) clone() Scenario {
 	s.Variants = append([]FlagVariant(nil), s.Variants...)
 	s.Loads = append([]int(nil), s.Loads...)
 	s.MCs = append([]float64(nil), s.MCs...)
+	s.CellCounts = append([]int(nil), s.CellCounts...)
+	s.CellQuorums = append([]int(nil), s.CellQuorums...)
+	s.CellRegions = append([]float64(nil), s.CellRegions...)
 	s.Seeds = append([]int64(nil), s.Seeds...)
 	s.Bench.Milestones = append([]float64(nil), s.Bench.Milestones...)
 	return s
@@ -256,15 +316,27 @@ var (
 	registry = map[string]Scenario{}
 )
 
-// Register adds (or replaces) a named scenario. The name must be non-empty.
-// The scenario is copied in; later mutation of the caller's axis slices
-// does not affect the registry.
-func Register(s Scenario) error {
+// Register adds a named scenario. The name must be non-empty and not yet
+// taken: silently shadowing an existing entry would let one package's
+// registration quietly rewrite another's workload (and every benchmark
+// record keyed by its name), so a duplicate fails loudly instead — use
+// Replace to overwrite deliberately. The scenario is copied in; later
+// mutation of the caller's axis slices does not affect the registry.
+func Register(s Scenario) error { return put(s, false) }
+
+// Replace registers s, overwriting any existing entry of the same name —
+// the deliberate form of what Register refuses to do by accident.
+func Replace(s Scenario) error { return put(s, true) }
+
+func put(s Scenario, overwrite bool) error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: registering unnamed scenario")
 	}
 	mu.Lock()
 	defer mu.Unlock()
+	if _, exists := registry[s.Name]; exists && !overwrite {
+		return fmt.Errorf("scenario: %q is already registered (use Replace to overwrite)", s.Name)
+	}
 	registry[s.Name] = s.clone()
 	return nil
 }

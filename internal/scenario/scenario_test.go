@@ -261,3 +261,79 @@ func TestAsyncRegistryEntries(t *testing.T) {
 		t.Fatalf("async-million-clients spec = %+v", am.Async)
 	}
 }
+
+// Registering a name twice must fail loudly — silently shadowing an entry
+// would rewrite another package's workload (and every benchmark record
+// keyed by the name) with a straight face. Replace stays available as the
+// deliberate overwrite.
+func TestRegisterDuplicateFailsLoudly(t *testing.T) {
+	if err := Register(Scenario{Name: "tmp-dup", Clients: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(Scenario{Name: "tmp-dup", Clients: 2}); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	if got := MustGet("tmp-dup"); got.Clients != 1 {
+		t.Fatalf("duplicate registration shadowed the original: %+v", got)
+	}
+	if err := Replace(Scenario{Name: "tmp-dup", Clients: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := MustGet("tmp-dup"); got.Clients != 3 {
+		t.Fatalf("Replace did not overwrite: %+v", got)
+	}
+}
+
+// Cell knobs and the cells/quorum axes must reach the expanded configs:
+// scalar Cells yields one fabric config per point, CellCounts sweeps it,
+// and CellRegions only applies where its length matches the cell count.
+func TestCellKnobsExpand(t *testing.T) {
+	runs := MustGet("geo-4cell").Expand()
+	if len(runs) != 1 {
+		t.Fatalf("geo-4cell runs = %d", len(runs))
+	}
+	spec := runs[0].Cfg.Cells
+	if spec == nil || spec.Count != 4 || len(spec.Regions) != 4 {
+		t.Fatalf("geo-4cell spec = %+v", spec)
+	}
+	outage := MustGet("cell-outage").Expand()
+	if len(outage) != 2 || outage[0].Label != "q=0" || outage[1].Label != "q=3" {
+		t.Fatalf("cell-outage runs = %+v", outage)
+	}
+	if outage[0].Cfg.Cells.Quorum != 0 || outage[1].Cfg.Cells.Quorum != 3 {
+		t.Fatalf("quorum axis not applied: %+v %+v", outage[0].Cfg.Cells, outage[1].Cfg.Cells)
+	}
+	if outage[1].Cfg.Cells.OutageRound != 30 || outage[1].Cfg.Cells.OutageCell != 1 {
+		t.Fatalf("outage knobs missing: %+v", outage[1].Cfg.Cells)
+	}
+	// Each expansion owns its spec.
+	outage2 := MustGet("cell-outage").Expand()
+	outage[0].Cfg.Cells.Count = 99
+	if outage2[0].Cfg.Cells.Count != 4 {
+		t.Fatal("cell specs share storage across expansions")
+	}
+	// A scalar cell count with mismatched region weights must pass the bad
+	// weights through, so CellSpec.Validate fails the run loudly instead
+	// of silently routing uniformly.
+	bad := Scenario{Name: "bad", Cells: 4, CellRegions: []float64{0.5, 0.3, 0.2}}
+	bcfg := bad.Expand()[0].Cfg
+	if len(bcfg.Cells.Regions) != 3 {
+		t.Fatalf("mismatched scalar regions dropped: %+v", bcfg.Cells)
+	}
+	if err := bcfg.Cells.Validate(); err == nil {
+		t.Fatal("mismatched scalar regions passed validation")
+	}
+	// A swept cell count only inherits region weights where they fit.
+	sw := Scenario{Name: "sw", CellCounts: []int{1, 2, 4}, CellRegions: []float64{0.5, 0.5}}
+	srs := sw.Expand()
+	if len(srs) != 3 {
+		t.Fatalf("cells axis runs = %d", len(srs))
+	}
+	if srs[0].Label != "cells=1" || srs[2].Label != "cells=4" {
+		t.Fatalf("cells axis labels = %v / %v", srs[0].Label, srs[2].Label)
+	}
+	if srs[0].Cfg.Cells.Regions != nil || len(srs[1].Cfg.Cells.Regions) != 2 || srs[2].Cfg.Cells.Regions != nil {
+		t.Fatalf("region weights misapplied: %+v %+v %+v",
+			srs[0].Cfg.Cells, srs[1].Cfg.Cells, srs[2].Cfg.Cells)
+	}
+}

@@ -130,6 +130,10 @@ func (s *LIFL) Name() string {
 // Global implements Service.
 func (s *LIFL) Global() *tensor.Tensor { return s.global }
 
+// SetGlobal implements Service (the cross-cell fabric's between-round
+// model install).
+func (s *LIFL) SetGlobal(t *tensor.Tensor) { s.global = t }
+
 // CPUTime implements Service (usage-based accounting, including the
 // continuous runtime upkeep of live sandboxes).
 func (s *LIFL) CPUTime() sim.Duration {

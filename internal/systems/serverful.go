@@ -156,6 +156,10 @@ func (s *SF) Name() string { return "SF" }
 // Global implements Service.
 func (s *SF) Global() *tensor.Tensor { return s.global }
 
+// SetGlobal implements Service (the cross-cell fabric's between-round
+// model install).
+func (s *SF) SetGlobal(t *tensor.Tensor) { s.global = t }
+
 // CPUTime implements Service: allocation-based accounting — the always-on
 // reservation is the cost, independent of utilization.
 func (s *SF) CPUTime() sim.Duration { return s.Cluster.TotalReservedCPUTime() }

@@ -114,6 +114,10 @@ func (s *SL) Name() string { return "SL" }
 // Global implements Service.
 func (s *SL) Global() *tensor.Tensor { return s.global }
 
+// SetGlobal implements Service (the cross-cell fabric's between-round
+// model install).
+func (s *SL) SetGlobal(t *tensor.Tensor) { s.global = t }
+
 // CPUTime implements Service: usage-based, including sidecar idle drain,
 // broker relays, and cold-start CPU (all attributed on the nodes).
 func (s *SL) CPUTime() sim.Duration {

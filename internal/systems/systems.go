@@ -143,6 +143,11 @@ type Service interface {
 	Name() string
 	// Global returns the current global model.
 	Global() *tensor.Tensor
+	// SetGlobal replaces the global model between rounds. The cross-cell
+	// fabric (internal/cell) uses it to install the federated global after
+	// each cross-cell fold; it must not be called while a round is in
+	// flight.
+	SetGlobal(*tensor.Tensor)
 	// RunRound executes one synchronous round over the given client jobs;
 	// done fires with the result after the new global model is evaluated.
 	RunRound(round int, jobs []ClientJob, done func(RoundResult))

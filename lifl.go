@@ -19,6 +19,12 @@
 //   - Sweep: fan a scenario's expanded runs across a worker pool. Each
 //     run owns a private simulation engine, so results are byte-identical
 //     at any worker count and are returned in input order.
+//   - Multi-cell federation (RunConfig.Cells / CellSpec): the sixth
+//     deployment shape — K locality-routed cells, each an independent
+//     aggregation stack, stitched by a per-round cross-cell tier with
+//     heartbeat-monitored cell failover (internal/cell). Sweeps route
+//     fabric configs automatically; SweepResult.Cells carries the
+//     per-cell detail.
 //   - Large-scale knobs on RunConfig: the SelectStream client selector
 //     (O(ActivePerRound) per round, flat in population size — million-
 //     client populations), OnRound streaming observation, and StreamOnly
@@ -33,6 +39,7 @@
 package lifl
 
 import (
+	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/flwork"
 	"repro/internal/harness"
@@ -68,6 +75,13 @@ type (
 	RunConfig = core.RunConfig
 	// AsyncSpec tunes the buffered-async system (RunConfig.Async).
 	AsyncSpec = core.AsyncSpec
+	// CellSpec federates a run across locality-routed cells
+	// (RunConfig.Cells).
+	CellSpec = core.CellSpec
+	// CellDetail is a fabric run's per-cell outcome (SweepResult.Cells).
+	CellDetail = cell.Detail
+	// CellReport is one cell's summary inside a CellDetail.
+	CellReport = cell.CellReport
 	// Report is the outcome of a training run.
 	Report = core.Report
 	// Platform couples an engine, a system and a population.
@@ -97,8 +111,20 @@ var (
 	ResNet152 = model.ResNet152
 )
 
-// Run executes a full FL workload run; see core.Run.
-func Run(cfg RunConfig) (*Report, error) { return core.Run(cfg) }
+// Run executes a full FL workload run; see core.Run. Configs with a Cells
+// spec are dispatched to the multi-cell fabric (the per-cell detail is
+// available via RunCells or a Sweep).
+func Run(cfg RunConfig) (*Report, error) {
+	if cfg.Cells != nil {
+		rep, _, err := cell.Run(cfg)
+		return rep, err
+	}
+	return core.Run(cfg)
+}
+
+// RunCells executes a multi-cell federated run and returns the per-cell
+// detail beside the global Report; see internal/cell.
+func RunCells(cfg RunConfig) (*Report, *CellDetail, error) { return cell.Run(cfg) }
 
 // NewPlatform assembles a platform without running it; see core.NewPlatform.
 func NewPlatform(cfg RunConfig) (*Platform, error) { return core.NewPlatform(cfg) }
@@ -112,8 +138,13 @@ func Scenarios() []string { return scenario.Names() }
 // GetScenario returns a registry scenario by name.
 func GetScenario(name string) (Scenario, bool) { return scenario.Get(name) }
 
-// RegisterScenario adds (or replaces) a named scenario in the registry.
+// RegisterScenario adds a named scenario to the registry; registering an
+// already-taken name fails loudly instead of silently shadowing it.
 func RegisterScenario(s Scenario) error { return scenario.Register(s) }
+
+// ReplaceScenario registers s, deliberately overwriting any existing entry
+// of the same name.
+func ReplaceScenario(s Scenario) error { return scenario.Replace(s) }
 
 // Sweep executes the expanded runs on a pool of `workers` goroutines
 // (<= 0 means one per CPU), returning results in input order; see
