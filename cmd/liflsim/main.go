@@ -21,8 +21,14 @@
 // own simulation engine, so output is byte-identical to the serial run for
 // any worker count.
 //
+// -workers N parallelizes *inside* each run: the staged round loop's
+// population synthesis, update materialization, per-cell rounds and
+// aggregation folds share an N-goroutine pool (N >= 1). Output is
+// byte-identical for any value. When not passed, registry scenarios keep
+// their own pinned worker counts (e.g. 10m-clients pins 8).
+//
 // Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
-// (missing verb, -parallel < 1, unknown scenario name).
+// (missing verb, -parallel < 1, -workers < 1, unknown scenario name).
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	parallel := flag.Int("parallel", 1, "workers for independent runs (>= 1)")
+	workers := flag.Int("workers", 1, "goroutines per run's staged round loop (>= 1)")
 	flag.Usage = usage
 	flag.Parse()
 	// Go's flag parsing stops at the first verb; keep consuming so
@@ -64,13 +71,22 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "liflsim: -workers must be >= 1 (got %d)\n", *workers)
+		usage()
+		os.Exit(2)
+	}
 	experiments.Parallelism = *parallel
-	// Registry scenarios carry their own seeds; only an explicit -seed
-	// overrides them (0 = keep the scenario's default).
+	// Registry scenarios carry their own seeds and worker pins; only an
+	// explicitly passed -seed / -workers overrides them (the zero value of
+	// each experiments global = keep the scenario's default).
 	scenarioSeed := int64(0)
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "seed" {
+		switch f.Name {
+		case "seed":
 			scenarioSeed = *seed
+		case "workers":
+			experiments.Workers = *workers
 		}
 	})
 	// Resolve the whole verb sequence before executing any of it: an
@@ -116,7 +132,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
 }
 
 // handlers is the single verb table: run dispatches through it and main

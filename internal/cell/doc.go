@@ -18,5 +18,10 @@
 //
 // Layer (DESIGN.md): above internal/core, beside internal/harness — it
 // drives per-cell core.Platforms round by round via Platform.StepRound,
-// and harness sweeps dispatch RunConfigs with Cells set here.
+// and harness sweeps dispatch RunConfigs with Cells set here. Cells are
+// built and stepped concurrently (RunConfig.Workers, via internal/par):
+// each cell owns a private engine, the cross-cell tier is the only
+// barrier, and contributions fold in cell-index order, so the merged
+// Report is byte-identical for any worker count
+// (TestFabricWorkersByteIdentical).
 package cell

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fedavg"
 	"repro/internal/flwork"
+	"repro/internal/par"
 	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/systems"
@@ -237,6 +238,7 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 		f.quota += goals[k]
 	}
 
+	ccfgs := make([]core.RunConfig, spec.Count)
 	for k := 0; k < spec.Count; k++ {
 		ccfg := cfg
 		ccfg.Cells = nil
@@ -264,18 +266,33 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 		if spec.CheckpointRounds > 0 {
 			ccfg.Params.CheckpointPeriodRounds = spec.CheckpointRounds
 		}
-		plat, err := core.NewPlatform(ccfg)
-		if err != nil {
-			return nil, fmt.Errorf("cell %d: %w", k, err)
+		ccfgs[k] = ccfg
+	}
+	// Cell assembly runs on the worker pool: each platform synthesizes its
+	// population from a private engine and RNG seeded by the cell's salted
+	// seed, so build order is unobservable; cells are folded back in cell
+	// index order. At fabric scale (millions of clients across K cells)
+	// construction is the dominant startup cost.
+	type built struct {
+		plat *core.Platform
+		err  error
+	}
+	plats := par.Map(cfg.Workers, spec.Count, func(k int) built {
+		plat, err := core.NewPlatform(ccfgs[k])
+		return built{plat: plat, err: err}
+	})
+	for k := 0; k < spec.Count; k++ {
+		if plats[k].err != nil {
+			return nil, fmt.Errorf("cell %d: %w", k, plats[k].err)
 		}
 		f.cells = append(f.cells, &fcell{
 			id:      k,
 			name:    coordinator.ClientID(fmt.Sprintf("cell-%d", k)),
-			cfg:     ccfg,
-			plat:    plat,
-			rng:     sim.NewRNG(ccfg.Seed + 2),
+			cfg:     ccfgs[k],
+			plat:    plats[k].plat,
+			rng:     sim.NewRNG(ccfgs[k].Seed + 2),
 			clients: counts[k],
-			pop:     ccfg.Clients,
+			pop:     ccfgs[k].Clients,
 			goal:    goals[k],
 		})
 	}
@@ -290,7 +307,7 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 		f.node = cl.Nodes[0]
 		tmpl := f.cells[0].plat.Sys.Global()
 		f.global = tmpl.Clone()
-		f.top = aggcore.New("xcell-top", aggcore.RoleTop, f.node, fedavg.FedAvg{}, tmpl.Len(), tmpl.VirtualLen)
+		f.top = aggcore.New("xcell-top", aggcore.RoleTop, f.node, fedavg.FedAvg{Workers: cfg.Workers}, tmpl.Len(), tmpl.VirtualLen)
 		f.top.Mode = aggcore.Eager
 		f.top.OnComplete = func(_ *aggcore.Aggregator, out aggcore.Update) { f.onFold(out) }
 		f.beats = coordinator.NewHeartbeats(f.feng, cfg.Params.HeartbeatTimeout)
@@ -439,21 +456,40 @@ func (f *fabric) playRound(r int) (systems.RoundResult, time.Duration, int, erro
 		f.kill(f.cells[f.spec.OutageCell], r)
 	}
 
-	// Phase one: every live cell plays its local round on its own engine;
-	// its aggregate reaches the cross-cell tier one uplink after its local
-	// round ends.
-	var arr []roundContribution
+	// Phase one: every live cell plays its local round concurrently on the
+	// worker pool — the K StepRound calls are independent (private engine,
+	// private RNG stream, private population; cells share nothing below
+	// the cross-cell tier), so each cell's result is bit-identical to the
+	// serial sweep's. Contributions land in per-cell slots and are
+	// compacted in cell index order, making the cross-cell tier below the
+	// round's only barrier; its aggregate arrives one uplink after each
+	// local round ends.
+	live := make([]*fcell, 0, len(f.cells))
 	for _, c := range f.cells {
 		if c.dead || c.dying || c.goal <= 0 {
 			continue
 		}
+		live = append(live, c)
+	}
+	slots := make([]roundContribution, len(live))
+	errs := make([]error, len(live))
+	par.Do(f.cfg.Workers, len(live), func(i int) {
+		c := live[i]
 		res, _, err := c.plat.StepRound(c.rng, r, c.goal)
 		if err != nil {
-			return systems.RoundResult{}, 0, 0, fmt.Errorf("cell %d round %d: %w", c.id, r, err)
+			errs[i] = err
+			return
 		}
 		c.rounds++
 		c.elapsed = c.plat.Eng.Now()
-		arr = append(arr, roundContribution{c: c, res: res, at: start + (res.End - res.Start) + f.hop(), share: c.goal})
+		slots[i] = roundContribution{c: c, res: res, at: start + (res.End - res.Start) + f.hop(), share: c.goal}
+	})
+	var arr []roundContribution
+	for i, c := range live {
+		if errs[i] != nil {
+			return systems.RoundResult{}, 0, 0, fmt.Errorf("cell %d round %d: %w", c.id, r, errs[i])
+		}
+		arr = append(arr, slots[i])
 	}
 	sort.Slice(arr, func(i, j int) bool {
 		if arr[i].at != arr[j].at {
@@ -568,8 +604,10 @@ func (f *fabric) onFold(out aggcore.Update) {
 	}
 	if next != f.global {
 		// The one fused per-round install: t = 0·t + 1·next in a single
-		// sweep, keeping the fabric's global backing array stable.
-		if err := f.global.ScaleAdd(0, 1, next); err != nil {
+		// sweep, keeping the fabric's global backing array stable. The
+		// sweep shards across the worker pool when the vector is long
+		// enough to pay for it (bit-identical either way).
+		if err := f.global.ScaleAddP(0, 1, next, f.cfg.Workers); err != nil {
 			f.evErr = fmt.Errorf("cell: global install: %w", err)
 			return
 		}

@@ -1,0 +1,77 @@
+package cell
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The fabric analogue of core's workers contract: cells step concurrently
+// (cfg.Workers bounds the pool), but each cell owns a private engine and
+// the cross-cell tier folds contributions in cell-index order — so the
+// merged Report and the per-cell Detail must be byte-identical for any
+// worker count. This doubles as the -race stress of parallel per-cell
+// stepping: with Workers=8 over 4 cells, every StepRound runs on its own
+// goroutine each round.
+func TestFabricWorkersByteIdentical(t *testing.T) {
+	base := baseCfg()
+	base.Cells = &core.CellSpec{Count: 4, Regions: []float64{0.4, 0.3, 0.2, 0.1}}
+
+	ref := base
+	ref.Workers = 1
+	wantRep, wantDet, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(wantRep)
+	for _, w := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = w
+		rep, det, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		stripWall(rep)
+		if !reflect.DeepEqual(wantRep, rep) {
+			t.Fatalf("workers=%d merged Report diverged from workers=1:\nw=1: rounds=%d elapsed=%v cpu=%v\nw=%d: rounds=%d elapsed=%v cpu=%v",
+				w, wantRep.RoundsRun, wantRep.Elapsed, wantRep.CPUTotal,
+				w, rep.RoundsRun, rep.Elapsed, rep.CPUTotal)
+		}
+		if !reflect.DeepEqual(wantDet, det) {
+			t.Fatalf("workers=%d per-cell Detail diverged from workers=1", w)
+		}
+	}
+}
+
+// Parallel stepping must preserve the failover path too: a cell outage
+// detected mid-run re-routes clients identically whether the surviving
+// cells step serially or concurrently.
+func TestFabricWorkersByteIdenticalUnderOutage(t *testing.T) {
+	base := baseCfg()
+	base.MaxRounds = 120
+	base.Cells = &core.CellSpec{
+		Count:       3,
+		OutageCell:  1,
+		OutageRound: 6,
+		Quorum:      2,
+	}
+
+	ref := base
+	ref.Workers = 1
+	wantRep, wantDet, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(wantRep)
+	cfg := base
+	cfg.Workers = 8
+	rep, det, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(rep)
+	if !reflect.DeepEqual(wantRep, rep) || !reflect.DeepEqual(wantDet, det) {
+		t.Fatal("outage run diverged between workers=1 and workers=8")
+	}
+}

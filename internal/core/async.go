@@ -60,14 +60,14 @@ func (p *Platform) runAsync() (*Report, error) {
 			// slots starve the engine idles and the run errors below.
 			return
 		}
-		c := p.Pop.Clients[idx[0]]
+		c := p.Pop.Client(idx[0])
 		base := p.Asys.Version()
 		global := p.Asys.Global()
 		effRound := folded / cfg.ActivePerRound
 		node := nextNode
 		nextNode = (nextNode + 1) % cfg.Nodes
 		p.Asys.Dispatch(systems.AsyncJob{
-			ID:          c.ID,
+			ID:          p.Pop.ClientID(idx[0]),
 			Node:        node,
 			Delay:       p.Pop.TrainTime(c),
 			Weight:      float64(c.Samples),

@@ -222,6 +222,14 @@ type RunConfig struct {
 	// MC is per-node max service capacity (Appendix E).
 	MC   float64
 	Seed int64
+	// Workers bounds the goroutine pool the staged round loop may use for
+	// its parallel stages (population synthesis, update materialization,
+	// the sharded aggregation fold; see stages.go). 0 or 1 runs every
+	// stage serially. The Report is byte-identical for ANY value — the
+	// parallel stages are pure per-element work on fixed shard boundaries,
+	// and every RNG draw stays serial — so Workers is a wall-clock knob,
+	// never a semantics knob.
+	Workers int
 	// FailureRate is the probability a selected client dies mid-round
 	// (battery, lost connectivity). Failures are detected by keep-alive
 	// heartbeats (§3) and covered by over-provisioned standbys, so rounds
@@ -308,6 +316,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.Params.CoresPerNode == 0 {
 		c.Params = costmodel.Default()
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
 	}
 	if c.System == SystemAsync {
 		a := AsyncSpec{}
@@ -435,11 +446,18 @@ type Platform struct {
 
 	sel      roundSelector
 	arrivals arrivalMeter
+	// arena backs the staged round loop's parallel update
+	// materialization — one reusable tensor per aggregation slot, recycled
+	// every round (see stages.go).
+	arena []*tensor.Tensor
 }
 
 // NewPlatform assembles everything for a run.
 func NewPlatform(cfg RunConfig) (*Platform, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("core: Workers must be >= 1 (got %d)", cfg.Workers)
+	}
 	eng := sim.NewEngine()
 	scfg := systems.Config{
 		Nodes:     cfg.Nodes,
@@ -447,6 +465,7 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Params:    cfg.Params,
 		Seed:      cfg.Seed,
 		MC:        cfg.MC,
+		Workers:   cfg.Workers,
 		ServerOpt: cfg.ServerOpt,
 		Tracer:    cfg.Tracer,
 	}
@@ -517,6 +536,7 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Model:      cfg.Model,
 		Class:      cfg.Class,
 		Seed:       cfg.Seed + 1,
+		Workers:    cfg.Workers,
 	})
 	return &Platform{
 		Cfg:   cfg,
@@ -631,11 +651,14 @@ func (p *Platform) InstallGlobal(t *tensor.Tensor) { p.Sys.SetGlobal(t) }
 // far (the fabric merges the per-cell series into its global report).
 func (p *Platform) ArrivalSeries() []float64 { return p.arrivals.series() }
 
-// roundJobs selects the round's active clients and builds their jobs,
-// recording scheduled arrival minutes for the Fig. 10 arrival series. The
-// selector over-provisions; clients that fail (per FailureRate) are caught
-// by the heartbeat monitor and replaced by standbys, so the aggregation
-// goal is still met (§3 resilience).
+// roundJobs runs the first two stages of the staged round loop (see
+// stages.go): stage one selects the round's active clients and prices
+// their jobs serially (every RNG draw lives here), recording scheduled
+// arrival minutes for the Fig. 10 arrival series; stage two materializes
+// the update tensors across the worker pool. The selector over-provisions;
+// clients that fail (per FailureRate) are caught by the heartbeat monitor
+// and replaced by standbys, so the aggregation goal is still met (§3
+// resilience).
 func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob {
 	cfg := p.Cfg
 	if cfg.Inject != nil {
@@ -644,11 +667,12 @@ func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob 
 	if goal <= 0 {
 		goal = cfg.ActivePerRound
 	}
+	// Stage one (serial): selection, failure detection, delay pricing.
 	idx := p.sel.selectRound(p, rng, goal)
 	jobs := make([]systems.ClientJob, 0, len(idx))
 	base := p.Eng.Now()
 	for _, i := range idx {
-		c := p.Pop.Clients[i]
+		c := p.Pop.Client(i)
 		// Hibernation gates availability *between* rounds (the selector only
 		// picks active clients); within a round the delay is training time.
 		delay := p.Pop.TrainTime(c)
@@ -656,14 +680,13 @@ func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob 
 			p.arrivals.note(int((base + delay) / sim.Minute))
 		}
 		jobs = append(jobs, systems.ClientJob{
-			ID:     c.ID,
+			ID:     p.Pop.ClientID(i),
 			Delay:  delay,
 			Weight: float64(c.Samples),
-			MakeUpdate: func(g *tensor.Tensor) *tensor.Tensor {
-				return p.Pop.LocalUpdate(c, g, round)
-			},
 		})
 	}
+	// Stage two (parallel): update materialization.
+	p.attachUpdates(jobs, idx, round)
 	return jobs
 }
 

@@ -13,4 +13,11 @@
 // multi-cell fabric in internal/cell drives), the buffered-async progress
 // loop in async.go. RunConfig.Cells (CellSpec) is validated here but
 // executed by internal/cell, one layer up.
+//
+// The synchronous round is decomposed into four explicit stages (see
+// stages.go): serial select & price, parallel update materialization into
+// a per-platform tensor arena, serial event play-out, and a sharded
+// deterministic fold. RunConfig.Workers bounds the pool (internal/par);
+// it is a wall-clock knob only — the Report is byte-identical for any
+// worker count (TestWorkersByteIdenticalReports).
 package core

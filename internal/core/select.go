@@ -37,18 +37,18 @@ type permSelector struct{}
 
 func (permSelector) selectRound(p *Platform, rng *sim.RNG, goal int) []int {
 	cfg := p.Cfg
-	perm := rng.Perm(len(p.Pop.Clients))
+	perm := rng.Perm(p.Pop.Len())
 	var idx []int
 	for _, i := range perm {
-		c := p.Pop.Clients[i]
-		p.Beats.Beat(coordinator.ClientID(c.ID))
+		id := coordinator.ClientID(p.Pop.ClientID(i))
+		p.Beats.Beat(id)
 		if cfg.FailureRate > 0 && rng.Float64() < cfg.FailureRate {
 			// The client dies before uploading; its heartbeat will expire
 			// and the monitor reports it, while a standby takes its slot.
 			p.FailuresDetected++
 			continue
 		}
-		p.Beats.Forget(coordinator.ClientID(c.ID))
+		p.Beats.Forget(id)
 		idx = append(idx, i)
 		if len(idx) == goal {
 			break
@@ -72,7 +72,7 @@ type streamSelector struct {
 
 func (s *streamSelector) selectRound(p *Platform, rng *sim.RNG, goal int) []int {
 	if s.pool == nil {
-		s.pool = make([]int, len(p.Pop.Clients))
+		s.pool = make([]int, p.Pop.Len())
 		for i := range s.pool {
 			s.pool[i] = i
 		}
@@ -84,13 +84,13 @@ func (s *streamSelector) selectRound(p *Platform, rng *sim.RNG, goal int) []int 
 		r := j + rng.Intn(total-j)
 		s.pool[j], s.pool[r] = s.pool[r], s.pool[j]
 		i := s.pool[j]
-		c := p.Pop.Clients[i]
-		p.Beats.Beat(coordinator.ClientID(c.ID))
+		id := coordinator.ClientID(p.Pop.ClientID(i))
+		p.Beats.Beat(id)
 		if cfg.FailureRate > 0 && rng.Float64() < cfg.FailureRate {
 			p.FailuresDetected++
 			continue
 		}
-		p.Beats.Forget(coordinator.ClientID(c.ID))
+		p.Beats.Forget(id)
 		idx = append(idx, i)
 	}
 	return idx

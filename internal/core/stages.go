@@ -1,0 +1,85 @@
+package core
+
+// The staged round loop. A synchronous round decomposes into four stages
+// with very different parallelism profiles:
+//
+//	stage 1 — select & price   serial   every RNG draw (selection order,
+//	                                    failure coin flips, train-time
+//	                                    jitter) happens here, in the exact
+//	                                    legacy sequence
+//	stage 2 — materialize      parallel pure per-client update synthesis
+//	                                    (flwork.LocalUpdateInto) into the
+//	                                    platform's tensor arena
+//	stage 3 — play events      serial   the discrete-event engine is a
+//	                                    single totally-ordered timeline
+//	stage 4 — fold & install   sharded  the float64 aggregation fold and
+//	                                    the model install sweep the
+//	                                    parameter vector on fixed shard
+//	                                    boundaries (tensor/parallel.go)
+//
+// RunConfig.Workers bounds the pool stages 2 and 4 may use. The contract
+// that makes the knob safe is the same everywhere: parallel stages do pure
+// per-element work whose decomposition depends only on problem shape
+// (client index, vector length) — never on the worker count — so a fixed
+// seed produces a byte-identical Report for ANY Workers value, serial
+// included. Stage 2 additionally recycles one arena of update tensors
+// round over round, so materialization costs zero steady-state heap.
+
+import (
+	"repro/internal/par"
+	"repro/internal/systems"
+	"repro/internal/tensor"
+)
+
+// maxArenaBytes caps the update arena. At the default model.PhysScale the
+// arena is trivially small (120 slots × 2,816 floats ≈ 1.3 MiB), but a
+// full-fidelity model would pin goal × params × 4 bytes live for the whole
+// run; past the cap, stage 2 degrades to the legacy lazy form — per-arrival
+// materialization with a Clone — which keeps peak heap at the event
+// pipeline's natural watermark instead.
+const maxArenaBytes = 64 << 20
+
+// workers returns the resolved stage pool bound (>= 1).
+func (p *Platform) workers() int {
+	if p.Cfg.Workers > 1 {
+		return p.Cfg.Workers
+	}
+	return 1
+}
+
+// attachUpdates is stage 2: materialize every job's update tensor for this
+// round and attach it via MakeUpdate. Sync systems call MakeUpdate with the
+// round-start global — exactly the tensor p.Sys.Global() returns here, and
+// it does not change until the round's install — and fold the result within
+// the round, so pre-materializing into the reusable arena is
+// behaviour-invisible: bit-identical updates, minus a Clone per client per
+// round. Materialization runs on the worker pool; each slot is touched by
+// exactly one goroutine, and LocalUpdateInto is a pure function of
+// (client, global, round).
+func (p *Platform) attachUpdates(jobs []systems.ClientJob, idx []int, round int) {
+	global := p.Sys.Global()
+	if uint64(len(jobs))*global.PhysicalBytes() > maxArenaBytes {
+		for k := range jobs {
+			c := p.Pop.Client(idx[k])
+			jobs[k].MakeUpdate = func(g *tensor.Tensor) *tensor.Tensor {
+				return p.Pop.LocalUpdate(c, g, round)
+			}
+		}
+		return
+	}
+	p.ensureArena(len(jobs), global.Len())
+	par.Do(p.workers(), len(jobs), func(k int) {
+		buf := p.arena[k]
+		p.Pop.LocalUpdateInto(buf, p.Pop.Client(idx[k]), global, round)
+		jobs[k].MakeUpdate = func(*tensor.Tensor) *tensor.Tensor { return buf }
+	})
+}
+
+// ensureArena grows the update arena to n tensors of physical length phys.
+// Slots persist across rounds; a slot's contents are fully overwritten by
+// LocalUpdateInto before every use.
+func (p *Platform) ensureArena(n, phys int) {
+	for len(p.arena) < n {
+		p.arena = append(p.arena, tensor.New(phys))
+	}
+}

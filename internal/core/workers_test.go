@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The PR's determinism contract, tested at the Report level: Workers is a
+// wall-clock knob only. For a fixed seed, every worker count must produce
+// a byte-identical Report — same rounds, same simulated times, same CPU,
+// same final model bits — because shard boundaries and the combine order
+// of the reduction tree are pure functions of the data shape, never of
+// goroutine scheduling.
+
+// wideModel crosses tensor.MinParallelElems (the default Fig. 9 specs sit
+// below it at PhysScale 4096), so the sharded fold genuinely engages
+// instead of falling back to the serial loop.
+func wideModel() model.Spec {
+	m := model.ResNet18
+	m.PhysScale = 64 // 180224-float physical vector
+	return m
+}
+
+func stripReportWall(r *Report) {
+	r.RoundWallTotal = 0
+	r.RoundWallMax = 0
+}
+
+func TestWorkersByteIdenticalReports(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  RunConfig
+	}{
+		{"lifl-sync", smallCfg(SystemLIFL)},
+		{"serverless", smallCfg(SystemSL)},
+		{"async", smallAsync()},
+	}
+	// A wide-vector variant so the fold actually shards; fewer rounds keep
+	// it fast despite the 128 KiB physical vectors.
+	wide := smallCfg(SystemLIFL)
+	wide.Model = wideModel()
+	wide.TargetAccuracy = 0.99 // never reached: fixed MaxRounds of work
+	wide.MaxRounds = 5
+	cases = append(cases, struct {
+		name string
+		cfg  RunConfig
+	}{"lifl-wide-vector", wide})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.cfg
+			ref.Workers = 1
+			want, err := Run(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripReportWall(want)
+			for _, w := range []int{2, 3, 8} {
+				cfg := tc.cfg
+				cfg.Workers = w
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				stripReportWall(got)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("workers=%d diverged from workers=1:\nw=1: rounds=%d elapsed=%v cpu=%v acc[last]=%+v\nw=%d: rounds=%d elapsed=%v cpu=%v acc[last]=%+v",
+						w, want.RoundsRun, want.Elapsed, want.CPUTotal, want.Acc[len(want.Acc)-1],
+						w, got.RoundsRun, got.Elapsed, got.CPUTotal, got.Acc[len(got.Acc)-1])
+				}
+			}
+		})
+	}
+}
+
+// Negative worker counts are a config error, not a silent clamp.
+func TestNegativeWorkersRejected(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	cfg.Workers = -2
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Workers=-2 accepted")
+	}
+}

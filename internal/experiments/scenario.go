@@ -16,6 +16,15 @@ import (
 // cmd/liflsim sets it from -parallel.
 var Parallelism = 1
 
+// Workers, when > 0, overrides the per-scenario intra-run worker pool
+// (scenario.Scenario.Workers → core.RunConfig.Workers: the staged round
+// loop's parallel stages) for every run RunScenario expands. 0 keeps each
+// scenario's pinned value. Orthogonal to Parallelism — that fans whole
+// runs, this parallelizes stages inside one run; both are wall-clock-only
+// knobs (byte-identical output at any setting). cmd/liflsim sets it from
+// an explicit -workers.
+var Workers = 0
+
 // ScenarioNames lists the registered scenarios.
 func ScenarioNames() []string { return scenario.Names() }
 
@@ -42,6 +51,11 @@ func RunScenario(name string, seed int64) (string, error) {
 	}
 	if seed != 0 {
 		sc.Seed = seed
+	}
+	if Workers > 0 {
+		// Scalar override only: a scenario sweeping a WorkerCounts axis
+		// keeps its axis (the sweep is the point of such an entry).
+		sc.Workers = Workers
 	}
 	runs := sc.Expand()
 	results := harness.Sweep(runs, Parallelism)

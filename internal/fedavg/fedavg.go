@@ -35,15 +35,23 @@ type State interface {
 }
 
 // FedAvg is the weighted-averaging algorithm of the paper's evaluation.
-type FedAvg struct{}
+type FedAvg struct {
+	// Workers bounds the goroutine pool each state's fold may use (<= 1,
+	// the zero value, keeps folds serial). Results are bit-identical for
+	// any value — the accumulator shards on fixed element boundaries
+	// (tensor/parallel.go), never re-associating the float64 sums.
+	Workers int
+}
 
 // Name implements Algorithm.
 func (FedAvg) Name() string { return "fedavg" }
 
 // NewState implements Algorithm.
-func (FedAvg) NewState(phys, virtual int) State {
+func (f FedAvg) NewState(phys, virtual int) State {
+	acc := tensor.NewAccumulator(phys)
+	acc.SetWorkers(f.Workers)
 	return &fedAvgState{
-		acc:     tensor.NewAccumulator(phys),
+		acc:     acc,
 		phys:    phys,
 		virtual: virtual,
 	}

@@ -17,4 +17,10 @@
 //
 // Layer (DESIGN.md): workload layer under internal/core — client
 // population, non-IID workload, accuracy curve shared by every system.
+// Populations are stored as chunked value slices (24 B/client, no
+// per-client pointers or ID strings — IDs derive on demand) and
+// synthesized in two phases: a serial pass makes every RNG draw in the
+// legacy order, then a parallel pass (Config.Workers) applies the pure
+// per-client transforms — so a 10M-client population builds in well under
+// a second, bit-identical for any worker count.
 package flwork

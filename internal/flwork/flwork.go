@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 )
@@ -21,10 +22,12 @@ const (
 	Server
 )
 
-// Client is one member of the training population.
+// Client is one member of the training population — value storage only
+// (24 bytes): the archetype lives on the Population (one class per
+// population) and the ID string is derived on demand (Population.ClientID),
+// so a 10M-client population costs 10M × 24 B of live heap instead of 10M
+// pointers, structs and ID strings.
 type Client struct {
-	ID      string
-	Class   ClientClass
 	Samples int // c_k, the FedAvg weight
 	// Speed is a per-client compute multiplier (heterogeneity), ~LogNormal.
 	Speed float64
@@ -33,12 +36,26 @@ type Client struct {
 	LabelSkew float64
 }
 
+// Chunk geometry for the population's client storage: 1<<16 clients
+// (1.5 MiB) per chunk. Chunked value slices keep the peak live heap flat —
+// no append-doubling over a single 10M-element array, no per-client
+// pointer or string allocations for the GC to trace.
+const (
+	clientChunkShift = 16
+	clientChunkSize  = 1 << clientChunkShift
+	clientChunkMask  = clientChunkSize - 1
+)
+
 // Population is the full client set plus workload parameters.
 type Population struct {
-	Clients []*Client
-	Model   model.Spec
-	Class   ClientClass
-	rng     *sim.RNG
+	Model model.Spec
+	Class ClientClass
+	rng   *sim.RNG
+
+	// chunks is the value-backed client storage; see Client and the chunk
+	// geometry above. Index i lives at chunks[i>>shift][i&mask].
+	chunks [][]Client
+	n      int
 
 	// HibernateMax bounds the mobile hibernation interval ([0,60] s).
 	HibernateMax sim.Duration
@@ -54,17 +71,32 @@ type Config struct {
 	Model      model.Spec
 	Class      ClientClass
 	Seed       int64
+	// Workers bounds the pool for the synthesis's parallel transform phase
+	// (<= 1 = serial). The synthesized population is bit-identical for any
+	// value: all RNG draws happen serially in the legacy order, and the
+	// parallel phase applies only pure per-client transforms.
+	Workers int
 }
 
 // NewPopulation synthesizes the client set. Sample counts follow the
 // power-law FedScale reports for FEMNIST (most clients small, a heavy tail);
 // speeds are log-normal around 1.
+//
+// Synthesis is two-phase so it parallelizes without touching the draw
+// sequence: phase one consumes the RNG serially, client by client, in the
+// exact legacy order (samples-uniform, speed-normal, skew-uniform — the
+// normal draw's ziggurat consumes a variable number of underlying values,
+// so the stream cannot be split); phase two applies the pure per-client
+// transforms (math.Pow for the sample power law, math.Exp for the
+// log-normal speed) across the worker pool. Same inputs, same operations,
+// same per-client order ⇒ bit-identical to the legacy single loop.
 func NewPopulation(eng *sim.Engine, cfg Config) *Population {
 	rng := sim.NewRNG(cfg.Seed)
 	p := &Population{
 		Model:        cfg.Model,
 		Class:        cfg.Class,
 		rng:          rng,
+		n:            cfg.NumClients,
 		HibernateMax: 60 * sim.Second,
 		ShareFactor:  8,
 	}
@@ -77,26 +109,70 @@ func NewPopulation(eng *sim.Engine, cfg Config) *Population {
 		// ResNet-152 on a dedicated server node.
 		p.BaseTrainTime = 22 * sim.Second
 	}
-	for i := 0; i < cfg.NumClients; i++ {
-		samples := 30 + int(120*math.Pow(rng.Float64(), -0.45)) // power law tail
-		if samples > 2_000 {
-			samples = 2_000
-		}
-		p.Clients = append(p.Clients, &Client{
-			ID:        fmt.Sprintf("client-%04d", i),
-			Class:     cfg.Class,
-			Samples:   samples,
-			Speed:     rng.LogNormal(1.0, 0.12),
-			LabelSkew: rng.Float64(),
-		})
+	if cfg.NumClients <= 0 {
+		return p
 	}
+	nchunks := (cfg.NumClients + clientChunkSize - 1) / clientChunkSize
+	p.chunks = make([][]Client, nchunks)
+	// Phase one (serial): the RNG draws, stashed raw in the client's own
+	// fields so no scratch array scales with the population. The uniform
+	// for the sample count parks its IEEE-754 bits in the Samples int
+	// (values in [0,1) are non-negative and fit), the raw normal parks in
+	// Speed, and the skew uniform is already its final value.
+	for ci := range p.chunks {
+		lo := ci << clientChunkShift
+		size := cfg.NumClients - lo
+		if size > clientChunkSize {
+			size = clientChunkSize
+		}
+		chunk := make([]Client, size)
+		for i := range chunk {
+			chunk[i] = Client{
+				Samples:   int(math.Float64bits(rng.Float64())),
+				Speed:     rng.NormFloat64(),
+				LabelSkew: rng.Float64(),
+			}
+		}
+		p.chunks[ci] = chunk
+	}
+	// Phase two (parallel): pure transforms, chunk per task.
+	par.Do(cfg.Workers, nchunks, func(ci int) {
+		chunk := p.chunks[ci]
+		for i := range chunk {
+			c := &chunk[i]
+			u := math.Float64frombits(uint64(c.Samples))
+			samples := 30 + int(120*math.Pow(u, -0.45)) // power law tail
+			if samples > 2_000 {
+				samples = 2_000
+			}
+			c.Samples = samples
+			// Speed = LogNormal(median 1, sigma 0.12) = 1.0·e^(0.12·N).
+			c.Speed = 1.0 * math.Exp(0.12*c.Speed)
+		}
+	})
 	return p
+}
+
+// Len returns the population size.
+func (p *Population) Len() int { return p.n }
+
+// Client returns client i's record. The pointer stays valid for the
+// population's lifetime (chunks never reallocate), but records are shared —
+// callers must not mutate them.
+func (p *Population) Client(i int) *Client {
+	return &p.chunks[i>>clientChunkShift][i&clientChunkMask]
+}
+
+// ClientID derives client i's wire identity on demand ("client-0042") —
+// the legacy per-client ID string, minus 10M resident Sprintf results.
+func (p *Population) ClientID(i int) string {
+	return fmt.Sprintf("client-%04d", i)
 }
 
 // TrainTime returns how long client c needs for one local training pass.
 func (p *Population) TrainTime(c *Client) sim.Duration {
 	t := float64(p.BaseTrainTime) / c.Speed
-	if c.Class == Mobile {
+	if p.Class == Mobile {
 		// The 8-way host share is already folded into BaseTrainTime for
 		// mobiles; add the per-round contention jitter instead.
 		t = float64(p.rng.Jitter(sim.Duration(t), 0.12))
@@ -109,7 +185,7 @@ func (p *Population) TrainTime(c *Client) sim.Duration {
 // Hibernation returns the random unavailability interval before the client
 // can join a round (mobile only; servers return 0).
 func (p *Population) Hibernation(c *Client) sim.Duration {
-	if c.Class != Mobile {
+	if p.Class != Mobile {
 		return 0
 	}
 	return p.rng.Uniform(p.HibernateMax)
@@ -121,6 +197,23 @@ func (p *Population) Hibernation(c *Client) sim.Duration {
 // physical/virtual geometry, and the FedAvg weight is c.Samples.
 func (p *Population) LocalUpdate(c *Client, global *tensor.Tensor, round int) *tensor.Tensor {
 	u := global.Clone()
+	p.perturb(u, c, round)
+	return u
+}
+
+// LocalUpdateInto is LocalUpdate writing into a caller-owned buffer (sized
+// to the model's physical length) instead of cloning — the arena-backed
+// form core's staged round loop uses so per-round update materialization
+// recycles one buffer set instead of allocating per client. Results are
+// bit-identical to LocalUpdate.
+func (p *Population) LocalUpdateInto(dst *tensor.Tensor, c *Client, global *tensor.Tensor, round int) {
+	copy(dst.Data, global.Data)
+	dst.VirtualLen = global.VirtualLen
+	p.perturb(dst, c, round)
+}
+
+// perturb applies the deterministic client/round perturbation in place.
+func (p *Population) perturb(u *tensor.Tensor, c *Client, round int) {
 	// Perturbation magnitude decays with rounds (local steps shrink as the
 	// model converges); direction is client-specific via LabelSkew.
 	mag := 0.5 / math.Sqrt(float64(round)+1)
@@ -130,7 +223,6 @@ func (p *Population) LocalUpdate(c *Client, global *tensor.Tensor, round int) *t
 		g := math.Sin(float64(i)*0.01+phase) * mag
 		u.Data[i] += float32(g)
 	}
-	return u
 }
 
 // Curve is the accuracy-vs-round learning curve a(r) = Amax·(1 − e^{−r/Tau})

@@ -19,19 +19,56 @@ func pop(class ClientClass, n int) *Population {
 
 func TestPopulationDeterministic(t *testing.T) {
 	a, b := pop(Mobile, 100), pop(Mobile, 100)
-	for i := range a.Clients {
-		if a.Clients[i].Samples != b.Clients[i].Samples || a.Clients[i].Speed != b.Clients[i].Speed {
+	for i := 0; i < a.Len(); i++ {
+		if a.Client(i).Samples != b.Client(i).Samples || a.Client(i).Speed != b.Client(i).Speed {
 			t.Fatal("same seed diverged")
 		}
+	}
+}
+
+// TestPopulationWorkersBitIdentical pins the two-phase synthesis contract:
+// the worker count changes only who runs the pure transform phase, never
+// the values — the draws themselves stay serial and in legacy order.
+func TestPopulationWorkersBitIdentical(t *testing.T) {
+	// Enough clients to span several storage chunks.
+	n := 3*clientChunkSize + 117
+	if testing.Short() {
+		n = clientChunkSize + 117
+	}
+	mk := func(workers int) *Population {
+		return NewPopulation(sim.NewEngine(), Config{
+			NumClients: n, Model: model.ResNet18, Class: Mobile, Seed: 5, Workers: workers,
+		})
+	}
+	ref := mk(1)
+	for _, w := range []int{2, 3, 8} {
+		p := mk(w)
+		for i := 0; i < n; i++ {
+			a, b := ref.Client(i), p.Client(i)
+			if a.Samples != b.Samples || a.Speed != b.Speed || a.LabelSkew != b.LabelSkew {
+				t.Fatalf("workers=%d: client %d differs: %+v vs %+v", w, i, *a, *b)
+			}
+		}
+	}
+}
+
+func TestClientIDFormat(t *testing.T) {
+	p := pop(Mobile, 10)
+	if got := p.ClientID(7); got != "client-0007" {
+		t.Fatalf("ClientID(7) = %q", got)
+	}
+	if got := p.ClientID(123456); got != "client-123456" {
+		t.Fatalf("ClientID(123456) = %q", got)
 	}
 }
 
 func TestSampleCountsHeavyTailed(t *testing.T) {
 	p := pop(Mobile, 2800)
 	lo, hi := 1<<30, 0
-	for _, c := range p.Clients {
+	for i := 0; i < p.Len(); i++ {
+		c := p.Client(i)
 		if c.Samples <= 0 {
-			t.Fatalf("client %s has %d samples", c.ID, c.Samples)
+			t.Fatalf("client %d has %d samples", i, c.Samples)
 		}
 		if c.Samples < lo {
 			lo = c.Samples
@@ -51,8 +88,8 @@ func TestSampleCountsHeavyTailed(t *testing.T) {
 func TestTrainTimesPositiveAndHeterogeneous(t *testing.T) {
 	p := pop(Mobile, 200)
 	seen := make(map[sim.Duration]bool)
-	for _, c := range p.Clients[:50] {
-		d := p.TrainTime(c)
+	for i := 0; i < 50; i++ {
+		d := p.TrainTime(p.Client(i))
 		if d <= 0 {
 			t.Fatalf("train time %v", d)
 		}
@@ -68,10 +105,10 @@ func TestHibernationOnlyForMobiles(t *testing.T) {
 	sp := pop(Server, 10)
 	anyPositive := false
 	for i := 0; i < 100; i++ {
-		if mp.Hibernation(mp.Clients[0]) > 0 {
+		if mp.Hibernation(mp.Client(0)) > 0 {
 			anyPositive = true
 		}
-		if d := sp.Hibernation(sp.Clients[0]); d != 0 {
+		if d := sp.Hibernation(sp.Client(0)); d != 0 {
 			t.Fatalf("server client hibernated %v", d)
 		}
 	}
@@ -80,7 +117,7 @@ func TestHibernationOnlyForMobiles(t *testing.T) {
 	}
 	// Bounded by [0, 60s] per §6.2.
 	for i := 0; i < 1000; i++ {
-		if d := mp.Hibernation(mp.Clients[0]); d >= 60*sim.Second {
+		if d := mp.Hibernation(mp.Client(0)); d >= 60*sim.Second {
 			t.Fatalf("hibernation %v out of [0,60s)", d)
 		}
 	}
@@ -89,8 +126,8 @@ func TestHibernationOnlyForMobiles(t *testing.T) {
 func TestLocalUpdatePerturbationDecays(t *testing.T) {
 	p := pop(Mobile, 5)
 	g := model.ResNet18.NewTensor()
-	early := p.LocalUpdate(p.Clients[0], g, 1)
-	late := p.LocalUpdate(p.Clients[0], g, 100)
+	early := p.LocalUpdate(p.Client(0), g, 1)
+	late := p.LocalUpdate(p.Client(0), g, 100)
 	if err := early.Sub(g); err != nil {
 		t.Fatal(err)
 	}
@@ -105,14 +142,36 @@ func TestLocalUpdatePerturbationDecays(t *testing.T) {
 func TestLocalUpdateClientSpecific(t *testing.T) {
 	p := pop(Mobile, 5)
 	g := model.ResNet18.NewTensor()
-	a := p.LocalUpdate(p.Clients[0], g, 1)
-	b := p.LocalUpdate(p.Clients[1], g, 1)
+	a := p.LocalUpdate(p.Client(0), g, 1)
+	b := p.LocalUpdate(p.Client(1), g, 1)
 	d, err := a.MaxAbsDiff(b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d == 0 {
 		t.Fatal("different clients produced identical updates")
+	}
+}
+
+// TestLocalUpdateIntoMatchesLocalUpdate pins the arena-backed form to the
+// allocating one bit for bit.
+func TestLocalUpdateIntoMatchesLocalUpdate(t *testing.T) {
+	p := pop(Mobile, 5)
+	g := model.ResNet18.NewTensor()
+	for i := range g.Data {
+		g.Data[i] = float32(i%13) * 0.03
+	}
+	want := p.LocalUpdate(p.Client(2), g, 7)
+	got := model.ResNet18.NewTensor()
+	got.Fill(99) // stale contents must be fully overwritten
+	p.LocalUpdateInto(got, p.Client(2), g, 7)
+	if got.VirtualLen != want.VirtualLen {
+		t.Fatalf("virtual len %d vs %d", got.VirtualLen, want.VirtualLen)
+	}
+	for i := range want.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("element %d differs", i)
+		}
 	}
 }
 

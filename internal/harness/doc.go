@@ -8,7 +8,9 @@
 // applied to figure regeneration.
 //
 // Layer (DESIGN.md): the layer above internal/scenario — fans expanded
-// runs across workers (harness.go), measures them under instrumentation
-// for the perf trajectory (instrument.go), and dispatches configs with a
+// runs across workers (harness.go, pooled via internal/par), measures
+// them under instrumentation for the perf trajectory (instrument.go,
+// recording each run's resolved Workers so perfrec only gates real-clock
+// metrics across matching worker counts), and dispatches configs with a
 // Cells spec to the multi-cell fabric (Execute → internal/cell).
 package harness

@@ -1,59 +1,24 @@
 package harness
 
 import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/scenario"
 )
 
 // DefaultWorkers resolves a worker count: n > 0 is taken as-is, anything
-// else means "one worker per available CPU".
-func DefaultWorkers(n int) int {
-	if n > 0 {
-		return n
-	}
-	return runtime.GOMAXPROCS(0)
-}
+// else means "one worker per available CPU". It delegates to internal/par,
+// the shared pool primitive under both this package's run-level fan-out
+// and core's intra-run staged parallelism.
+func DefaultWorkers(n int) int { return par.DefaultWorkers(n) }
 
 // Map evaluates fn(0..n-1) on up to `workers` goroutines and returns the
-// results in input order. workers <= 1 runs inline (no goroutines), in
-// index order — useful both as the serial reference and for call sites
-// that must preserve early side effects.
+// results in input order (par.Map). workers <= 1 runs inline (no
+// goroutines), in index order — useful both as the serial reference and
+// for call sites that must preserve early side effects.
 func Map[T any](workers, n int, fn func(i int) T) []T {
-	if n <= 0 {
-		return nil
-	}
-	out := make([]T, n)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			out[i] = fn(i)
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				out[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return out
+	return par.Map(workers, n, fn)
 }
 
 // Result pairs one expanded scenario run with its outcome.

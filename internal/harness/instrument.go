@@ -109,6 +109,11 @@ func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
 		return perfrec.Run{}, err
 	}
 	rec := perfrec.Run{
+		// The resolved pool bound, so a trajectory diff can never mistake
+		// "we turned on 8 workers" for "the serial path got 8x faster"
+		// (perfrec.Compare gates real-clock metrics only across matching
+		// worker counts).
+		Workers:          cfg.Defaulted().Workers,
 		WallNS:           int64(wall),
 		SimNS:            int64(rep.Elapsed),
 		Rounds:           rep.RoundsRun,

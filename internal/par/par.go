@@ -1,0 +1,77 @@
+// Package par is the repo's one worker-pool primitive: deterministic
+// fan-out of index-addressed work across a bounded goroutine pool. It is a
+// leaf package (stdlib only) so every layer — tensor's sharded folds,
+// core's staged round loop, cell's parallel per-cell stepping, harness
+// sweeps — can share the same pool shape without import cycles.
+//
+// Determinism contract: Map and Do assign work by index and write results
+// by index, so the *values* produced are independent of the worker count
+// and of goroutine scheduling; only side effects that escape the per-index
+// closure can observe the interleaving. Callers that need byte-identical
+// output for any worker count must keep such side effects out of fn (or
+// run with workers <= 1, which executes inline in index order and spawns
+// no goroutines at all — the serial reference path).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers resolves a worker count: n > 0 is taken as-is, anything
+// else means "one worker per available CPU".
+func DefaultWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Do evaluates fn(0..n-1) on up to `workers` goroutines. workers <= 1 runs
+// inline in index order (no goroutines) — the serial reference path.
+// Indices are handed out through a shared atomic counter, so the pool
+// load-balances uneven work without any fixed striping.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map evaluates fn(0..n-1) on up to `workers` goroutines and returns the
+// results in input order. workers <= 1 runs inline (no goroutines), in
+// index order — useful both as the serial reference and for call sites
+// that must preserve early side effects.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	Do(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

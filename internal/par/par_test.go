@@ -1,0 +1,60 @@
+package par
+
+import (
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDefaultWorkers(t *testing.T) {
+	if got := DefaultWorkers(4); got != 4 {
+		t.Fatalf("DefaultWorkers(4) = %d", got)
+	}
+	if got := DefaultWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := DefaultWorkers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DefaultWorkers(-3) = %d", got)
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	want := Map(1, 100, func(i int) int { return i * i })
+	for _, w := range []int{2, 3, 8, 200} {
+		got := Map(w, 100, func(i int) int { return i * i })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: Map results differ from serial", w)
+		}
+	}
+}
+
+func TestDoCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 7} {
+		counts := make([]int32, 1000)
+		Do(w, len(counts), func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", w, i, c)
+			}
+		}
+	}
+}
+
+func TestDoSerialRunsInline(t *testing.T) {
+	// workers <= 1 must execute in strict index order on the caller's
+	// goroutine — call sites rely on this for early side effects.
+	var seen []int
+	Do(1, 5, func(i int) { seen = append(seen, i) })
+	if !reflect.DeepEqual(seen, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("serial Do order = %v", seen)
+	}
+}
+
+func TestEmptyAndZero(t *testing.T) {
+	if out := Map(4, 0, func(i int) int { return i }); out != nil {
+		t.Fatalf("Map over 0 items = %v, want nil", out)
+	}
+	Do(4, 0, func(i int) { t.Fatalf("fn called for n=0") })
+	Do(0, 3, func(i int) {}) // workers <= 1 path must not hang
+}

@@ -12,5 +12,7 @@
 // (harness, cmd, tests, future tooling) can depend on it.
 //
 // Layer (DESIGN.md): stdlib-only leaf of the perf-trajectory subsystem
-// (cmd/liflbench → internal/harness → this schema).
+// (cmd/liflbench → internal/harness → this schema). Records carry the
+// run's worker count; Compare flags a baseline/current worker mismatch
+// instead of gating wall clock across incomparable pool sizes.
 package perfrec

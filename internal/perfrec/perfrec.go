@@ -41,6 +41,13 @@ type Run struct {
 	// "long" runs gate the nightly).
 	Class   string `json:"class,omitempty"`
 	Repeats int    `json:"repeats,omitempty"`
+	// Workers is the intra-run worker pool the run executed with
+	// (core.RunConfig.Workers; 0 is legacy shorthand for 1 — records
+	// predate the knob). Deterministic metrics are worker-invariant, but
+	// wall-clock ones are not: Compare refuses to gate real-clock metrics
+	// across a worker-count mismatch instead of silently passing a
+	// parallel run off as a serial speedup.
+	Workers int `json:"workers,omitempty"`
 
 	WallNS        int64  `json:"wall_ns"`
 	SimNS         int64  `json:"sim_ns"`
@@ -274,6 +281,19 @@ func compareRun(base, cur Run, opt Options) []Verdict {
 			Regressed: !cur.Reached,
 		})
 	}
+	// Worker-count mismatch: wall-clock comparisons are meaningless across
+	// different intra-run pools (8 workers "beating" the serial baseline is
+	// not a perf win). Emit an explicit mismatch verdict — the trajectory
+	// needs a fresh baseline, not a silent pass — and gate only the
+	// deterministic, worker-invariant metrics above.
+	if workersOf(base) != workersOf(cur) {
+		out = append(out, Verdict{
+			Key: base.Key(), Metric: "workers",
+			Baseline: float64(workersOf(base)), Current: float64(workersOf(cur)),
+			Limit: 1, Regressed: true,
+		})
+		return out
+	}
 	// Real-clock metrics: loose gate, and a noise floor on wall time.
 	if opt.MinWallNS < 0 || base.WallNS >= opt.MinWallNS {
 		add("wall_ns", float64(base.WallNS), float64(cur.WallNS), loose)
@@ -296,6 +316,15 @@ func compareRun(base, cur Run, opt Options) []Verdict {
 		out = append(out, v)
 	}
 	return out
+}
+
+// workersOf normalizes the legacy zero (records written before the Workers
+// field existed, which all ran serially) to 1.
+func workersOf(r Run) int {
+	if r.Workers < 1 {
+		return 1
+	}
+	return r.Workers
 }
 
 func b2f(b bool) float64 {

@@ -104,6 +104,50 @@ func TestCompareFlagsSlowdown(t *testing.T) {
 	}
 }
 
+// TestCompareWorkerMismatch: changing the intra-run worker pool must not
+// let a parallel run gate wall-clock metrics against a serial baseline (or
+// vice versa) — the comparison emits an explicit "workers" mismatch
+// verdict, keeps the deterministic gates, and skips the real-clock family.
+func TestCompareWorkerMismatch(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	for i := range cur.Runs {
+		if cur.Runs[i].Scenario == "fig9-r18" {
+			cur.Runs[i].Workers = 8          // baseline's zero means serial
+			cur.Runs[i].WallNS /= 4          // the "speedup" that must not gate
+			cur.Runs[i].Mallocs *= 2         // deterministic gates still fire
+			cur.Runs[i].PeakHeapBytes *= 100 // real-clock family is skipped
+		}
+	}
+	regs := Regressions(Compare(base, cur, Options{Tolerance: 0.15}))
+	metrics := map[string]bool{}
+	for _, v := range regs {
+		if !strings.HasPrefix(v.Key, "fig9-r18") {
+			t.Fatalf("unexpected regression on %s: %+v", v.Key, v)
+		}
+		metrics[v.Metric] = true
+	}
+	if !metrics["workers"] {
+		t.Fatalf("worker-count mismatch not flagged: %v", regs)
+	}
+	if !metrics["mallocs"] {
+		t.Fatalf("deterministic gates must survive a worker mismatch: %v", regs)
+	}
+	if metrics["wall_ns"] || metrics["peak_heap_bytes"] {
+		t.Fatalf("real-clock metrics gated across a worker mismatch: %v", regs)
+	}
+	// Matching pools (after the legacy-zero normalization) compare as before.
+	base2 := sampleSuite()
+	cur2 := sampleSuite()
+	for i := range base2.Runs {
+		base2.Runs[i].Workers = 8
+		cur2.Runs[i].Workers = 8
+	}
+	if regs := Regressions(Compare(base2, cur2, Options{Tolerance: 0.15})); len(regs) != 0 {
+		t.Fatalf("identical suites at matching worker counts regressed: %v", regs)
+	}
+}
+
 // TestCompareNoiseFloor: wall jitter on a sub-floor run must not gate,
 // while its deterministic metrics still do.
 func TestCompareNoiseFloor(t *testing.T) {

@@ -105,6 +105,27 @@ func init() {
 		Streaming:      true,
 		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
 	})
+	// Ten-million scale: the staged round loop's headline entry. Chunked
+	// value-backed population storage plus the parallel synthesis and
+	// materialization stages keep a 10M-client run in whole-seconds
+	// territory; Workers pins the pool the stages may use (the Report is
+	// byte-identical for any value, so the pin is wall-clock only).
+	mustRegister(Scenario{
+		Name:           "10m-clients",
+		Description:    "scale: 10M-client population, staged round loop, 8 workers",
+		Model:          model.ResNet18,
+		Clients:        10_000_000,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      100,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Workers:        8,
+		Streaming:      true,
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 2, Milestones: []float64{0.50, 0.70}},
+	})
 	// Failure model: the §3 resilience path under a lossy mobile fleet —
 	// heartbeat-detected failures covered by over-provisioned standbys.
 	mustRegister(Scenario{
@@ -217,6 +238,28 @@ func init() {
 		Nodes:          5,
 		MC:             60,
 		Seed:           1,
+		Cells:          8,
+		CellRegions:    []float64{0.30, 0.20, 0.15, 0.10, 0.10, 0.05, 0.05, 0.05},
+		Streaming:      true,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Ten-million-client fabric: the same skewed-region mix at 10M clients,
+	// with the K per-cell rounds stepped concurrently (the cross-cell tier
+	// is the round's only barrier) and cell construction fanned across the
+	// worker pool. Nightly-only: population synthesis dominates startup.
+	mustRegister(Scenario{
+		Name:           "geo-10m",
+		Description:    "scale: 10M clients routed across 8 skewed-region cells, parallel per-cell rounds",
+		Model:          model.ResNet18,
+		Clients:        10_000_000,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      100,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Workers:        8,
 		Cells:          8,
 		CellRegions:    []float64{0.30, 0.20, 0.15, 0.10, 0.10, 0.05, 0.05, 0.05},
 		Streaming:      true,

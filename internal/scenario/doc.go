@@ -18,5 +18,7 @@
 //
 // Layer (DESIGN.md): the declarative workload layer between
 // internal/harness and internal/core — named registry entries expand into
-// independent RunConfigs.
+// independent RunConfigs. Workers pins a run's intra-run pool (safe: the
+// Report is worker-count-invariant); WorkerCounts sweeps it as an axis
+// (labelled w=N) for speedup curves.
 package scenario

@@ -62,7 +62,8 @@ type FlagVariant struct {
 // active, target 0.70, 5 nodes, ...). Slice fields are sweep axes: a nil
 // axis contributes a single default point, a populated one multiplies the
 // expansion. Axis order in the cross product is Systems × Variants ×
-// Loads × MCs × CellCounts × CellQuorums × Seeds, outermost first.
+// Loads × MCs × CellCounts × CellQuorums × WorkerCounts × Seeds,
+// outermost first.
 type Scenario struct {
 	Name        string
 	Description string
@@ -116,6 +117,13 @@ type Scenario struct {
 	CellOutageRound int
 	CellOutageCell  int
 
+	// Workers bounds the goroutine pool each run's staged round loop may
+	// use (core.RunConfig.Workers); 0 or 1 = serial. Reports are
+	// byte-identical for any value — the knob trades wall clock only —
+	// so it is safe to pin in registry entries and override at run time
+	// (liflsim -workers).
+	Workers int
+
 	// Streaming switches the run to the large-scale path: the
 	// O(ActivePerRound) streaming client selector plus a lean report that
 	// does not accumulate per-round slices (pair with core.RunConfig.OnRound
@@ -129,13 +137,14 @@ type Scenario struct {
 	Bench BenchMeta
 
 	// Sweep axes.
-	Systems     []core.SystemKind
-	Variants    []FlagVariant // LIFL orchestration-flag ablation
-	Loads       []int         // injected single-round batch sizes (Fig. 8 mode)
-	MCs         []float64     // per-node service-capacity sweep (Appendix E)
-	CellCounts  []int         // cell-count sweep (overrides Cells when non-empty)
-	CellQuorums []int         // straggler-policy sweep (overrides CellQuorum)
-	Seeds       []int64       // overrides Seed when non-empty
+	Systems      []core.SystemKind
+	Variants     []FlagVariant // LIFL orchestration-flag ablation
+	Loads        []int         // injected single-round batch sizes (Fig. 8 mode)
+	MCs          []float64     // per-node service-capacity sweep (Appendix E)
+	CellCounts   []int         // cell-count sweep (overrides Cells when non-empty)
+	CellQuorums  []int         // straggler-policy sweep (overrides CellQuorum)
+	WorkerCounts []int         // worker-pool sweep (overrides Workers when non-empty)
+	Seeds        []int64       // overrides Seed when non-empty
 }
 
 // Run is one expanded point of a scenario: a concrete RunConfig plus the
@@ -177,6 +186,10 @@ func (s Scenario) Expand() []Run {
 	if len(quorums) == 0 {
 		quorums = []int{s.CellQuorum}
 	}
+	workerCounts := s.WorkerCounts
+	if len(workerCounts) == 0 {
+		workerCounts = []int{s.Workers}
+	}
 	seeds := s.Seeds
 	if len(seeds) == 0 {
 		seeds = []int64{s.Seed}
@@ -188,67 +201,70 @@ func (s Scenario) Expand() []Run {
 				for _, mc := range mcs {
 					for _, nc := range cells {
 						for _, q := range quorums {
-							for _, seed := range seeds {
-								cfg := core.RunConfig{
-									System:         sys,
-									Model:          s.Model,
-									Clients:        s.Clients,
-									ActivePerRound: s.ActivePerRound,
-									Class:          s.Class,
-									TargetAccuracy: s.TargetAccuracy,
-									MaxRounds:      s.MaxRounds,
-									Nodes:          s.Nodes,
-									MC:             mc,
-									Seed:           seed,
-									FailureRate:    s.FailureRate,
-									Milestones:     s.Bench.Milestones,
-								}
-								if sys == core.SystemAsync {
-									cfg.Async = &core.AsyncSpec{
-										BufferK:           s.AsyncBufferK,
-										StalenessHalfLife: s.AsyncHalfLife,
-										MaxStaleness:      s.AsyncMaxStaleness,
-										MixRate:           s.AsyncMixRate,
+							for _, w := range workerCounts {
+								for _, seed := range seeds {
+									cfg := core.RunConfig{
+										System:         sys,
+										Model:          s.Model,
+										Clients:        s.Clients,
+										ActivePerRound: s.ActivePerRound,
+										Class:          s.Class,
+										TargetAccuracy: s.TargetAccuracy,
+										MaxRounds:      s.MaxRounds,
+										Nodes:          s.Nodes,
+										MC:             mc,
+										Seed:           seed,
+										Workers:        w,
+										FailureRate:    s.FailureRate,
+										Milestones:     s.Bench.Milestones,
 									}
-								}
-								if nc > 0 {
-									spec := core.CellSpec{
-										Count:       nc,
-										Quorum:      q,
-										OutageRound: s.CellOutageRound,
-										OutageCell:  s.CellOutageCell,
+									if sys == core.SystemAsync {
+										cfg.Async = &core.AsyncSpec{
+											BufferK:           s.AsyncBufferK,
+											StalenessHalfLife: s.AsyncHalfLife,
+											MaxStaleness:      s.AsyncMaxStaleness,
+											MixRate:           s.AsyncMixRate,
+										}
 									}
-									// A swept CellCounts axis uses the region
-									// weights only where they fit (other counts
-									// route uniformly); with a scalar Cells a
-									// mismatch is an authoring error, passed
-									// through so CellSpec.Validate fails loudly.
-									if len(s.CellRegions) == nc || (len(s.CellCounts) == 0 && len(s.CellRegions) > 0) {
-										spec.Regions = append([]float64(nil), s.CellRegions...)
+									if nc > 0 {
+										spec := core.CellSpec{
+											Count:       nc,
+											Quorum:      q,
+											OutageRound: s.CellOutageRound,
+											OutageCell:  s.CellOutageCell,
+										}
+										// A swept CellCounts axis uses the region
+										// weights only where they fit (other counts
+										// route uniformly); with a scalar Cells a
+										// mismatch is an authoring error, passed
+										// through so CellSpec.Validate fails loudly.
+										if len(s.CellRegions) == nc || (len(s.CellCounts) == 0 && len(s.CellRegions) > 0) {
+											spec.Regions = append([]float64(nil), s.CellRegions...)
+										}
+										cfg.Cells = &spec
 									}
-									cfg.Cells = &spec
+									if len(s.Variants) > 0 {
+										flags := v.Flags
+										cfg.Flags = &flags
+									}
+									if load > 0 {
+										cfg.Inject = &core.InjectSpec{Updates: load}
+									}
+									if s.ServerMomentum > 0 {
+										cfg.ServerOpt = &fedavg.FedAvgM{Beta: s.ServerMomentum}
+									}
+									if s.Streaming {
+										cfg.Selector = core.SelectStream
+										cfg.StreamOnly = true
+									}
+									runs = append(runs, Run{
+										Scenario: s.Name,
+										Label:    s.label(sys, v.Label, load, mc, nc, q, w, seed),
+										Variant:  v.Label,
+										Load:     load,
+										Cfg:      cfg,
+									})
 								}
-								if len(s.Variants) > 0 {
-									flags := v.Flags
-									cfg.Flags = &flags
-								}
-								if load > 0 {
-									cfg.Inject = &core.InjectSpec{Updates: load}
-								}
-								if s.ServerMomentum > 0 {
-									cfg.ServerOpt = &fedavg.FedAvgM{Beta: s.ServerMomentum}
-								}
-								if s.Streaming {
-									cfg.Selector = core.SelectStream
-									cfg.StreamOnly = true
-								}
-								runs = append(runs, Run{
-									Scenario: s.Name,
-									Label:    s.label(sys, v.Label, load, mc, nc, q, seed),
-									Variant:  v.Label,
-									Load:     load,
-									Cfg:      cfg,
-								})
 							}
 						}
 					}
@@ -261,7 +277,7 @@ func (s Scenario) Expand() []Run {
 
 // label renders the axis coordinates of one run, including only the axes
 // the scenario actually sweeps.
-func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float64, cells, quorum int, seed int64) string {
+func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float64, cells, quorum, workers int, seed int64) string {
 	var parts []string
 	if len(s.Systems) > 0 {
 		parts = append(parts, string(sys))
@@ -280,6 +296,9 @@ func (s Scenario) label(sys core.SystemKind, variant string, load int, mc float6
 	}
 	if len(s.CellQuorums) > 0 {
 		parts = append(parts, fmt.Sprintf("q=%d", quorum))
+	}
+	if len(s.WorkerCounts) > 0 {
+		parts = append(parts, fmt.Sprintf("w=%d", workers))
 	}
 	if len(s.Seeds) > 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", seed))
@@ -304,6 +323,7 @@ func (s Scenario) clone() Scenario {
 	s.MCs = append([]float64(nil), s.MCs...)
 	s.CellCounts = append([]int(nil), s.CellCounts...)
 	s.CellQuorums = append([]int(nil), s.CellQuorums...)
+	s.WorkerCounts = append([]int(nil), s.WorkerCounts...)
 	s.CellRegions = append([]float64(nil), s.CellRegions...)
 	s.Seeds = append([]int64(nil), s.Seeds...)
 	s.Bench.Milestones = append([]float64(nil), s.Bench.Milestones...)

@@ -215,7 +215,7 @@ func NewAsync(eng *sim.Engine, cfg Config) *Async {
 // critical path of the first K updates, exactly like a reactive leaf).
 func (s *Async) startBuffer() {
 	n := s.Cluster.Nodes[s.cfg.TopNode]
-	agg := aggcore.New(asyncBufferID, aggcore.RoleTop, n, fedavg.FedAvg{},
+	agg := aggcore.New(asyncBufferID, aggcore.RoleTop, n, fedavg.FedAvg{Workers: s.cfg.Workers},
 		s.cfg.Model.PhysLen(), s.cfg.Model.Params)
 	agg.Mode = aggcore.Eager // the eager pipeline is what makes the buffer fold on arrival
 	agg.Tracer = s.cfg.Tracer

@@ -108,7 +108,7 @@ func NewLIFL(eng *sim.Engine, cfg Config) *LIFL {
 		Cluster: cl,
 		Metrics: metrics.NewServer(eng),
 		global:  newGlobal(cfg.Model),
-		algo:    fedavg.FedAvg{},
+		algo:    fedavg.FedAvg{Workers: cfg.Workers},
 		Ckpt:    checkpoint.NewStore(eng, 1e9), // 1 GB/s uplink to storage
 	}
 	for _, n := range cl.Nodes {

@@ -87,7 +87,7 @@ func NewSF(eng *sim.Engine, cfg Config) *SF {
 		RNG:     rng,
 		Cluster: cl,
 		global:  newGlobal(cfg.Model),
-		algo:    fedavg.FedAvg{},
+		algo:    fedavg.FedAvg{Workers: cfg.Workers},
 		middles: make(map[int]*aggcore.Aggregator),
 	}
 	phys, virt := cfg.Model.PhysLen(), cfg.Model.Params

@@ -94,7 +94,7 @@ func NewSL(eng *sim.Engine, cfg Config) *SL {
 		RNG:        rng,
 		Cluster:    cl,
 		global:     newGlobal(cfg.Model),
-		algo:       fedavg.FedAvg{},
+		algo:       fedavg.FedAvg{Workers: cfg.Workers},
 		sidecars:   make(map[string]*sidecar.Container),
 		aggSidecar: make(map[string]*sidecar.Container),
 	}

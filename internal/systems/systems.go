@@ -56,6 +56,10 @@ type Config struct {
 	// Async parameterizes the buffered-async system (the fifth assembly;
 	// see async.go). The synchronous systems ignore it.
 	Async AsyncParams
+	// Workers bounds the goroutine pool the aggregation fold may use
+	// (fedavg.FedAvg's sharded accumulator; <= 1 = serial). Folds are
+	// bit-identical for any value — see tensor/parallel.go.
+	Workers int
 	// ServerOpt turns each round's aggregate into the next global model
 	// (default fedavg.Adopt, i.e. plain FedAvg; fedavg.FedAvgM adds server
 	// momentum on the ScaleAdd-fused path). All systems share the same

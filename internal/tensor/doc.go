@@ -9,5 +9,9 @@
 // length. Every data-plane cost in the simulator uses VirtualBytes.
 //
 // Layer (DESIGN.md): leaf — dense parameter vectors + aggregation
-// arithmetic; see the tensor hot-path invariants in DESIGN.md.
+// arithmetic; see the tensor hot-path invariants in DESIGN.md. The
+// sharded fold in parallel.go parallelizes Accumulator folds over a
+// fixed-shape reduction tree: shard boundaries are a pure function of the
+// vector length, so float64 accumulation order per element — and hence
+// the float32 result — is bit-identical for any worker count.
 package tensor

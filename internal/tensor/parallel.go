@@ -1,0 +1,114 @@
+package tensor
+
+// The fixed-shape reduction tree: element-range sharding for the float64
+// aggregation fold. The parameter vector is cut into fixed-size shards
+// whose boundaries are a pure function of the vector length — never of the
+// worker count — and every shard folds its element range in ascending
+// index order. Because the fold is element-wise (sum[i] only ever combines
+// with x[i]), each element's float64 accumulation sequence is exactly the
+// serial left fold's, so the result is bit-identical for ANY worker count,
+// including 1. Workers only change which goroutine sweeps which shard.
+//
+// This is what makes the Workers knob safe under the repo's golden rule
+// (fixed seed ⇒ byte-identical Report): parallelism re-orders work in
+// time, never re-associates floating-point arithmetic.
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+func errShape(a, b int) error {
+	return fmt.Errorf("%w: %d vs %d", ErrShape, a, b)
+}
+
+const (
+	// MinParallelElems is the vector length below which sharded entry
+	// points fall back to the serial sweep: the default down-scaled models
+	// (model.PhysScale trims ResNet-18 to 2,816 physical elements) would
+	// pay goroutine handoff for microseconds of arithmetic. Full-fidelity
+	// vectors (millions of elements) clear it easily.
+	MinParallelElems = 1 << 15
+
+	// foldShardElems is the fixed shard size. Boundaries are multiples of
+	// this regardless of worker count — the "fixed shape" of the tree.
+	foldShardElems = 1 << 14
+)
+
+// forShards sweeps [0, n) as fixed-boundary shards on up to `workers`
+// goroutines. fn must touch only its [lo, hi) element range.
+func forShards(workers, n int, fn func(lo, hi int)) {
+	if workers <= 1 || n < MinParallelElems {
+		fn(0, n)
+		return
+	}
+	shards := (n + foldShardElems - 1) / foldShardElems
+	par.Do(workers, shards, func(s int) {
+		lo := s * foldShardElems
+		hi := lo + foldShardElems
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// SetWorkers bounds the goroutine pool the accumulator's folds may use
+// (<= 1, the default, keeps every sweep serial). The result of Add and
+// MeanInto is bit-identical for any setting — see the package notes on the
+// fixed-shape reduction tree. Not safe to change while a fold is running.
+func (a *Accumulator) SetWorkers(w int) { a.workers = w }
+
+// addSharded is Add's arithmetic on the fixed-shape reduction tree. The
+// serial case loops directly (no closure) so the steady-state eager fold
+// stays zero-allocation (TestAccumulatorAddAllocs).
+func (a *Accumulator) addSharded(x *Tensor, w float64) {
+	sum := a.sum
+	if a.workers <= 1 || len(sum) < MinParallelElems {
+		for i, v := range x.Data {
+			sum[i] += w * float64(v)
+		}
+		return
+	}
+	forShards(a.workers, len(sum), func(lo, hi int) {
+		for i, v := range x.Data[lo:hi] {
+			sum[lo+i] += w * float64(v)
+		}
+	})
+}
+
+// meanSharded is MeanInto's divide-and-narrow on the same shard shape.
+func (a *Accumulator) meanSharded(dst *Tensor) {
+	total := a.total
+	if a.workers <= 1 || len(a.sum) < MinParallelElems {
+		for i, v := range a.sum {
+			dst.Data[i] = float32(v / total)
+		}
+		return
+	}
+	forShards(a.workers, len(a.sum), func(lo, hi int) {
+		for i, v := range a.sum[lo:hi] {
+			dst.Data[lo+i] = float32(v / total)
+		}
+	})
+}
+
+// ScaleAddP is ScaleAdd on the fixed-shape shard sweep: t = a*t + b*o
+// computed on up to `workers` goroutines, bit-identical to ScaleAdd for
+// any worker count (element-wise arithmetic, fixed shard boundaries).
+// Short vectors fall back to the serial sweep.
+func (t *Tensor) ScaleAddP(a, b float32, o *Tensor, workers int) error {
+	if workers <= 1 || len(t.Data) < MinParallelElems {
+		return t.ScaleAdd(a, b, o)
+	}
+	if len(t.Data) != len(o.Data) {
+		return errShape(len(t.Data), len(o.Data))
+	}
+	forShards(workers, len(t.Data), func(lo, hi int) {
+		for i, v := range o.Data[lo:hi] {
+			t.Data[lo+i] = a*t.Data[lo+i] + b*v
+		}
+	})
+	return nil
+}

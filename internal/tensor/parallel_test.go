@@ -1,0 +1,137 @@
+package tensor
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// mkTensor fills a deterministic, irregular pattern long enough to clear
+// MinParallelElems with a non-multiple-of-shard tail.
+func mkTensor(n int, salt float64) *Tensor {
+	t := New(n)
+	for i := range t.Data {
+		t.Data[i] = float32(math.Sin(float64(i)*0.37+salt) * 3.25)
+	}
+	return t
+}
+
+// TestShardedFoldBitIdentical pins the fixed-shape reduction-tree
+// invariant: the accumulator's fold is byte-for-byte identical for any
+// worker count, because shard boundaries depend only on the vector length
+// and the fold is element-wise.
+func TestShardedFoldBitIdentical(t *testing.T) {
+	const n = MinParallelElems + 1234 // force the sharded path with a ragged tail
+	const updates = 9
+	ref := NewAccumulator(n)
+	for k := 0; k < updates; k++ {
+		if err := ref.Add(mkTensor(n, float64(k)), float64(k+1)*1.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	refOut := New(n)
+	if err := ref.MeanInto(refOut); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 3, 8, 64} {
+		acc := NewAccumulator(n)
+		acc.SetWorkers(w)
+		for k := 0; k < updates; k++ {
+			if err := acc.Add(mkTensor(n, float64(k)), float64(k+1)*1.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := New(n)
+		if err := acc.MeanInto(out); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out.Data {
+			if out.Data[i] != refOut.Data[i] {
+				t.Fatalf("workers=%d: element %d differs: %x vs %x",
+					w, i, math.Float32bits(out.Data[i]), math.Float32bits(refOut.Data[i]))
+			}
+		}
+	}
+}
+
+// TestShardedFoldShortVectorFallsBackSerial checks the threshold: the
+// default down-scaled model vectors (thousands of elements) must never pay
+// goroutine handoff, and the result is of course still identical.
+func TestShardedFoldShortVectorFallsBackSerial(t *testing.T) {
+	const n = 2816 // ResNet-18 at the default model.PhysScale
+	ref := NewAccumulator(n)
+	par := NewAccumulator(n)
+	par.SetWorkers(16)
+	x := mkTensor(n, 0.5)
+	if err := ref.Add(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.Add(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	a, b := New(n), New(n)
+	if err := ref.MeanInto(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := par.MeanInto(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("element %d differs on the short-vector path", i)
+		}
+	}
+}
+
+func TestScaleAddPMatchesScaleAdd(t *testing.T) {
+	const n = MinParallelElems + 777
+	o := mkTensor(n, 1.25)
+	ref := mkTensor(n, 9.5)
+	if err := ref.ScaleAdd(0.75, 1.5, o); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{1, 3, 8} {
+		got := mkTensor(n, 9.5)
+		if err := got.ScaleAddP(0.75, 1.5, o, w); err != nil {
+			t.Fatal(err)
+		}
+		for i := range got.Data {
+			if got.Data[i] != ref.Data[i] {
+				t.Fatalf("workers=%d: element %d differs", w, i)
+			}
+		}
+	}
+	short := New(3)
+	if err := short.ScaleAddP(1, 1, New(4), 2); err == nil {
+		t.Fatal("shape mismatch not rejected")
+	}
+}
+
+// TestParallelFoldRace is the -race stress test of the sharded fold: many
+// concurrent *independent* accumulators each folding with a worker pool,
+// which exercises the shard handout under contention. (A single
+// Accumulator is not safe for concurrent Add calls — the pool lives
+// *inside* one fold — so the race surface is the shard sweep itself.)
+func TestParallelFoldRace(t *testing.T) {
+	const n = MinParallelElems + 100
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(salt float64) {
+			defer wg.Done()
+			acc := NewAccumulator(n)
+			acc.SetWorkers(8)
+			for k := 0; k < 5; k++ {
+				if err := acc.Add(mkTensor(n, salt+float64(k)), 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			out := New(n)
+			if err := acc.MeanInto(out); err != nil {
+				t.Error(err)
+			}
+		}(float64(g))
+	}
+	wg.Wait()
+}

@@ -257,6 +257,9 @@ type Accumulator struct {
 	sum   []float64
 	total float64
 	count int
+	// workers bounds the shard-sweep pool for Add/MeanInto (<= 1 = serial).
+	// Folds are bit-identical for any value — see parallel.go.
+	workers int
 }
 
 // NewAccumulator returns an empty accumulator for physical length n.
@@ -282,10 +285,7 @@ func (a *Accumulator) Add(x *Tensor, w float64) error {
 	if w <= 0 {
 		return fmt.Errorf("tensor: non-positive weight %v", w)
 	}
-	sum := a.sum
-	for i, v := range x.Data {
-		sum[i] += w * float64(v)
-	}
+	a.addSharded(x, w)
 	a.total += w
 	a.count++
 	return nil
@@ -300,9 +300,7 @@ func (a *Accumulator) MeanInto(dst *Tensor) error {
 	if dst.Len() != len(a.sum) {
 		return fmt.Errorf("%w: dst len %d, accumulator len %d", ErrShape, dst.Len(), len(a.sum))
 	}
-	for i, v := range a.sum {
-		dst.Data[i] = float32(v / a.total)
-	}
+	a.meanSharded(dst)
 	return nil
 }
 
