@@ -14,7 +14,8 @@
 //	liflsim overhead           # orchestration overhead (§6.1)
 //	liflsim scenarios          # list the workload registry
 //	liflsim scenario <name>    # sweep one registry scenario
-//	liflsim all                # everything above
+//	liflsim replay <run.traj>  # summarize a stored trajectory file
+//	liflsim all                # everything above (except replay)
 //
 // -parallel N fans each verb's independent runs across N workers (N >= 1;
 // pass the CPU count explicitly for a full fan-out). Every run owns its
@@ -27,8 +28,18 @@
 // byte-identical for any value. When not passed, registry scenarios keep
 // their own pinned worker counts (e.g. 10m-clients pins 8).
 //
+// -traj DIR makes every scenario sweep also stream per-round observations
+// into DIR, one bounded-memory .traj file per run (internal/trajstore).
+// Replay them afterwards:
+//
+//	liflsim replay DIR/traj-100k.traj             # run summary
+//	liflsim replay -milestones DIR/traj-100k.traj # + milestone crossings
+//	liflsim replay -at 250 DIR/traj-100k.traj     # + round 250's record
+//
 // Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
-// (missing verb, -parallel < 1, -workers < 1, unknown scenario name).
+// (missing verb, -parallel < 1, -workers < 1, unknown scenario name,
+// and replay given an unreadable/corrupt file or -at outside the stored
+// round range).
 package main
 
 import (
@@ -47,6 +58,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	parallel := flag.Int("parallel", 1, "workers for independent runs (>= 1)")
 	workers := flag.Int("workers", 1, "goroutines per run's staged round loop (>= 1)")
+	traj := flag.String("traj", "", "directory to stream per-run trajectory files into (scenario verbs)")
+	at := flag.Int("at", 0, "with replay: print the stored record for this round")
+	milestones := flag.Bool("milestones", false, "with replay: list reconstructed milestone crossings")
 	flag.Usage = usage
 	flag.Parse()
 	// Go's flag parsing stops at the first verb; keep consuming so
@@ -87,8 +101,12 @@ func main() {
 			scenarioSeed = *seed
 		case "workers":
 			experiments.Workers = *workers
+		case "at":
+			replayAt, replayAtSet = *at, true
 		}
 	})
+	experiments.TrajDir = *traj
+	replayMilestones = *milestones
 	// Resolve the whole verb sequence before executing any of it: an
 	// unknown verb or scenario name is a usage error (exit 2) caught up
 	// front, not a mid-sequence failure after earlier verbs already ran.
@@ -100,7 +118,7 @@ func main() {
 	for i := 0; i < len(verbs); i++ {
 		what := verbs[i]
 		runSeed := *seed
-		if _, ok := handlers[what]; !ok && what != "scenario" {
+		if _, ok := handlers[what]; !ok && what != "scenario" && what != "replay" {
 			fmt.Fprintf(os.Stderr, "liflsim: unknown experiment %q\n", what)
 			usage()
 			os.Exit(2)
@@ -121,6 +139,23 @@ func main() {
 			what = "scenario:" + verbs[i]
 			runSeed = scenarioSeed
 		}
+		if what == "replay" {
+			if i+1 >= len(verbs) {
+				fmt.Fprintln(os.Stderr, "liflsim: replay requires a trajectory file (write one with -traj)")
+				usage()
+				os.Exit(2)
+			}
+			i++
+			// Validate the file (and -at range) up front like scenario
+			// names: a corrupt or missing trajectory is a usage error, not
+			// a mid-sequence runtime failure.
+			if err := validateReplay(verbs[i]); err != nil {
+				fmt.Fprintf(os.Stderr, "liflsim: %v\n", err)
+				usage()
+				os.Exit(2)
+			}
+			what = "replay:" + verbs[i]
+		}
 		steps = append(steps, step{what, runSeed})
 	}
 	for _, s := range steps {
@@ -132,13 +167,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] [-traj dir] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "       liflsim replay [-at n] [-milestones] <run.traj>")
 }
 
 // handlers is the single verb table: run dispatches through it and main
 // validates the whole verb sequence against it before any verb executes,
-// so the two can never drift. The scenario:<name> form is handled
-// separately in run.
+// so the two can never drift. The scenario:<name> and replay:<path>
+// forms are handled separately in run.
 var handlers = map[string]func(w io.Writer, seed int64) error{
 	"fig4": func(w io.Writer, _ int64) error {
 		fmt.Fprint(w, experiments.FormatFig4(experiments.Fig4(), experiments.Fig7c()))
@@ -229,6 +265,9 @@ func run(w io.Writer, what string, seed int64) error {
 		}
 		fmt.Fprint(w, out)
 		return nil
+	}
+	if path, ok := strings.CutPrefix(what, "replay:"); ok {
+		return replayCmd(w, path)
 	}
 	h, ok := handlers[what]
 	if !ok {

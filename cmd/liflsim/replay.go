@@ -1,0 +1,82 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/trajstore"
+)
+
+// Replay flag state, filled in by main from -at / -milestones. replayAt
+// only applies when the flag was passed explicitly (round 0 is a valid
+// round number for injected runs, so the zero value cannot mean unset).
+var (
+	replayAt         int
+	replayAtSet      bool
+	replayMilestones bool
+)
+
+// validateReplay scans path end to end before any verb executes: a
+// missing, truncated, or bit-flipped file — and an -at round outside the
+// stored range — is a usage error (exit 2), mirroring how unknown
+// scenario names are rejected up front.
+func validateReplay(path string) error {
+	s, err := trajstore.Replay(path, nil)
+	if err != nil {
+		return fmt.Errorf("replay %s: %v", path, err)
+	}
+	if replayAtSet && (replayAt < s.First.Round || replayAt > s.Last.Round) {
+		return fmt.Errorf("replay %s: -at %d outside stored rounds [%d, %d]",
+			path, replayAt, s.First.Round, s.Last.Round)
+	}
+	return nil
+}
+
+// replayCmd renders a stored trajectory: the header identity, the scalar
+// outcomes the live run reported (re-derived purely from blocks), and —
+// on request — the milestone crossings and a single round's record.
+func replayCmd(w io.Writer, path string) error {
+	var hit trajstore.Record
+	var s *trajstore.Summary
+	var err error
+	if replayAtSet {
+		hit, s, err = trajstore.ReplayAt(path, replayAt)
+	} else {
+		s, err = trajstore.Replay(path, nil)
+	}
+	if err != nil {
+		return err
+	}
+	m := s.Meta
+	fmt.Fprintf(w, "Trajectory %s\n", path)
+	fmt.Fprintf(w, "  run: system=%s model=%s seed=%d target=%.2f\n", m.System, m.Model, m.Seed, m.Target)
+	fmt.Fprintf(w, "  rounds: %d stored (%d..%d)\n", s.Rounds, s.First.Round, s.Last.Round)
+	fmt.Fprintf(w, "  final: acc=%.4f sim(h)=%.2f cpu(h)=%.2f\n",
+		s.Last.Acc, s.Last.Sim.Hours(), s.Last.CPU.Hours())
+	if s.Reached {
+		fmt.Fprintf(w, "  reached: true tta(h)=%.2f cpu-to-target(h)=%.2f\n",
+			s.TimeToTarget.Hours(), s.CPUToTarget.Hours())
+	} else {
+		fmt.Fprintf(w, "  reached: false\n")
+	}
+	if replayMilestones {
+		fmt.Fprintf(w, "  milestones:\n")
+		crossed := make(map[float64]trajstore.Crossing, len(s.Crossings))
+		for _, c := range s.Crossings {
+			crossed[c.Target] = c
+		}
+		for _, level := range m.Milestones {
+			if c, ok := crossed[level]; ok {
+				fmt.Fprintf(w, "    %.2f at round %d (acc=%.4f sim(h)=%.2f cpu(h)=%.2f)\n",
+					level, c.Round, c.Acc, c.Sim.Hours(), c.CPU.Hours())
+			} else {
+				fmt.Fprintf(w, "    %.2f not crossed\n", level)
+			}
+		}
+	}
+	if replayAtSet {
+		fmt.Fprintf(w, "  round %d: acc=%.6f sim(h)=%.4f cpu(h)=%.4f updates=%d discarded=%d shares=%d\n",
+			hit.Round, hit.Acc, hit.Sim.Hours(), hit.CPU.Hours(), hit.Updates, hit.Discarded, hit.Shares)
+	}
+	return nil
+}

@@ -257,6 +257,7 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 		ccfg.Seed = cfg.Seed + int64(k)*1_000_003
 		ccfg.Milestones = nil // milestone capture is fabric-level
 		ccfg.OnRound = nil
+		ccfg.Trajectory = nil // the fabric's global loop owns the sink
 		if spec.Count > 1 {
 			// Cells adopt their local mean; the configured server optimizer
 			// acts once, at the global tier, where the paper's Eq. (1)
@@ -401,8 +402,16 @@ func (f *fabric) run() (*core.Report, *Detail, error) {
 			rep.Milestones = append(rep.Milestones, core.MilestoneHit{Target: milestones[nextMilestone], At: point})
 			nextMilestone++
 		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(core.RoundObservation{Result: res, Acc: point, Wall: wall})
+		if cfg.OnRound != nil || cfg.Trajectory != nil {
+			obs := core.RoundObservation{Result: res, Acc: point, Wall: wall, Shares: shares}
+			if cfg.OnRound != nil {
+				cfg.OnRound(obs)
+			}
+			if cfg.Trajectory != nil {
+				if err := cfg.Trajectory.Observe(obs); err != nil {
+					return nil, nil, fmt.Errorf("cell: trajectory sink at round %d: %w", r, err)
+				}
+			}
 		}
 		rep.Elapsed = res.End
 		if !rep.Reached && acc >= cfg.TargetAccuracy {

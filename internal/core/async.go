@@ -17,6 +17,7 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"time"
 
@@ -42,6 +43,7 @@ func (p *Platform) runAsync() (*Report, error) {
 	stopped := false // no further dispatches once the outcome is decided
 	nextNode := 0
 	lastBumpWall := time.Now()
+	var sinkErr error // first Trajectory.Observe failure; aborts the run
 
 	// dispatch fills one training slot: draw a live client (the selector
 	// beats heartbeats and skips FailureRate deaths), snapshot the current
@@ -105,11 +107,11 @@ func (p *Platform) runAsync() (*Report, error) {
 			rep.Milestones = append(rep.Milestones, MilestoneHit{Target: milestones[nextMilestone], At: point})
 			nextMilestone++
 		}
-		if cfg.OnRound != nil {
+		if cfg.OnRound != nil || cfg.Trajectory != nil {
 			// ACT keeps its documented meaning (aggregation span ending at
 			// model install, evaluation excluded): for a version it runs
 			// from the first surviving fold to the merge.
-			cfg.OnRound(RoundObservation{
+			obs := RoundObservation{
 				Result: systems.RoundResult{
 					Round:        v.Version,
 					Start:        v.FirstFold,
@@ -119,9 +121,19 @@ func (p *Platform) runAsync() (*Report, error) {
 					Updates:      v.Updates,
 					CPUTime:      v.CPUTime,
 				},
-				Acc:  point,
-				Wall: wall,
-			})
+				Acc:       point,
+				Wall:      wall,
+				Discarded: v.Discarded,
+			}
+			if cfg.OnRound != nil {
+				cfg.OnRound(obs)
+			}
+			if cfg.Trajectory != nil && sinkErr == nil {
+				if err := cfg.Trajectory.Observe(obs); err != nil {
+					sinkErr = fmt.Errorf("core: trajectory sink at version %d: %w", v.Version, err)
+					done, stopped = true, true
+				}
+			}
 		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true
@@ -141,6 +153,9 @@ func (p *Platform) runAsync() (*Report, error) {
 	// in flight, keep-alive expiries) are abandoned exactly like the
 	// synchronous loop abandons post-round bookkeeping.
 	for !done && p.Eng.Step() {
+	}
+	if sinkErr != nil {
+		return nil, sinkErr
 	}
 	if !done {
 		return nil, errors.New("core: async run starved before deciding an outcome")

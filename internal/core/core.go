@@ -200,6 +200,22 @@ type RoundObservation struct {
 	// Wall is the real (not simulated) time this round's simulation took —
 	// the per-round sample the perf-trajectory layer aggregates.
 	Wall time.Duration
+	// Discarded counts async updates this version dropped at the staleness
+	// cutoff (zero for synchronous rounds).
+	Discarded int
+	// Shares is the cross-cell share quota folded into a fabric round
+	// (zero outside multi-cell runs).
+	Shares int
+}
+
+// TrajectorySink receives every RoundObservation of a run, in order, for
+// durable storage (internal/trajstore is the canonical implementation).
+// Unlike OnRound — a best-effort callback — a sink error aborts the run:
+// a trajectory that silently lost rounds is worse than no trajectory.
+// Sinks compose with StreamOnly, which is how a million-round run keeps a
+// lean Report and a complete, replayable history at once.
+type TrajectorySink interface {
+	Observe(RoundObservation) error
 }
 
 // RunConfig parameterizes a full FL training run (the Fig. 9/10 workloads).
@@ -269,6 +285,10 @@ type RunConfig struct {
 	ServerOpt fedavg.ServerOpt
 	// OnRound, when set, observes every completed round as it happens.
 	OnRound func(RoundObservation)
+	// Trajectory, when set, durably stores every completed round's
+	// observation; a sink error aborts the run. The caller owns the sink's
+	// lifecycle (Close after Run returns).
+	Trajectory TrajectorySink
 	// Milestones lists accuracy levels whose first crossings are exported in
 	// Report.Milestones (the machine-readable time-to-accuracy trajectory).
 	// Levels are visited in ascending order; unsorted input is sorted.
@@ -597,8 +617,16 @@ func (p *Platform) Run() (*Report, error) {
 			rep.Milestones = append(rep.Milestones, MilestoneHit{Target: milestones[nextMilestone], At: point})
 			nextMilestone++
 		}
-		if cfg.OnRound != nil {
-			cfg.OnRound(RoundObservation{Result: result, Acc: point, Wall: roundWall})
+		if cfg.OnRound != nil || cfg.Trajectory != nil {
+			obs := RoundObservation{Result: result, Acc: point, Wall: roundWall}
+			if cfg.OnRound != nil {
+				cfg.OnRound(obs)
+			}
+			if cfg.Trajectory != nil {
+				if err := cfg.Trajectory.Observe(obs); err != nil {
+					return nil, fmt.Errorf("core: trajectory sink at round %d: %w", r, err)
+				}
+			}
 		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true

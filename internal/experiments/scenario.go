@@ -25,6 +25,13 @@ var Parallelism = 1
 // an explicit -workers.
 var Workers = 0
 
+// TrajDir, when non-empty, equips every run RunScenario expands with a
+// trajectory sink writing under that directory (one .traj file per run,
+// named by harness.TrajPath). The files are sealed before RunScenario
+// returns, so `liflsim replay` can read them immediately. cmd/liflsim
+// sets it from -traj.
+var TrajDir = ""
+
 // ScenarioNames lists the registered scenarios.
 func ScenarioNames() []string { return scenario.Names() }
 
@@ -58,7 +65,22 @@ func RunScenario(name string, seed int64) (string, error) {
 		sc.Workers = Workers
 	}
 	runs := sc.Expand()
+	var closeTraj func() error
+	if TrajDir != "" {
+		var err error
+		closeTraj, err = harness.AttachTrajectories(runs, TrajDir)
+		if err != nil {
+			return "", err
+		}
+	}
 	results := harness.Sweep(runs, Parallelism)
+	if closeTraj != nil {
+		// Seal before formatting: the remainder block is written at Close,
+		// and the caller may replay the files as soon as we return.
+		if err := closeTraj(); err != nil {
+			return "", err
+		}
+	}
 	return FormatScenario(sc, results), nil
 }
 

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"bytes"
 	"fmt"
+	"os"
 	"runtime"
 	runtimemetrics "runtime/metrics"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/perfrec"
 	"repro/internal/scenario"
+	"repro/internal/trajstore"
 )
 
 // This file is the measurement half of the perf-trajectory subsystem: it
@@ -32,14 +35,26 @@ type MeasureOptions struct {
 	Repeats int
 }
 
-// heapSampler polls the live-heap gauge while a run executes and keeps the
-// maximum — a cheap stand-in for true high-water-mark tracking that is
-// accurate for runs lasting many sampling intervals.
+// heapSampler polls the live-heap gauge while a run executes and keeps
+// the maximum, the final value, and a least-squares fit of the whole
+// trajectory — the RSS-over-time channels. The fit accumulates running
+// sums (no sample slice), so the sampler's own memory is O(1) no matter
+// how long the run lasts.
 type heapSampler struct {
 	stop    chan struct{}
-	done    chan uint64
+	done    chan heapStats
 	samples []runtimemetrics.Sample
 	tick    *time.Ticker
+	start0  time.Time
+}
+
+// heapStats is what one instrumented run's heap trajectory folds down to.
+type heapStats struct {
+	peak  uint64
+	final uint64
+	// slopeBPS is the least-squares linear slope of live-heap-vs-time in
+	// bytes/second; zero when fewer than two samples landed.
+	slopeBPS float64
 }
 
 const heapSampleEvery = 2 * time.Millisecond
@@ -52,7 +67,7 @@ const heapSampleEvery = 2 * time.Millisecond
 func newHeapSampler() *heapSampler {
 	s := &heapSampler{
 		stop:    make(chan struct{}),
-		done:    make(chan uint64),
+		done:    make(chan heapStats),
 		samples: []runtimemetrics.Sample{{Name: "/memory/classes/heap/objects:bytes"}},
 		tick:    time.NewTicker(heapSampleEvery),
 	}
@@ -61,17 +76,32 @@ func newHeapSampler() *heapSampler {
 }
 
 func (s *heapSampler) start() {
+	s.start0 = time.Now()
 	go func() {
 		defer s.tick.Stop()
-		var peak uint64
+		var st heapStats
+		// Running sums of the least-squares fit over (t seconds, v bytes).
+		var n, sumT, sumV, sumTT, sumTV float64
 		for {
 			runtimemetrics.Read(s.samples)
-			if v := s.samples[0].Value.Uint64(); v > peak {
-				peak = v
+			v := s.samples[0].Value.Uint64()
+			if v > st.peak {
+				st.peak = v
 			}
+			st.final = v
+			t := time.Since(s.start0).Seconds()
+			fv := float64(v)
+			n++
+			sumT += t
+			sumV += fv
+			sumTT += t * t
+			sumTV += t * fv
 			select {
 			case <-s.stop:
-				s.done <- peak
+				if d := n*sumTT - sumT*sumT; n >= 2 && d > 0 {
+					st.slopeBPS = (n*sumTV - sumT*sumV) / d
+				}
+				s.done <- st
 				return
 			case <-s.tick.C:
 			}
@@ -79,8 +109,8 @@ func (s *heapSampler) start() {
 	}()
 }
 
-// Peak stops the sampler and returns the maximum observed live heap.
-func (s *heapSampler) Peak() uint64 {
+// Stats stops the sampler and returns the folded heap trajectory.
+func (s *heapSampler) Stats() heapStats {
 	close(s.stop)
 	return <-s.done
 }
@@ -104,7 +134,7 @@ func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
 	rep, _, err := Execute(cfg)
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&after)
-	peak := sampler.Peak()
+	heap := sampler.Stats()
 	if err != nil {
 		return perfrec.Run{}, err
 	}
@@ -120,7 +150,9 @@ func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
 		Reached:          rep.Reached,
 		Mallocs:          after.Mallocs - before.Mallocs,
 		AllocBytes:       after.TotalAlloc - before.TotalAlloc,
-		PeakHeapBytes:    peak,
+		PeakHeapBytes:    heap.peak,
+		FinalHeapBytes:   heap.final,
+		HeapSlopeBPS:     heap.slopeBPS,
 		RoundWallTotalNS: int64(rep.RoundWallTotal),
 		RoundWallMaxNS:   int64(rep.RoundWallMax),
 	}
@@ -138,16 +170,52 @@ func measureOnce(cfg core.RunConfig) (perfrec.Run, error) {
 // MeasureRun executes one expanded scenario run `repeats` times and
 // returns the best-of-N record: real-clock channels take the minimum
 // across repeats (the least-perturbed observation), simulated channels are
-// deterministic and checked to be identical across repeats.
+// deterministic and checked to be identical across repeats. Runs marked
+// for trajectory capture stream each repeat into a temp-file trajstore
+// sink, and the files must come back byte-identical — the determinism
+// contract, enforced on every instrumented measurement.
 func MeasureRun(run scenario.Run, repeats int) (perfrec.Run, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
 	var best perfrec.Run
+	var firstTraj []byte
 	for i := 0; i < repeats; i++ {
-		rec, err := measureOnce(run.Cfg)
+		cfg := run.Cfg
+		var sink *trajstore.Sink
+		if run.Trajectory {
+			f, err := os.CreateTemp("", "lifl-traj-*.traj")
+			if err != nil {
+				return perfrec.Run{}, fmt.Errorf("harness: trajectory temp file: %w", err)
+			}
+			f.Close()
+			defer os.Remove(f.Name())
+			sink, err = trajstore.NewSink(f.Name(), cfg, trajstore.Options{})
+			if err != nil {
+				return perfrec.Run{}, fmt.Errorf("harness: trajectory sink: %w", err)
+			}
+			cfg.Trajectory = sink
+		}
+		rec, err := measureOnce(cfg)
+		if sink != nil {
+			if cerr := sink.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			return perfrec.Run{}, fmt.Errorf("harness: measuring %s/%s: %w", run.Scenario, run.Label, err)
+		}
+		if sink != nil {
+			data, err := os.ReadFile(sink.Path())
+			if err != nil {
+				return perfrec.Run{}, fmt.Errorf("harness: reading trajectory: %w", err)
+			}
+			if i == 0 {
+				firstTraj = data
+			} else if !bytes.Equal(data, firstTraj) {
+				return perfrec.Run{}, fmt.Errorf("harness: %s/%s trajectory not byte-identical across repeats (%d vs %d bytes)",
+					run.Scenario, run.Label, len(data), len(firstTraj))
+			}
 		}
 		if i == 0 {
 			best = rec
@@ -170,6 +238,12 @@ func MeasureRun(run scenario.Run, repeats int) (perfrec.Run, error) {
 		}
 		if rec.PeakHeapBytes < best.PeakHeapBytes {
 			best.PeakHeapBytes = rec.PeakHeapBytes
+		}
+		if rec.FinalHeapBytes < best.FinalHeapBytes {
+			best.FinalHeapBytes = rec.FinalHeapBytes
+		}
+		if rec.HeapSlopeBPS < best.HeapSlopeBPS {
+			best.HeapSlopeBPS = rec.HeapSlopeBPS
 		}
 	}
 	best.Scenario = run.Scenario

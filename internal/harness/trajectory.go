@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/trajstore"
+)
+
+// TrajPath names the trajectory file for one expanded run inside dir:
+// <scenario>.traj for an axis-free scenario, <scenario>--<label>.traj
+// otherwise, with the label's axis separators made filename-safe.
+func TrajPath(dir string, run scenario.Run) string {
+	name := run.Scenario
+	if run.Label != run.Scenario {
+		name += "--" + sanitizeLabel(run.Label)
+	}
+	return filepath.Join(dir, name+".traj")
+}
+
+func sanitizeLabel(label string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, label)
+}
+
+// AttachTrajectories equips every run with a trajstore sink writing under
+// dir (created if missing) and returns a closer that seals all of them.
+// Close the sinks before reading the files — the remainder block is
+// written at Close. Callers own the lifecycle: call the closer even when
+// the sweep errors, or the files lose their tail.
+func AttachTrajectories(runs []scenario.Run, dir string) (func() error, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	sinks := make([]*trajstore.Sink, 0, len(runs))
+	closeAll := func() error {
+		var first error
+		for _, s := range sinks {
+			if err := s.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	for i := range runs {
+		sink, err := trajstore.NewSink(TrajPath(dir, runs[i]), runs[i].Cfg, trajstore.Options{})
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("harness: trajectory for %s/%s: %w", runs[i].Scenario, runs[i].Label, err)
+		}
+		sinks = append(sinks, sink)
+		runs[i].Cfg.Trajectory = sink
+	}
+	return closeAll, nil
+}

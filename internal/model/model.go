@@ -96,6 +96,17 @@ var (
 		PhysScale: 4096,
 		Layers:    resnetLayers(60_817_408, 514),
 	}
+	// TinyFL is a synthetic miniature for round-COUNT stress scenarios
+	// (traj-100k, million-rounds): a 64-float physical vector and a short
+	// layer list make the per-round cost pure round machinery, so a
+	// million rounds fit a nightly budget and any per-round memory growth
+	// is the signal, not tensor noise. Not part of the paper's zoo (All).
+	TinyFL = Spec{
+		Name:      "TinyFL",
+		Params:    65_536, // 256 KiB payload
+		PhysScale: 1024,   // PhysLen 64
+		Layers:    resnetLayers(65_536, 4),
+	}
 )
 
 // All lists the zoo in ascending size order (M1, M2, M3 in Appendix F).

@@ -56,6 +56,15 @@ type Run struct {
 	Mallocs       uint64 `json:"mallocs"`
 	AllocBytes    uint64 `json:"alloc_bytes"`
 	PeakHeapBytes uint64 `json:"peak_heap_bytes,omitempty"`
+	// The RSS-over-time channels (records since schema additions in PR 7;
+	// absent in older baselines, which Compare logs but never gates):
+	// FinalHeapBytes is the live heap at run end — for a bounded-memory
+	// run it should match the peak, while a leak shows final ≈ peak ≫
+	// start; HeapSlopeBPS is the least-squares slope of the sampled heap
+	// trajectory in bytes/second — the flat-RSS contract in one number.
+	// FinalHeapBytes > 0 marks the presence of both.
+	FinalHeapBytes uint64  `json:"final_heap_bytes,omitempty"`
+	HeapSlopeBPS   float64 `json:"heap_slope_bps,omitempty"`
 	// Round wall stats break the run's real time down by simulation round:
 	// total is the loop time excluding setup/teardown, max is the slowest
 	// round (a latency-shaped signal the run-level wall can't show).
@@ -172,6 +181,16 @@ const (
 	// microbenchmark: sub-millisecond decisions carry scheduler jitter
 	// bigger than any ratio headroom.
 	DefaultMinPlacementUS = 1000.0 // 1 ms
+	// DefaultHeapSlopeSlackBPS is the absolute slack on the heap-slope
+	// gate: GC sawtooth phase alone can tilt a short window by a few
+	// MiB/s, so the slope regresses only when it exceeds the baseline by
+	// more than this AND exceeds it outright. A real per-round leak at a
+	// million rounds dwarfs it.
+	DefaultHeapSlopeSlackBPS = 4.0 * (1 << 20) // 4 MiB/s
+	// DefaultMinSlopeWallNS is the wall floor for slope verdicts: a slope
+	// fitted over fewer than ~2 s of samples measures GC phase, not the
+	// trajectory.
+	DefaultMinSlopeWallNS = int64(2_000_000_000)
 )
 
 func (o Options) withDefaults() Options {
@@ -227,6 +246,10 @@ func (v Verdict) Ratio() float64 {
 func (v Verdict) String() string {
 	if v.Metric == "missing" {
 		return fmt.Sprintf("%-40s missing from current suite", v.Key)
+	}
+	if v.Limit == 0 && !v.Regressed {
+		return fmt.Sprintf("%-40s %-12s %14s -> %14.0f  (baseline predates metric; logged, not gated)",
+			v.Key, v.Metric, "-", v.Current)
 	}
 	mark := "ok"
 	if v.Regressed {
@@ -300,6 +323,32 @@ func compareRun(base, cur Run, opt Options) []Verdict {
 	}
 	if base.PeakHeapBytes > 0 && cur.PeakHeapBytes > 0 {
 		add("peak_heap_bytes", float64(base.PeakHeapBytes), float64(cur.PeakHeapBytes), loose)
+	}
+	// RSS-trajectory metrics. A baseline predating the fields (schema
+	// additions, not a bump: FinalHeapBytes == 0 marks their absence) must
+	// not fail the gate — emit an ungated "new metric" verdict so the
+	// operator sees the coverage gap, and refresh the baseline to close it.
+	if cur.FinalHeapBytes > 0 && base.FinalHeapBytes == 0 {
+		out = append(out, Verdict{
+			Key: base.Key(), Metric: "final_heap_bytes",
+			Baseline: 0, Current: float64(cur.FinalHeapBytes), Limit: 0,
+		})
+	}
+	if base.FinalHeapBytes > 0 && cur.FinalHeapBytes > 0 {
+		add("final_heap_bytes", float64(base.FinalHeapBytes), float64(cur.FinalHeapBytes), loose)
+		if opt.MinWallNS < 0 || base.WallNS >= DefaultMinSlopeWallNS {
+			// The slope gates absolutely, not by ratio: a flat baseline is
+			// ~0 B/s (any ratio of it is meaningless) and GC phase wobbles
+			// both signs, so regression means "grew by more than the slack
+			// AND climbs faster than the slack outright".
+			v := Verdict{
+				Key: base.Key(), Metric: "heap_slope_bps",
+				Baseline: base.HeapSlopeBPS, Current: cur.HeapSlopeBPS, Limit: loose,
+			}
+			v.Regressed = cur.HeapSlopeBPS > base.HeapSlopeBPS+DefaultHeapSlopeSlackBPS &&
+				cur.HeapSlopeBPS > DefaultHeapSlopeSlackBPS
+			out = append(out, v)
+		}
 	}
 	if base.PlacementUS > 0 {
 		// Ratio-gated like the other real-clock metrics, but with an

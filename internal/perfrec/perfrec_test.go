@@ -326,3 +326,91 @@ func TestFilterClass(t *testing.T) {
 		t.Fatalf("deleted short scenario not flagged missing: %v", regs)
 	}
 }
+
+// TestCompareRSSBaselinePredatesFields: the RSS-trajectory metrics were
+// schema additions, not a schema bump — a baseline recorded before them
+// (FinalHeapBytes == 0) must never fail the gate. The comparison emits an
+// ungated "new metric" verdict so the coverage gap is visible in the
+// output, and the gate turns on once the baseline is refreshed.
+func TestCompareRSSBaselinePredatesFields(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	for i := range cur.Runs {
+		if cur.Runs[i].Scenario == "fig9-r18" {
+			cur.Runs[i].FinalHeapBytes = 4 << 20
+			cur.Runs[i].HeapSlopeBPS = 1e9 // wildly climbing — still not gated
+		}
+	}
+	verdicts := Compare(base, cur, Options{})
+	if regs := Regressions(verdicts); len(regs) != 0 {
+		t.Fatalf("baseline without RSS fields produced regressions: %v", regs)
+	}
+	found := false
+	for _, v := range verdicts {
+		if v.Metric == "final_heap_bytes" {
+			found = true
+			if v.Limit != 0 || v.Regressed {
+				t.Fatalf("new-metric verdict should be ungated: %+v", v)
+			}
+			if !strings.Contains(v.String(), "logged, not gated") {
+				t.Fatalf("new-metric verdict not marked as ungated: %s", v)
+			}
+		}
+		if v.Metric == "heap_slope_bps" {
+			t.Fatalf("slope gated without a baseline slope: %+v", v)
+		}
+	}
+	if !found {
+		t.Fatal("new final_heap_bytes metric not surfaced in verdicts")
+	}
+}
+
+// TestCompareRSSGates: with both sides carrying the fields, final heap
+// ratio-gates like the other real-clock metrics and the slope gates
+// absolutely (grew by more than the slack AND climbs faster than the
+// slack outright) — but only when the baseline run is long enough for a
+// slope to mean anything.
+func TestCompareRSSGates(t *testing.T) {
+	base := sampleSuite()
+	cur := sampleSuite()
+	for _, s := range []*Suite{base, cur} {
+		for i := range s.Runs {
+			if s.Runs[i].Scenario == "fig9-r18" {
+				s.Runs[i].WallNS = 3 * DefaultMinSlopeWallNS
+				s.Runs[i].FinalHeapBytes = 4 << 20
+				s.Runs[i].HeapSlopeBPS = 10_000 // ~flat
+			}
+		}
+	}
+	if regs := Regressions(Compare(base, cur, Options{})); len(regs) != 0 {
+		t.Fatalf("identical RSS trajectories regressed: %v", regs)
+	}
+	for i := range cur.Runs {
+		if cur.Runs[i].Scenario == "fig9-r18" {
+			cur.Runs[i].FinalHeapBytes = 400 << 20 // 100x the baseline
+			cur.Runs[i].HeapSlopeBPS = 3 * DefaultHeapSlopeSlackBPS
+		}
+	}
+	metrics := map[string]bool{}
+	for _, v := range Regressions(Compare(base, cur, Options{})) {
+		metrics[v.Metric] = true
+	}
+	if !metrics["final_heap_bytes"] || !metrics["heap_slope_bps"] {
+		t.Fatalf("RSS growth not flagged; regressed metrics: %v", metrics)
+	}
+	// A short baseline run (wall below the slope floor) keeps the heap
+	// gate but skips the slope verdict: slope noise on a 100 ms run is not
+	// a memory leak signal.
+	for _, s := range []*Suite{base, cur} {
+		for i := range s.Runs {
+			if s.Runs[i].Scenario == "fig9-r18" {
+				s.Runs[i].WallNS = DefaultMinSlopeWallNS / 4
+			}
+		}
+	}
+	for _, v := range Compare(base, cur, Options{}) {
+		if v.Metric == "heap_slope_bps" {
+			t.Fatalf("slope verdict emitted for a sub-floor run: %+v", v)
+		}
+	}
+}

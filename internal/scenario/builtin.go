@@ -289,6 +289,56 @@ func init() {
 		CellQuorums:     []int{0, 3},
 		Bench:           BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
 	})
+	// Round-count stress, short edition: 100K rounds streamed into the
+	// bounded-memory trajectory store (internal/trajstore). TinyFL keeps
+	// the per-round cost pure round machinery; the unreachable target
+	// (the curve tops out at 0.80) runs the full MaxRounds. SF because
+	// flat RSS needs a flat baseline: the always-on hierarchy creates its
+	// aggregators once, while the serverless systems accumulate per-round
+	// control-plane records (round-named aggregators, topology vertices,
+	// socket routes — a ROADMAP item). PR-gated: the bench gate watches
+	// the store's write path and the run's memory trajectory (final heap,
+	// slope) alongside its time trajectory.
+	mustRegister(Scenario{
+		Name:           "traj-100k",
+		Description:    "trajstore stress: 100K rounds streamed to the bounded-memory trajectory store",
+		System:         core.SystemSF,
+		Model:          model.TinyFL,
+		Clients:        512,
+		ActivePerRound: 8,
+		Class:          flwork.Server,
+		TargetAccuracy: 0.99, // unreachable by design: run every round
+		MaxRounds:      100_000,
+		Nodes:          1,
+		MC:             60,
+		Seed:           1,
+		Streaming:      true,
+		Trajectory:     true,
+		Bench:          BenchMeta{Class: ClassShort, Repeats: 2, Milestones: []float64{0.50, 0.70}},
+	})
+	// Round-count stress, nightly edition: one million rounds under
+	// StreamOnly + Trajectory — the flat-RSS headline entry. The in-test
+	// assertion lives in traj_test.go (heap sampled over the run, bounded
+	// by a constant independent of round count); the nightly bench gate
+	// additionally fails on RSS-trajectory regression via the perfrec
+	// final-heap/slope metrics.
+	mustRegister(Scenario{
+		Name:           "million-rounds",
+		Description:    "trajstore stress: 1M rounds, flat RSS, StreamOnly + trajectory sink",
+		System:         core.SystemSF,
+		Model:          model.TinyFL,
+		Clients:        512,
+		ActivePerRound: 8,
+		Class:          flwork.Server,
+		TargetAccuracy: 0.99, // unreachable by design: run every round
+		MaxRounds:      1_000_000,
+		Nodes:          1,
+		MC:             60,
+		Seed:           1,
+		Streaming:      true,
+		Trajectory:     true,
+		Bench:          BenchMeta{Class: ClassLong, Repeats: 2, Milestones: []float64{0.50, 0.70}},
+	})
 	// Server-momentum variant of the ResNet-18 workload: exercises the
 	// FedAvgM (ScaleAdd-fused) model-install path end to end.
 	mustRegister(Scenario{

@@ -69,6 +69,10 @@ type Scenario struct {
 	Description string
 
 	// Workload scalars (see core.RunConfig for semantics).
+	// System pins the system under test when the Systems axis is empty
+	// (zero = core's default, LIFL). Unlike the axis it adds no label
+	// coordinate, so single-system entries keep clean record keys.
+	System         core.SystemKind
 	Model          model.Spec
 	Clients        int
 	ActivePerRound int
@@ -130,6 +134,14 @@ type Scenario struct {
 	// for observation). Required for million-client populations.
 	Streaming bool
 
+	// Trajectory marks every expanded run for durable trajectory capture:
+	// the harness attaches an internal/trajstore sink per run (liflsim
+	// -traj chooses the directory; instrumented measurement uses temp
+	// files and verifies byte-identical repeats). Composes with Streaming
+	// — that pairing is how a million-round run keeps flat memory AND a
+	// complete replayable history.
+	Trajectory bool
+
 	// Bench is the entry's perf-trajectory metadata. Its Milestones are
 	// wired into every expanded RunConfig (milestone capture is simulated-
 	// time only, so this costs nothing and keeps liflsim sweeps, liflbench
@@ -155,7 +167,10 @@ type Run struct {
 	Label   string
 	Variant string // flag-variant label, if the scenario has a Variants axis
 	Load    int    // injected load, if the scenario has a Loads axis
-	Cfg     core.RunConfig
+	// Trajectory marks the run for durable trajectory capture (the
+	// scenario's Trajectory knob; the harness attaches the actual sink).
+	Trajectory bool
+	Cfg        core.RunConfig
 }
 
 // Expand materializes the cross product of the scenario's axes into
@@ -164,7 +179,7 @@ type Run struct {
 func (s Scenario) Expand() []Run {
 	syss := s.Systems
 	if len(syss) == 0 {
-		syss = []core.SystemKind{""} // core defaults to LIFL
+		syss = []core.SystemKind{s.System} // zero: core defaults to LIFL
 	}
 	variants := s.Variants
 	if len(variants) == 0 {
@@ -258,11 +273,12 @@ func (s Scenario) Expand() []Run {
 										cfg.StreamOnly = true
 									}
 									runs = append(runs, Run{
-										Scenario: s.Name,
-										Label:    s.label(sys, v.Label, load, mc, nc, q, w, seed),
-										Variant:  v.Label,
-										Load:     load,
-										Cfg:      cfg,
+										Scenario:   s.Name,
+										Label:      s.label(sys, v.Label, load, mc, nc, q, w, seed),
+										Variant:    v.Label,
+										Load:       load,
+										Trajectory: s.Trajectory,
+										Cfg:        cfg,
 									})
 								}
 							}

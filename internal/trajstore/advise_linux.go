@@ -1,0 +1,17 @@
+//go:build linux && (amd64 || arm64)
+
+package trajstore
+
+import "syscall"
+
+// posixFadvDontNeed is POSIX_FADV_DONTNEED from <fcntl.h>; the stdlib
+// syscall package exposes the fadvise64 syscall number but not the advice
+// constants.
+const posixFadvDontNeed = 4
+
+// dontNeed tells the kernel the byte range [off, off+length) of fd will
+// not be accessed again, releasing its page cache. Failures are ignored:
+// the advice is an optimization, never a correctness requirement.
+func dontNeed(fd uintptr, off, length int64) {
+	syscall.Syscall6(syscall.SYS_FADVISE64, fd, uintptr(off), uintptr(length), posixFadvDontNeed, 0, 0)
+}

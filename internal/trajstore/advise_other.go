@@ -1,0 +1,8 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package trajstore
+
+// dontNeed is a no-op where fadvise is unavailable; the store's heap
+// discipline (fixed-size blocks, reused scratch) is platform-independent,
+// only the page-cache hint is Linux-specific.
+func dontNeed(fd uintptr, off, length int64) {}

@@ -1,0 +1,314 @@
+package trajstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// maxSaneLen bounds header/block payload lengths so a corrupt length
+// varint fails cleanly instead of attempting a multi-gigabyte read.
+const maxSaneLen = 1 << 30
+
+// ErrFormat reports a structurally invalid trajectory file (bad magic,
+// unsupported version, truncation, or checksum mismatch). All reader
+// errors other than io.EOF and raw I/O failures wrap it.
+var ErrFormat = errors.New("trajstore: invalid trajectory file")
+
+// Reader streams records back out of a trajectory file, verifying every
+// block checksum as it goes. Next returns records in write order and
+// io.EOF after the last one.
+type Reader struct {
+	f    *os.File
+	br   *bufio.Reader
+	meta Meta
+	wall bool
+
+	block []Record
+	pos   int
+	buf   []byte
+}
+
+// Open reads and validates the header of path.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{f: f, br: bufio.NewReaderSize(f, 1<<16)}
+	if err := r.readHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Meta returns the run identity from the file header.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// HasWall reports whether the file carries the wall-clock column.
+func (r *Reader) HasWall() bool { return r.wall }
+
+func (r *Reader) readHeader() error {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r.br, magic); err != nil {
+		return fmt.Errorf("%w: reading magic: %v", ErrFormat, err)
+	}
+	if string(magic) != Magic {
+		return fmt.Errorf("%w: bad magic %q", ErrFormat, magic)
+	}
+	payload, err := r.readChecked("header")
+	if err != nil {
+		return err
+	}
+	p := payload
+	version, p, err := takeUvarint(p)
+	if err != nil {
+		return fmt.Errorf("%w: header version: %v", ErrFormat, err)
+	}
+	if version < 1 || version > Version {
+		return fmt.Errorf("%w: unsupported version %d (reader supports <= %d)", ErrFormat, version, Version)
+	}
+	flags, p, err := takeUvarint(p)
+	if err != nil {
+		return fmt.Errorf("%w: header flags: %v", ErrFormat, err)
+	}
+	r.wall = flags&flagWall != 0
+	if _, p, err = takeUvarint(p); err != nil { // block capacity (informational)
+		return fmt.Errorf("%w: header block capacity: %v", ErrFormat, err)
+	}
+	seed, p, err := takeVarint(p)
+	if err != nil {
+		return fmt.Errorf("%w: header seed: %v", ErrFormat, err)
+	}
+	r.meta.Seed = seed
+	if r.meta.System, p, err = takeString(p); err != nil {
+		return fmt.Errorf("%w: header system: %v", ErrFormat, err)
+	}
+	if r.meta.Model, p, err = takeString(p); err != nil {
+		return fmt.Errorf("%w: header model: %v", ErrFormat, err)
+	}
+	var bits uint64
+	if bits, p, err = takeFixed64(p); err != nil {
+		return fmt.Errorf("%w: header target: %v", ErrFormat, err)
+	}
+	r.meta.Target = math.Float64frombits(bits)
+	nm, p, err := takeUvarint(p)
+	if err != nil || nm > maxSaneLen/8 {
+		return fmt.Errorf("%w: header milestone count", ErrFormat)
+	}
+	for i := uint64(0); i < nm; i++ {
+		if bits, p, err = takeFixed64(p); err != nil {
+			return fmt.Errorf("%w: header milestone %d: %v", ErrFormat, i, err)
+		}
+		r.meta.Milestones = append(r.meta.Milestones, math.Float64frombits(bits))
+	}
+	return nil
+}
+
+// readChecked reads a uvarint-length-prefixed payload followed by its
+// CRC-32C and verifies it. what names the unit for error messages.
+func (r *Reader) readChecked(what string) ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s length: %v", ErrFormat, what, err)
+	}
+	if n > maxSaneLen {
+		return nil, fmt.Errorf("%w: %s length %d exceeds sanity bound", ErrFormat, what, n)
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.br, r.buf); err != nil {
+		return nil, fmt.Errorf("%w: %s truncated: %v", ErrFormat, what, err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r.br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: %s checksum truncated: %v", ErrFormat, what, err)
+	}
+	want := binary.LittleEndian.Uint32(sum[:])
+	if got := crc32.Checksum(r.buf, castagnoli); got != want {
+		return nil, fmt.Errorf("%w: %s checksum mismatch (got %08x want %08x)", ErrFormat, what, got, want)
+	}
+	return r.buf, nil
+}
+
+// Next returns the next record, decoding the next block when the current
+// one is exhausted. It returns io.EOF cleanly after the final record.
+func (r *Reader) Next() (Record, error) {
+	if r.pos >= len(r.block) {
+		if err := r.readBlock(); err != nil {
+			return Record{}, err
+		}
+	}
+	rec := r.block[r.pos]
+	r.pos++
+	return rec, nil
+}
+
+func (r *Reader) readBlock() error {
+	count, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return io.EOF
+	}
+	if err != nil {
+		return fmt.Errorf("%w: block count: %v", ErrFormat, err)
+	}
+	if count == 0 || count > maxSaneLen {
+		return fmt.Errorf("%w: block count %d out of range", ErrFormat, count)
+	}
+	payload, err := r.readChecked("block")
+	if err != nil {
+		return err
+	}
+	n := int(count)
+	if cap(r.block) < n {
+		r.block = make([]Record, n)
+	}
+	r.block = r.block[:n]
+	p := payload
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Round = int(v) }); err != nil {
+		return fmt.Errorf("%w: round column: %v", ErrFormat, err)
+	}
+	if p, err = decodeXors(p, n, func(i int, v uint64) { r.block[i].Acc = math.Float64frombits(v) }); err != nil {
+		return fmt.Errorf("%w: acc column: %v", ErrFormat, err)
+	}
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Sim = sim.Duration(v) }); err != nil {
+		return fmt.Errorf("%w: sim column: %v", ErrFormat, err)
+	}
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].CPU = sim.Duration(v) }); err != nil {
+		return fmt.Errorf("%w: cpu column: %v", ErrFormat, err)
+	}
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Updates = int(v) }); err != nil {
+		return fmt.Errorf("%w: updates column: %v", ErrFormat, err)
+	}
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Discarded = int(v) }); err != nil {
+		return fmt.Errorf("%w: discarded column: %v", ErrFormat, err)
+	}
+	if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Shares = int(v) }); err != nil {
+		return fmt.Errorf("%w: shares column: %v", ErrFormat, err)
+	}
+	if r.wall {
+		if p, err = decodeDeltas(p, n, func(i int, v int64) { r.block[i].Wall = time.Duration(v) }); err != nil {
+			return fmt.Errorf("%w: wall column: %v", ErrFormat, err)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			r.block[i].Wall = 0
+		}
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after last column", ErrFormat, len(p))
+	}
+	r.pos = 0
+	return nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error {
+	if r.f == nil {
+		return nil
+	}
+	err := r.f.Close()
+	r.f = nil
+	return err
+}
+
+// decodeDeltas decodes one length-prefixed zigzag-delta column of n values
+// from p, invoking set per value, and returns the remaining bytes.
+func decodeDeltas(p []byte, n int, set func(i int, v int64)) ([]byte, error) {
+	seg, rest, err := takeSegment(p)
+	if err != nil {
+		return nil, err
+	}
+	var prev int64
+	for i := 0; i < n; i++ {
+		d, k := binary.Varint(seg)
+		if k <= 0 {
+			return nil, fmt.Errorf("value %d/%d truncated", i, n)
+		}
+		seg = seg[k:]
+		prev += d
+		set(i, prev)
+	}
+	if len(seg) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in column", len(seg))
+	}
+	return rest, nil
+}
+
+// decodeXors decodes one length-prefixed xor-with-previous column.
+func decodeXors(p []byte, n int, set func(i int, v uint64)) ([]byte, error) {
+	seg, rest, err := takeSegment(p)
+	if err != nil {
+		return nil, err
+	}
+	var prev uint64
+	for i := 0; i < n; i++ {
+		x, k := binary.Uvarint(seg)
+		if k <= 0 {
+			return nil, fmt.Errorf("value %d/%d truncated", i, n)
+		}
+		seg = seg[k:]
+		prev ^= x
+		set(i, prev)
+	}
+	if len(seg) != 0 {
+		return nil, fmt.Errorf("%d trailing bytes in column", len(seg))
+	}
+	return rest, nil
+}
+
+func takeSegment(p []byte) (seg, rest []byte, err error) {
+	n, p, err := takeUvarint(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(p)) {
+		return nil, nil, fmt.Errorf("segment length %d exceeds remaining %d bytes", n, len(p))
+	}
+	return p[:n], p[n:], nil
+}
+
+func takeUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("truncated uvarint")
+	}
+	return v, p[n:], nil
+}
+
+func takeVarint(p []byte) (int64, []byte, error) {
+	v, n := binary.Varint(p)
+	if n <= 0 {
+		return 0, nil, errors.New("truncated varint")
+	}
+	return v, p[n:], nil
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	n, p, err := takeUvarint(p)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > uint64(len(p)) {
+		return "", nil, fmt.Errorf("string length %d exceeds remaining %d bytes", n, len(p))
+	}
+	return string(p[:n]), p[n:], nil
+}
+
+func takeFixed64(p []byte) (uint64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, errors.New("truncated fixed64")
+	}
+	return binary.LittleEndian.Uint64(p), p[8:], nil
+}

@@ -1,0 +1,116 @@
+package trajstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Crossing is a milestone first-crossing reconstructed from blocks — the
+// same quantity the live run exports as Report.Milestones.
+type Crossing struct {
+	Target float64
+	Round  int
+	Acc    float64
+	Sim    sim.Duration
+	CPU    sim.Duration
+}
+
+// Summary is the post-hoc fold of a whole trajectory file: the scalar
+// outcomes a live Report carries, re-derived from the stored rounds and
+// the header's target/milestone levels alone.
+type Summary struct {
+	Meta   Meta
+	Rounds int
+	First  Record
+	Last   Record
+	// Crossings lists the first round at or above each header milestone
+	// level, in ascending level order (levels never crossed are absent).
+	Crossings []Crossing
+	// Reached, TimeToTarget and CPUToTarget mirror the live Report: the
+	// first stored round whose accuracy met Meta.Target.
+	Reached      bool
+	TimeToTarget sim.Duration
+	CPUToTarget  sim.Duration
+}
+
+// Replay scans path end to end — verifying every block checksum — and
+// folds it into the summary the live run reported. When each is non-nil
+// it is invoked per record in write order; a non-nil return aborts the
+// scan with that error.
+func Replay(path string, each func(Record) error) (*Summary, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	s := &Summary{Meta: r.Meta()}
+	next := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if s.Rounds == 0 {
+			s.First = rec
+		}
+		s.Last = rec
+		s.Rounds++
+		for next < len(s.Meta.Milestones) && rec.Acc >= s.Meta.Milestones[next] {
+			s.Crossings = append(s.Crossings, Crossing{
+				Target: s.Meta.Milestones[next],
+				Round:  rec.Round,
+				Acc:    rec.Acc,
+				Sim:    rec.Sim,
+				CPU:    rec.CPU,
+			})
+			next++
+		}
+		if !s.Reached && rec.Acc >= s.Meta.Target {
+			s.Reached = true
+			s.TimeToTarget = rec.Sim
+			s.CPUToTarget = rec.CPU
+		}
+		if each != nil {
+			if err := each(rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s.Rounds == 0 {
+		return nil, fmt.Errorf("%w: no rounds stored", ErrFormat)
+	}
+	return s, nil
+}
+
+// ErrRoundOutOfRange reports a ReplayAt round outside the stored range.
+var ErrRoundOutOfRange = errors.New("trajstore: round outside stored range")
+
+// ReplayAt returns the stored record for the given round number,
+// scanning (and checksumming) from the start. The round numbering is the
+// run's own: synchronous runs count from 1, injected ones from 0, async
+// ones by version.
+func ReplayAt(path string, round int) (Record, *Summary, error) {
+	var hit Record
+	found := false
+	s, err := Replay(path, func(rec Record) error {
+		if rec.Round == round {
+			hit = rec
+			found = true
+		}
+		return nil
+	})
+	if err != nil {
+		return Record{}, nil, err
+	}
+	if !found {
+		return Record{}, s, fmt.Errorf("%w: round %d not in [%d, %d]",
+			ErrRoundOutOfRange, round, s.First.Round, s.Last.Round)
+	}
+	return hit, s, nil
+}

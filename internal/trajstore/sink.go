@@ -1,0 +1,54 @@
+package trajstore
+
+import (
+	"repro/internal/core"
+)
+
+// Sink adapts a Writer to core.TrajectorySink: plug it into
+// RunConfig.Trajectory and every completed round (or async version, or
+// fabric global round) streams into the store. The caller owns the
+// lifecycle — Close after the run returns, even on error.
+type Sink struct {
+	w *Writer
+}
+
+// NewSink creates the trajectory file for cfg at path. Meta is derived
+// from the defaulted config so replay can re-derive the reached-target
+// verdict and milestone crossings without the config in hand.
+func NewSink(path string, cfg core.RunConfig, opts Options) (*Sink, error) {
+	d := cfg.Defaulted()
+	w, err := Create(path, Meta{
+		System:     string(d.System),
+		Model:      d.Model.Name,
+		Seed:       d.Seed,
+		Target:     d.TargetAccuracy,
+		Milestones: d.Milestones,
+	}, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Sink{w: w}, nil
+}
+
+// Observe implements core.TrajectorySink.
+func (s *Sink) Observe(o core.RoundObservation) error {
+	return s.w.Append(Record{
+		Round:     o.Acc.Round,
+		Acc:       o.Acc.Accuracy,
+		Sim:       o.Acc.Time,
+		CPU:       o.Acc.CPUTime,
+		Wall:      o.Wall,
+		Updates:   o.Result.Updates,
+		Discarded: o.Discarded,
+		Shares:    o.Shares,
+	})
+}
+
+// Close seals the remainder block and closes the file.
+func (s *Sink) Close() error { return s.w.Close() }
+
+// Path returns the trajectory file path.
+func (s *Sink) Path() string { return s.w.Path() }
+
+// Rounds returns the number of observations streamed so far.
+func (s *Sink) Rounds() int { return s.w.Rounds() }

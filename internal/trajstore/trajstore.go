@@ -1,0 +1,327 @@
+package trajstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Format constants. A trajectory file is
+//
+//	magic | header | block*
+//	header := uvarint(len) payload crc32c(payload)
+//	block  := uvarint(count) uvarint(len) payload crc32c(payload)
+//
+// where every payload is column-segmented (uvarint length + bytes per
+// column) and every column is delta- (integers) or xor- (float bits)
+// encoded with varints, self-contained per block: a block decodes without
+// any other block, and a flipped bit anywhere in it fails its checksum.
+const (
+	// Magic identifies a trajectory file (the first 8 bytes).
+	Magic = "LIFLTRAJ"
+	// Version is the current format version; readers accept [1, Version].
+	Version = 1
+	// DefaultBlockRounds is the in-memory block capacity when Options
+	// leaves it zero. RSS of a writer is a function of this (eight int64
+	// columns plus the encode scratch), never of run length.
+	DefaultBlockRounds = 4096
+	// adviseEvery is how many written bytes accumulate before the writer
+	// syncs and tells the kernel it will not read them back
+	// (fadvise DONTNEED on Linux; a no-op elsewhere).
+	adviseEvery = 4 << 20
+)
+
+// flagWall marks files that carry the per-round wall-clock column. It is
+// off by default: wall time is the one nondeterministic observation, and
+// the determinism contract (fixed seed ⇒ byte-identical file) holds only
+// without it.
+const flagWall = 1 << 0
+
+// castagnoli is the CRC-32C table shared by every checksum in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Meta is the run identity stored in the file header — enough for replay
+// to reconstruct the live Report's accuracy series, milestone crossings
+// and reached-target verdict from blocks alone.
+type Meta struct {
+	System string
+	Model  string
+	Seed   int64
+	// Target is the run's TargetAccuracy (replay re-derives Reached and
+	// time-to-target from it).
+	Target float64
+	// Milestones are the run's requested crossing levels, ascending.
+	Milestones []float64
+}
+
+// Record is one round's (or async version's) observation in column order.
+type Record struct {
+	Round int
+	Acc   float64
+	// Sim and CPU are the simulated clock and cumulative CPU at the end of
+	// the round — the AccPoint fields, so milestone replay is exact.
+	Sim sim.Duration
+	CPU sim.Duration
+	// Wall is the real time the round's simulation took; stored only when
+	// Options.CaptureWall was set (zero on replay otherwise).
+	Wall time.Duration
+	// Updates folded into the round's aggregate; Discarded counts async
+	// updates dropped by the staleness cutoff; Shares is the cross-cell
+	// quota accepted into a fabric round (zero outside those shapes).
+	Updates   int
+	Discarded int
+	Shares    int
+}
+
+// Options tunes a Writer.
+type Options struct {
+	// BlockRounds is the block capacity in rounds (0 = DefaultBlockRounds).
+	BlockRounds int
+	// CaptureWall also stores the per-round wall-clock column. It breaks
+	// the byte-identical determinism contract by construction, so it is
+	// opt-in.
+	CaptureWall bool
+	// NoAdvise disables the page-cache discipline (sync + fadvise); the
+	// write path is otherwise identical.
+	NoAdvise bool
+}
+
+// Writer streams records into an append-only block file. Append is
+// 0-alloc in steady state: records accumulate into fixed-capacity column
+// arrays; a full block is sealed — delta/xor encoded into reused scratch
+// buffers, checksummed, written sequentially — and its heap is
+// immediately reused for the next block, so resident memory is a
+// function of BlockRounds, not of run length.
+type Writer struct {
+	f    *os.File
+	path string
+	opts Options
+	cap  int
+	err  error
+
+	n      int
+	rounds []int64
+	accs   []uint64
+	sims   []int64
+	cpus   []int64
+	walls  []int64
+	upds   []int64
+	discs  []int64
+	shrs   []int64
+
+	col     []byte // per-column encode scratch
+	payload []byte // assembled column segments for the sealing block
+	out     []byte // full block scratch (count + len + payload + crc)
+
+	written int64 // total bytes written
+	advised int64 // high-water mark already advised away
+	blocks  int
+	total   int // records in sealed blocks
+}
+
+// Create opens path for writing (truncating any previous file) and writes
+// the header.
+func Create(path string, meta Meta, opts Options) (*Writer, error) {
+	if opts.BlockRounds < 0 {
+		return nil, fmt.Errorf("trajstore: BlockRounds %d must be >= 0", opts.BlockRounds)
+	}
+	if opts.BlockRounds == 0 {
+		opts.BlockRounds = DefaultBlockRounds
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{
+		f:    f,
+		path: path,
+		opts: opts,
+		cap:  opts.BlockRounds,
+	}
+	w.rounds = make([]int64, w.cap)
+	w.accs = make([]uint64, w.cap)
+	w.sims = make([]int64, w.cap)
+	w.cpus = make([]int64, w.cap)
+	w.upds = make([]int64, w.cap)
+	w.discs = make([]int64, w.cap)
+	w.shrs = make([]int64, w.cap)
+	if opts.CaptureWall {
+		w.walls = make([]int64, w.cap)
+	}
+	if err := w.writeHeader(meta); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// Path returns the file the writer streams to (valid after Close too).
+func (w *Writer) Path() string { return w.path }
+
+func (w *Writer) writeHeader(meta Meta) error {
+	var flags uint64
+	if w.opts.CaptureWall {
+		flags |= flagWall
+	}
+	p := make([]byte, 0, 64+len(meta.System)+len(meta.Model)+8*len(meta.Milestones))
+	p = binary.AppendUvarint(p, Version)
+	p = binary.AppendUvarint(p, flags)
+	p = binary.AppendUvarint(p, uint64(w.cap))
+	p = binary.AppendVarint(p, meta.Seed)
+	p = appendString(p, meta.System)
+	p = appendString(p, meta.Model)
+	p = binary.LittleEndian.AppendUint64(p, math.Float64bits(meta.Target))
+	levels := append([]float64(nil), meta.Milestones...)
+	sort.Float64s(levels)
+	p = binary.AppendUvarint(p, uint64(len(levels)))
+	for _, l := range levels {
+		p = binary.LittleEndian.AppendUint64(p, math.Float64bits(l))
+	}
+	out := make([]byte, 0, len(Magic)+len(p)+16)
+	out = append(out, Magic...)
+	out = binary.AppendUvarint(out, uint64(len(p)))
+	out = append(out, p...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(p, castagnoli))
+	n, err := w.f.Write(out)
+	w.written += int64(n)
+	return err
+}
+
+// Append buffers one record, sealing the open block when it reaches
+// capacity. It allocates nothing in steady state (the seal path reuses
+// its scratch buffers once they reach their stable size).
+func (w *Writer) Append(rec Record) error {
+	if w.err != nil {
+		return w.err
+	}
+	i := w.n
+	w.rounds[i] = int64(rec.Round)
+	w.accs[i] = math.Float64bits(rec.Acc)
+	w.sims[i] = int64(rec.Sim)
+	w.cpus[i] = int64(rec.CPU)
+	if w.opts.CaptureWall {
+		w.walls[i] = int64(rec.Wall)
+	}
+	w.upds[i] = int64(rec.Updates)
+	w.discs[i] = int64(rec.Discarded)
+	w.shrs[i] = int64(rec.Shares)
+	w.n++
+	if w.n == w.cap {
+		return w.seal()
+	}
+	return nil
+}
+
+// seal encodes the open block, writes it, and resets the columns. Column
+// order is fixed: round, acc, sim, cpu, updates, discarded, shares, then
+// wall when captured.
+func (w *Writer) seal() error {
+	if w.n == 0 || w.err != nil {
+		return w.err
+	}
+	p := w.payload[:0]
+	p = w.appendColumnDeltas(p, w.rounds)
+	p = w.appendColumnXors(p, w.accs)
+	p = w.appendColumnDeltas(p, w.sims)
+	p = w.appendColumnDeltas(p, w.cpus)
+	p = w.appendColumnDeltas(p, w.upds)
+	p = w.appendColumnDeltas(p, w.discs)
+	p = w.appendColumnDeltas(p, w.shrs)
+	if w.opts.CaptureWall {
+		p = w.appendColumnDeltas(p, w.walls)
+	}
+	w.payload = p
+	w.out = w.out[:0]
+	w.out = binary.AppendUvarint(w.out, uint64(w.n))
+	w.out = binary.AppendUvarint(w.out, uint64(len(p)))
+	w.out = append(w.out, p...)
+	w.out = binary.LittleEndian.AppendUint32(w.out, crc32.Checksum(p, castagnoli))
+	n, err := w.f.Write(w.out)
+	w.written += int64(n)
+	if err != nil {
+		w.err = fmt.Errorf("trajstore: writing block %d: %w", w.blocks, err)
+		return w.err
+	}
+	w.blocks++
+	w.total += w.n
+	w.n = 0
+	if !w.opts.NoAdvise {
+		w.maybeAdvise()
+	}
+	return nil
+}
+
+// appendColumnDeltas encodes vals[:w.n] as zigzag-varint deltas (previous
+// value starts at zero, so blocks are self-contained) behind a uvarint
+// byte-length prefix.
+func (w *Writer) appendColumnDeltas(dst []byte, vals []int64) []byte {
+	w.col = w.col[:0]
+	var prev int64
+	for i := 0; i < w.n; i++ {
+		w.col = binary.AppendVarint(w.col, vals[i]-prev)
+		prev = vals[i]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(w.col)))
+	return append(dst, w.col...)
+}
+
+// appendColumnXors encodes vals[:w.n] as uvarint xor-with-previous
+// (Gorilla-style; a flat accuracy plateau costs one byte per round).
+func (w *Writer) appendColumnXors(dst []byte, vals []uint64) []byte {
+	w.col = w.col[:0]
+	var prev uint64
+	for i := 0; i < w.n; i++ {
+		w.col = binary.AppendUvarint(w.col, vals[i]^prev)
+		prev = vals[i]
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(w.col)))
+	return append(dst, w.col...)
+}
+
+// maybeAdvise applies the page-cache discipline once enough bytes have
+// accumulated: flush the dirty pages, then tell the kernel the written
+// range will not be read back. The writer only ever appends, so dropping
+// its cache keeps a million-round run's page cache as flat as its heap.
+func (w *Writer) maybeAdvise() {
+	if w.written-w.advised < adviseEvery {
+		return
+	}
+	if w.f.Sync() == nil {
+		dontNeed(w.f.Fd(), 0, w.written)
+	}
+	w.advised = w.written
+}
+
+// Close seals the remainder block and closes the file. The writer is
+// unusable afterwards.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return w.err
+	}
+	sealErr := w.seal()
+	closeErr := w.f.Close()
+	w.f = nil
+	if w.err == nil && closeErr != nil {
+		w.err = closeErr
+	}
+	if sealErr != nil {
+		return sealErr
+	}
+	return closeErr
+}
+
+// Rounds returns the number of records written so far (sealed blocks plus
+// the open one).
+func (w *Writer) Rounds() int { return w.total + w.n }
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

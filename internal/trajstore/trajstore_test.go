@@ -1,0 +1,334 @@
+package trajstore
+
+import (
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func testMeta() Meta {
+	return Meta{
+		System:     "lifl",
+		Model:      "resnet18",
+		Seed:       42,
+		Target:     0.70,
+		Milestones: []float64{0.5, 0.6},
+	}
+}
+
+// synthRecord makes a deterministic, non-trivial record stream: rising
+// rounds, wobbling accuracy, growing clocks.
+func synthRecord(i int) Record {
+	return Record{
+		Round:     i + 1,
+		Acc:       0.05 + 0.7*(1-math.Exp(-float64(i)/50)) + 0.004*math.Sin(float64(i)*1.7),
+		Sim:       sim.Duration(i+1) * 17 * sim.Duration(time.Millisecond),
+		CPU:       sim.Duration(i+1) * 5 * sim.Duration(time.Millisecond),
+		Updates:   120,
+		Discarded: i % 3,
+		Shares:    i % 7,
+	}
+}
+
+func writeSynth(t *testing.T, path string, n int, opts Options) {
+	t.Helper()
+	w, err := Create(path, testMeta(), opts)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Append(synthRecord(i)); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if got := w.Rounds(); got != n {
+		t.Fatalf("Rounds() = %d before Close, want %d", got, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func readAll(t *testing.T, path string) (Meta, []Record) {
+	t.Helper()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	var recs []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next after %d records: %v", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+	return r.Meta(), recs
+}
+
+func TestRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.traj")
+	const n = 1000
+	writeSynth(t, path, n, Options{BlockRounds: 64, NoAdvise: true})
+	meta, recs := readAll(t, path)
+
+	want := testMeta()
+	if meta.System != want.System || meta.Model != want.Model || meta.Seed != want.Seed || meta.Target != want.Target {
+		t.Errorf("meta roundtrip mismatch: got %+v want %+v", meta, want)
+	}
+	if len(meta.Milestones) != 2 || meta.Milestones[0] != 0.5 || meta.Milestones[1] != 0.6 {
+		t.Errorf("milestones roundtrip mismatch: %v", meta.Milestones)
+	}
+	if len(recs) != n {
+		t.Fatalf("read %d records, want %d", len(recs), n)
+	}
+	for i, rec := range recs {
+		if want := synthRecord(i); rec != want {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, rec, want)
+		}
+	}
+}
+
+// TestSealBoundaries pins the block-seal arithmetic at the three shapes
+// that historically break chunked encoders: capacity one (every record
+// seals), an exact multiple (no remainder block), and a remainder.
+func TestSealBoundaries(t *testing.T) {
+	cases := []struct {
+		name  string
+		block int
+		n     int
+	}{
+		{"capacity-one", 1, 7},
+		{"exact-multiple", 8, 64},
+		{"remainder", 8, 61},
+		{"single-short-block", 16, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "run.traj")
+			writeSynth(t, path, tc.n, Options{BlockRounds: tc.block, NoAdvise: true})
+			_, recs := readAll(t, path)
+			if len(recs) != tc.n {
+				t.Fatalf("read %d records, want %d", len(recs), tc.n)
+			}
+			for i, rec := range recs {
+				if want := synthRecord(i); rec != want {
+					t.Fatalf("record %d mismatch: got %+v want %+v", i, rec, want)
+				}
+			}
+		})
+	}
+}
+
+func TestWallColumnOptIn(t *testing.T) {
+	dir := t.TempDir()
+	withWall := filepath.Join(dir, "wall.traj")
+	w, err := Create(withWall, testMeta(), Options{BlockRounds: 4, CaptureWall: true, NoAdvise: true})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		rec := synthRecord(i)
+		rec.Wall = time.Duration(i+1) * time.Microsecond
+		if err := w.Append(rec); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r, err := Open(withWall)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	if !r.HasWall() {
+		t.Fatal("HasWall() = false for CaptureWall file")
+	}
+	for i := 0; i < 10; i++ {
+		rec, err := r.Next()
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if want := time.Duration(i+1) * time.Microsecond; rec.Wall != want {
+			t.Fatalf("record %d wall = %v, want %v", i, rec.Wall, want)
+		}
+	}
+
+	// Default files must not carry the column (that is the determinism
+	// contract), and must read back zero walls.
+	without := filepath.Join(dir, "nowall.traj")
+	writeSynth(t, without, 10, Options{BlockRounds: 4, NoAdvise: true})
+	r2, err := Open(without)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r2.Close()
+	if r2.HasWall() {
+		t.Fatal("HasWall() = true for default file")
+	}
+}
+
+// TestCorruptionDetected flips one bit in every block-payload byte
+// position of a small file in turn and asserts the reader reports a
+// format error rather than returning silently wrong records.
+func TestCorruptionDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.traj")
+	writeSynth(t, path, 32, Options{BlockRounds: 8, NoAdvise: true})
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-read the clean file once to find where blocks start: corrupting
+	// the header is detected at Open, block bytes at Next.
+	for pos := len(Magic); pos < len(clean); pos += 11 {
+		corrupt := append([]byte(nil), clean...)
+		corrupt[pos] ^= 0x40
+		cpath := filepath.Join(t.TempDir(), "corrupt.traj")
+		if err := os.WriteFile(cpath, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Open(cpath)
+		if err != nil {
+			continue // header corruption: detected at Open, good
+		}
+		sawErr := false
+		for {
+			_, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				sawErr = true
+				break
+			}
+		}
+		r.Close()
+		if !sawErr {
+			// A flipped bit in a varint length prefix can, rarely, still
+			// decode to the same payload split — but the checksum covers
+			// every payload byte, so any surviving read must mean the flip
+			// landed in dead space. There is none in this format.
+			t.Fatalf("bit flip at offset %d went undetected", pos)
+		}
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.traj")
+	writeSynth(t, path, 32, Options{BlockRounds: 8, NoAdvise: true})
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-block (not at a block boundary): reader must error, not EOF.
+	tpath := filepath.Join(t.TempDir(), "trunc.traj")
+	if err := os.WriteFile(tpath, clean[:len(clean)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(tpath)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer r.Close()
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			t.Fatal("truncated file read to clean EOF")
+		}
+		if err != nil {
+			return // detected
+		}
+	}
+}
+
+func TestOpenRejectsJunk(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.traj")
+	if err := os.WriteFile(junk, []byte("this is not a trajectory file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(junk); err == nil {
+		t.Fatal("Open accepted junk bytes")
+	}
+	if _, err := Open(filepath.Join(dir, "missing.traj")); err == nil {
+		t.Fatal("Open accepted a missing file")
+	}
+}
+
+// TestAppendSteadyStateAllocs is the hot-path invariant: once the scratch
+// buffers have reached their stable size, Append must not allocate — not
+// even on seals.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.traj")
+	w, err := Create(path, testMeta(), Options{BlockRounds: 32, NoAdvise: true})
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer w.Close()
+	// Warm up past several seals so col/payload/out reach capacity.
+	i := 0
+	for ; i < 256; i++ {
+		if err := w.Append(synthRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(320, func() {
+		if err := w.Append(synthRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if avg != 0 {
+		t.Fatalf("Append allocates %.2f objects/op in steady state, want 0", avg)
+	}
+}
+
+func TestReplaySummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.traj")
+	writeSynth(t, path, 500, Options{BlockRounds: 64, NoAdvise: true})
+	s, err := Replay(path, nil)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if s.Rounds != 500 {
+		t.Fatalf("Rounds = %d, want 500", s.Rounds)
+	}
+	if s.First.Round != 1 || s.Last.Round != 500 {
+		t.Fatalf("round range [%d, %d], want [1, 500]", s.First.Round, s.Last.Round)
+	}
+	if !s.Reached {
+		t.Fatal("synthetic curve crosses 0.70 but Reached = false")
+	}
+	if len(s.Crossings) != 2 {
+		t.Fatalf("crossings = %d, want 2 (levels 0.5, 0.6)", len(s.Crossings))
+	}
+	for i, c := range s.Crossings {
+		if c.Acc < c.Target {
+			t.Errorf("crossing %d: acc %.4f below target %.4f", i, c.Acc, c.Target)
+		}
+	}
+	if s.Crossings[0].Round >= s.Crossings[1].Round {
+		t.Errorf("crossings out of order: %d then %d", s.Crossings[0].Round, s.Crossings[1].Round)
+	}
+
+	rec, _, err := ReplayAt(path, 250)
+	if err != nil {
+		t.Fatalf("ReplayAt(250): %v", err)
+	}
+	if want := synthRecord(249); rec != want {
+		t.Fatalf("ReplayAt(250) = %+v, want %+v", rec, want)
+	}
+	if _, _, err := ReplayAt(path, 501); err == nil {
+		t.Fatal("ReplayAt beyond last round succeeded")
+	}
+}

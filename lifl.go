@@ -27,8 +27,10 @@
 //     per-cell detail.
 //   - Large-scale knobs on RunConfig: the SelectStream client selector
 //     (O(ActivePerRound) per round, flat in population size — million-
-//     client populations), OnRound streaming observation, and StreamOnly
-//     lean reports.
+//     client populations), OnRound streaming observation, StreamOnly
+//     lean reports, and Trajectory sinks (internal/trajstore) that
+//     stream every round into a bounded-memory columnar store for
+//     post-hoc replay — flat RSS at a million rounds.
 //   - Models: the ResNet-18/34/152 specs of the paper's workloads.
 //
 // Deeper layers (the discrete-event engine, shared-memory store, eBPF
@@ -46,6 +48,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/scenario"
 	"repro/internal/systems"
+	"repro/internal/trajstore"
 )
 
 // System kinds selectable in RunConfig.
@@ -102,6 +105,17 @@ type (
 	SweepResult = harness.Result
 	// RoundObservation streams per-round results via RunConfig.OnRound.
 	RoundObservation = core.RoundObservation
+	// TrajectorySink durably stores every round's observation
+	// (RunConfig.Trajectory); internal/trajstore is the canonical
+	// implementation and cmd/liflsim's replay verb reads its files.
+	TrajectorySink = core.TrajectorySink
+	// TrajectoryRecord is one stored round of a trajectory file.
+	TrajectoryRecord = trajstore.Record
+	// TrajectorySummary is the post-hoc fold of a whole trajectory file.
+	TrajectorySummary = trajstore.Summary
+	// TrajectoryCrossing is a milestone first-crossing reconstructed from
+	// a trajectory file (TrajectorySummary.Crossings).
+	TrajectoryCrossing = trajstore.Crossing
 )
 
 // The paper's model zoo.
@@ -150,3 +164,22 @@ func ReplaceScenario(s Scenario) error { return scenario.Replace(s) }
 // (<= 0 means one per CPU), returning results in input order; see
 // harness.Sweep.
 func Sweep(runs []ScenarioRun, workers int) []SweepResult { return harness.Sweep(runs, workers) }
+
+// NewTrajectory creates a bounded-memory trajectory sink streaming every
+// round of the run configured by cfg into path (internal/trajstore's
+// columnar block format). Assign it to RunConfig.Trajectory before Run
+// and Close it afterwards — the final partial block is written at Close.
+// Resident memory is a function of the store's block size, not of run
+// length, and for a fixed seed the file is byte-identical across worker
+// counts and sweep parallelism.
+func NewTrajectory(path string, cfg RunConfig) (*trajstore.Sink, error) {
+	return trajstore.NewSink(path, cfg, trajstore.Options{})
+}
+
+// ReplayTrajectory scans a stored trajectory end to end — verifying every
+// block checksum — and folds it into the summary the live run reported.
+// When each is non-nil it is invoked per stored round in write order; see
+// trajstore.Replay. cmd/liflsim's replay verb is the CLI face of this.
+func ReplayTrajectory(path string, each func(TrajectoryRecord) error) (*TrajectorySummary, error) {
+	return trajstore.Replay(path, each)
+}

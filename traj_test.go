@@ -1,0 +1,241 @@
+package lifl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/trajstore"
+)
+
+// trajScenario shrinks the traj-100k registry entry to n rounds for test
+// budgets (the registered entry runs 100K; nightly million-rounds runs 1M).
+func trajScenario(t *testing.T, n int) Scenario {
+	t.Helper()
+	sc, ok := GetScenario("traj-100k")
+	if !ok {
+		t.Fatal("traj-100k not registered")
+	}
+	sc.MaxRounds = n
+	return sc
+}
+
+// sweepTraj expands sc, attaches trajectory sinks under a fresh temp dir,
+// sweeps with the given parallelism, and returns the sealed file's bytes.
+func sweepTraj(t *testing.T, sc Scenario, parallel int) []byte {
+	t.Helper()
+	dir := t.TempDir()
+	runs := sc.Expand()
+	if len(runs) != 1 {
+		t.Fatalf("expected 1 run, got %d", len(runs))
+	}
+	closeTraj, err := harness.AttachTrajectories(runs, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Sweep(runs, parallel) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if err := closeTraj(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(harness.TrajPath(dir, runs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTrajectoryDeterministic pins the format's headline contract: a fixed
+// seed produces a byte-identical trajectory file whether the run is swept
+// serially or in parallel, with a 1- or 8-goroutine staged round loop, or
+// driven directly through Run without the harness. 10K rounds spans two
+// full blocks plus a remainder at the default block capacity.
+func TestTrajectoryDeterministic(t *testing.T) {
+	const rounds = 10_000
+	base := trajScenario(t, rounds)
+
+	variants := map[string][]byte{}
+	for name, f := range map[string]func() []byte{
+		"serial-w1": func() (b []byte) {
+			sc := base
+			sc.Workers = 1
+			return sweepTraj(t, sc, 1)
+		},
+		"serial-w8": func() []byte {
+			sc := base
+			sc.Workers = 8
+			return sweepTraj(t, sc, 1)
+		},
+		"parallel-w8": func() []byte {
+			sc := base
+			sc.Workers = 8
+			return sweepTraj(t, sc, 4)
+		},
+		"direct": func() []byte {
+			cfg := base.Expand()[0].Cfg
+			path := filepath.Join(t.TempDir(), "direct.traj")
+			sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Trajectory = sink
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return data
+		},
+	} {
+		variants[name] = f()
+	}
+
+	ref := variants["serial-w1"]
+	if len(ref) == 0 {
+		t.Fatal("empty trajectory file")
+	}
+	for name, data := range variants {
+		if !bytes.Equal(data, ref) {
+			t.Errorf("%s trajectory differs from serial-w1 (%d vs %d bytes)", name, len(data), len(ref))
+		}
+	}
+}
+
+// TestReplayMatchesLiveRun pins replay fidelity: every scalar the live
+// Report carries — reached verdict, time/CPU-to-target, milestone
+// crossings, round count — must be re-derivable from the file alone, and
+// ReplayAt must return the exact observation the live run streamed.
+func TestReplayMatchesLiveRun(t *testing.T) {
+	cfg := trajScenario(t, 2000).Expand()[0].Cfg
+	cfg.TargetAccuracy = 0.75 // reachable: TinyFL's curve tops out at 0.80
+	cfg.Milestones = []float64{0.50, 0.70}
+
+	live := map[int]RoundObservation{}
+	cfg.OnRound = func(o RoundObservation) { live[o.Acc.Round] = o }
+	path := filepath.Join(t.TempDir(), "run.traj")
+	sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trajectory = sink
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Reached {
+		t.Fatal("run did not reach its target; the test needs a crossing")
+	}
+
+	s, err := trajstore.Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds != rep.RoundsRun {
+		t.Fatalf("replay rounds %d, live %d", s.Rounds, rep.RoundsRun)
+	}
+	if s.Reached != rep.Reached || s.TimeToTarget != rep.TimeToTarget || s.CPUToTarget != rep.CPUToTarget {
+		t.Fatalf("replay target verdict (%v, %v, %v) != live (%v, %v, %v)",
+			s.Reached, s.TimeToTarget, s.CPUToTarget, rep.Reached, rep.TimeToTarget, rep.CPUToTarget)
+	}
+	if len(s.Crossings) != len(rep.Milestones) {
+		t.Fatalf("replay crossings %d, live milestones %d", len(s.Crossings), len(rep.Milestones))
+	}
+	for i, c := range s.Crossings {
+		h := rep.Milestones[i]
+		if c.Target != h.Target || c.Round != h.At.Round || c.Acc != h.At.Accuracy ||
+			c.Sim != h.At.Time || c.CPU != h.At.CPUTime {
+			t.Fatalf("crossing %d: replay %+v != live %+v", i, c, h)
+		}
+	}
+
+	mid := s.First.Round + (s.Last.Round-s.First.Round)/2
+	rec, _, err := trajstore.ReplayAt(path, mid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, ok := live[mid]
+	if !ok {
+		t.Fatalf("no live observation for round %d", mid)
+	}
+	if rec.Acc != o.Acc.Accuracy || rec.Sim != o.Acc.Time || rec.CPU != o.Acc.CPUTime ||
+		rec.Updates != o.Result.Updates || rec.Discarded != o.Discarded || rec.Shares != o.Shares {
+		t.Fatalf("ReplayAt(%d) = %+v != live observation %+v", mid, rec, o)
+	}
+	if _, _, err := trajstore.ReplayAt(path, s.Last.Round+1); err == nil {
+		t.Fatal("ReplayAt past the last round did not error")
+	}
+}
+
+// TestFlatRSSLongRun is the bounded-memory assertion behind the
+// million-rounds registry entry: live heap sampled across the run must
+// stay within a constant band of its early-run baseline — a bound
+// independent of round count, so the same constant holds at 100K rounds
+// (-short) and at the full million (nightly). The trajectory sink is
+// attached, so the bound covers the store's write path too.
+func TestFlatRSSLongRun(t *testing.T) {
+	rounds := 1_000_000
+	if testing.Short() {
+		rounds = 100_000
+	}
+	sc := trajScenario(t, rounds)
+
+	const sampleEvery = 25_000
+	// Live heap after GC must never exceed the first sample by more than
+	// this, no matter how many rounds follow. The run's steady state is
+	// ~4 MB; the band absorbs GC timing noise, not growth.
+	const maxGrowth = 16 << 20
+
+	var baseline uint64
+	samples := 0
+	cfg := sc.Expand()[0].Cfg
+	cfg.OnRound = func(o RoundObservation) {
+		if o.Acc.Round%sampleEvery != 0 {
+			return
+		}
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		if baseline == 0 {
+			baseline = ms.HeapAlloc
+			return
+		}
+		samples++
+		if ms.HeapAlloc > baseline+maxGrowth {
+			t.Errorf("round %d: live heap %.1f MB exceeds baseline %.1f MB + %d MB",
+				o.Acc.Round, float64(ms.HeapAlloc)/(1<<20), float64(baseline)/(1<<20), maxGrowth>>20)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "flat.traj")
+	sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trajectory = sink
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.RoundsRun != rounds || sink.Rounds() != rounds {
+		t.Fatalf("rounds: live %d, stored %d, want %d", rep.RoundsRun, sink.Rounds(), rounds)
+	}
+	if samples < 2 {
+		t.Fatalf("only %d heap samples taken", samples)
+	}
+}
