@@ -32,9 +32,9 @@
 // into DIR, one bounded-memory .traj file per run (internal/trajstore).
 // Replay them afterwards:
 //
-//	liflsim replay DIR/traj-100k.traj             # run summary
-//	liflsim replay -milestones DIR/traj-100k.traj # + milestone crossings
-//	liflsim replay -at 250 DIR/traj-100k.traj     # + round 250's record
+//	liflsim replay DIR/traj-100k--sf.traj              # run summary
+//	liflsim replay -milestones DIR/traj-100k--sf.traj  # + milestone crossings
+//	liflsim replay -at 250 DIR/traj-100k--sf.traj      # + round 250's record
 //
 // Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
 // (missing verb, -parallel < 1, -workers < 1, unknown scenario name,

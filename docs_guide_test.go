@@ -1,11 +1,11 @@
 package lifl
 
-// The docs gate: every fenced code block in docs/GUIDE.md must carry a
-// language tag, and every `go`-tagged block must be a complete, parseable,
-// gofmt-clean Go file (snippets are written as full programs so readers
-// can paste-and-run them). Blocks that are illustrative output are tagged
-// `text`. CI runs this alongside the gofmt/vet gate, so the guide's code
-// can never rot silently.
+// The docs gate: every fenced code block in README.md, docs/GUIDE.md and
+// docs/MEMORY.md must carry a language tag, and every `go`-tagged block
+// must be a complete, parseable, gofmt-clean Go file (snippets are written
+// as full programs so readers can paste-and-run them). Blocks that are
+// illustrative output are tagged `text`. CI runs this alongside the
+// gofmt/vet gate, so the docs' code can never rot silently.
 
 import (
 	"bytes"
@@ -40,7 +40,7 @@ func guideBlocks(t *testing.T, md string) [][3]string {
 			body = append(body, lines[i])
 		}
 		if i == len(lines) {
-			t.Fatalf("GUIDE.md line %d: unterminated fence", start)
+			t.Fatalf("line %d: unterminated fence", start)
 		}
 		blocks = append(blocks, [3]string{tag, strings.Join(body, "\n"), fmt.Sprint(start)})
 	}
@@ -48,43 +48,48 @@ func guideBlocks(t *testing.T, md string) [][3]string {
 }
 
 func TestGuideSnippets(t *testing.T) {
-	md, err := os.ReadFile("docs/GUIDE.md")
-	if err != nil {
-		t.Fatal(err)
-	}
-	blocks := guideBlocks(t, string(md))
-	if len(blocks) == 0 {
-		t.Fatal("GUIDE.md has no fenced blocks — the guide lost its examples")
-	}
-	goBlocks := 0
-	for _, b := range blocks {
-		tag, body, line := b[0], b[1], b[2]
-		switch tag {
-		case "":
-			t.Errorf("GUIDE.md line %s: fenced block without a language tag (use go/sh/text)", line)
-		case "go":
-			goBlocks++
-			src := []byte(body + "\n")
-			fset := token.NewFileSet()
-			if _, err := parser.ParseFile(fset, "snippet.go", src, parser.AllErrors); err != nil {
-				t.Errorf("GUIDE.md line %s: go block does not parse: %v", line, err)
-				continue
-			}
-			formatted, err := format.Source(src)
+	for _, doc := range []string{"README.md", "docs/GUIDE.md", "docs/MEMORY.md"} {
+		doc := doc
+		t.Run(doc, func(t *testing.T) {
+			md, err := os.ReadFile(doc)
 			if err != nil {
-				t.Errorf("GUIDE.md line %s: gofmt: %v", line, err)
-				continue
+				t.Fatal(err)
 			}
-			if !bytes.Equal(formatted, src) {
-				t.Errorf("GUIDE.md line %s: go block is not gofmt-clean", line)
+			blocks := guideBlocks(t, string(md))
+			if len(blocks) == 0 {
+				t.Fatalf("%s has no fenced blocks — the doc lost its examples", doc)
 			}
-		case "sh", "text", "yaml", "json":
-			// Non-Go blocks only need their honest tag.
-		default:
-			t.Errorf("GUIDE.md line %s: unexpected fence tag %q", line, tag)
-		}
-	}
-	if goBlocks == 0 {
-		t.Fatal("GUIDE.md has no go-tagged snippets to lint")
+			goBlocks := 0
+			for _, b := range blocks {
+				tag, body, line := b[0], b[1], b[2]
+				switch tag {
+				case "":
+					t.Errorf("%s line %s: fenced block without a language tag (use go/sh/text)", doc, line)
+				case "go":
+					goBlocks++
+					src := []byte(body + "\n")
+					fset := token.NewFileSet()
+					if _, err := parser.ParseFile(fset, "snippet.go", src, parser.AllErrors); err != nil {
+						t.Errorf("%s line %s: go block does not parse: %v", doc, line, err)
+						continue
+					}
+					formatted, err := format.Source(src)
+					if err != nil {
+						t.Errorf("%s line %s: gofmt: %v", doc, line, err)
+						continue
+					}
+					if !bytes.Equal(formatted, src) {
+						t.Errorf("%s line %s: go block is not gofmt-clean", doc, line)
+					}
+				case "sh", "text", "yaml", "json":
+					// Non-Go blocks only need their honest tag.
+				default:
+					t.Errorf("%s line %s: unexpected fence tag %q", doc, line, tag)
+				}
+			}
+			if goBlocks == 0 {
+				t.Fatalf("%s has no go-tagged snippets to lint", doc)
+			}
+		})
 	}
 }

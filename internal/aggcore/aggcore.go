@@ -60,6 +60,11 @@ type Update struct {
 	Store *shm.Store
 }
 
+// Release drops the update's shm reference, if any — the round-closure
+// path for updates still parked on a retired logical name. The reference
+// is cleared, so calling it again is a no-op.
+func (u *Update) Release() { u.release() }
+
 // release drops the shm reference, if any.
 func (u *Update) release() {
 	if u.Store != nil {

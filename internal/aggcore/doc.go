@@ -10,7 +10,10 @@
 //
 // Aggregators are stateless across rounds and use homogenized runtimes, so
 // a warm leaf can be converted into a middle or top aggregator with nothing
-// but a role flip (§5.3).
+// but a role flip (§5.3). Updates reference shared-memory objects; an
+// update consumed by Agg releases its reference, and Update.Release frees
+// updates a round retires unconsumed, so shm slabs never leak across
+// rounds.
 //
 // Layer (DESIGN.md): component model under internal/systems — the
 // Recv/Agg/Send aggregator pipeline every system assembles its hierarchy

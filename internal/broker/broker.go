@@ -90,6 +90,20 @@ func (b *Broker) Subscribe(topic string, fn func(Message)) {
 // up again until the next Subscribe.
 func (b *Broker) Unsubscribe(topic string) { delete(b.subs, topic) }
 
+// RetireTopic drops every record the broker holds for a closed topic —
+// subscriber and queue slot alike. Unsubscribe keeps the queue (messages
+// wait for the next Subscribe); retirement is terminal: the control plane
+// guarantees nothing will publish or subscribe on the topic again. Any
+// messages still parked (there are none on a cleanly closed round) leave
+// the buffered accounting with them.
+func (b *Broker) RetireTopic(topic string) {
+	for _, m := range b.queues[topic] {
+		b.buffered -= m.Size
+	}
+	delete(b.queues, topic)
+	delete(b.subs, topic)
+}
+
 // pump delivers queued messages to the subscriber, one dispatch cost each.
 func (b *Broker) pump(topic string) {
 	fn := b.subs[topic]
@@ -112,6 +126,19 @@ func (b *Broker) pump(topic string) {
 
 // QueueLen returns messages parked on the topic.
 func (b *Broker) QueueLen(topic string) int { return len(b.queues[topic]) }
+
+// Topics returns the number of topic records the broker currently holds —
+// queue slots and subscribers combined, the control-plane footprint that
+// RetireTopic bounds.
+func (b *Broker) Topics() int {
+	n := len(b.queues)
+	for t := range b.subs {
+		if _, ok := b.queues[t]; !ok {
+			n++
+		}
+	}
+	return n
+}
 
 // Buffered returns bytes currently resident in broker queues.
 func (b *Broker) Buffered() uint64 { return b.buffered }

@@ -5,6 +5,11 @@
 // hold direct routes. Every pass through the broker costs an extra copy in,
 // a copy out, and buffer memory — the "+MB" share of Fig. 7(a).
 //
+// Topics are round-named, so the broker's maps grow with every round
+// unless closed rounds are retired: RetireTopic drops a topic's
+// subscriber and queue slot terminally (Unsubscribe keeps the queue for
+// a future subscriber; retirement guarantees there will be none).
+//
 // Layer (DESIGN.md): component model under internal/systems — the
 // stateful message broker of the SL baseline.
 package broker

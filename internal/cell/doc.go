@@ -15,6 +15,11 @@
 // partial round is discarded and its clients re-route to the surviving
 // cells (quorum), or a replacement is restored from the cell's last
 // durable checkpoint and the interrupted round replayed (wait-all).
+// Because each cell steps through Platform.StepRound, cells retire
+// closed rounds' control-plane records like any run (RetainRounds);
+// the checkpoint store always pins its newest snapshot, so a wait-all
+// restore works even when the outage lands past the retention window
+// (TestFabricRestorePastRetentionWindow).
 //
 // Layer (DESIGN.md): above internal/core, beside internal/harness — it
 // drives per-cell core.Platforms round by round via Platform.StepRound,

@@ -344,3 +344,50 @@ func TestApportion(t *testing.T) {
 		}
 	}
 }
+
+// Wait-all restore at the edge of the retention window: with the default
+// RetainRounds the cells have long since retired the control-plane records
+// of the round that wrote the last checkpoint (round 20 under the default
+// 10-round period) by the time the outage hits at round 29 — yet the
+// restore must still replay from that checkpoint, because the store's
+// retirement always pins the newest snapshot. And since retirement is pure
+// bookkeeping, the interrupted run must be byte-identical whether the
+// cells retire aggressively or not at all.
+func TestFabricRestorePastRetentionWindow(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MaxRounds = 110
+	spec := core.CellSpec{Count: 3, OutageRound: 29, OutageCell: 1}
+	cfg.Cells = &spec
+
+	run := func(retain int) (*core.Report, *Detail) {
+		c := cfg
+		c.RetainRounds = retain
+		rep, det, err := Run(c)
+		if err != nil {
+			t.Fatalf("retain=%d: %v", retain, err)
+		}
+		stripWall(rep)
+		return rep, det
+	}
+
+	rep, det := run(core.DefaultRetainRounds)
+	c := det.Cells[1]
+	if c.Dead {
+		t.Fatalf("wait-all cell stayed dead: %+v", c)
+	}
+	if c.DiedRound != 29 || c.RestoredRound != 29 {
+		t.Fatalf("restore rounds wrong: %+v", c)
+	}
+	if c.Checkpoints == 0 {
+		t.Fatal("cell never checkpointed; restore had nothing to round-trip")
+	}
+	if !rep.Reached {
+		t.Fatalf("restored run did not reach target in %d rounds", rep.RoundsRun)
+	}
+
+	repOff, detOff := run(-1)
+	if !reflect.DeepEqual(rep, repOff) || !reflect.DeepEqual(det, detOff) {
+		t.Fatalf("restore diverged across retention windows: retain=%d rounds=%d tta=%v vs retain=-1 rounds=%d tta=%v",
+			core.DefaultRetainRounds, rep.RoundsRun, rep.TimeToTarget, repOff.RoundsRun, repOff.TimeToTarget)
+	}
+}

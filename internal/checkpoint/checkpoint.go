@@ -80,5 +80,26 @@ func (s *Store) Latest() (Record, error) {
 	return s.records[len(s.records)-1], nil
 }
 
-// Count returns the number of durable checkpoints.
-func (s *Store) Count() int { return len(s.records) }
+// Retire drops durable records for rounds <= last, always keeping the
+// newest record so Latest (the failover-restore source) survives any
+// retention window. Count is cumulative and unaffected — retirement is
+// bookkeeping on the store's resident copy, not on its history.
+func (s *Store) Retire(last int) {
+	if len(s.records) <= 1 {
+		return
+	}
+	keep := s.records[:0]
+	for i, r := range s.records {
+		if r.Round > last || i == len(s.records)-1 {
+			keep = append(keep, r)
+		}
+	}
+	if len(keep) < len(s.records) {
+		s.records = append([]Record(nil), keep...)
+	}
+}
+
+// Count returns the cumulative number of checkpoints made durable over the
+// run (identical to len of the resident records before any retirement;
+// Retire never decreases it).
+func (s *Store) Count() int { return int(s.Completed) }

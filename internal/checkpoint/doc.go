@@ -8,6 +8,9 @@
 // The multi-cell fabric (internal/cell) leans on this path for cell
 // failover: every LIFL cell checkpoints periodically, and a wait-all
 // restore resumes a dead cell from its store's latest durable record.
+// Store.Retire drops superseded records when their rounds leave the
+// retention window but always pins the newest snapshot, so restore keeps
+// working no matter how far past the window the outage lands.
 //
 // Layer (DESIGN.md): side quest — Appendix B model checkpoints, written
 // asynchronously off the aggregation critical path.

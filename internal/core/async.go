@@ -135,6 +135,12 @@ func (p *Platform) runAsync() (*Report, error) {
 				}
 			}
 		}
+		// Version folded and installed: retire records outside the
+		// retention window (the async analogue of the round loop's
+		// post-StepRound retirement).
+		if rr := cfg.RetainRounds; rr > 0 {
+			p.Asys.RetireRound(v.Version - rr)
+		}
 		if !rep.Reached && acc >= cfg.TargetAccuracy {
 			rep.Reached = true
 			rep.TimeToTarget = v.End

@@ -35,6 +35,13 @@ const (
 	SystemAsync SystemKind = "async"
 )
 
+// DefaultRetainRounds is the default control-plane record retention
+// window (RunConfig.RetainRounds): the newest two rounds' records stay
+// live, which covers mid-round failover replay (current round) and the
+// cell fabric's wait-all replay of an interrupted round (previous round's
+// global is still installed when the replay starts).
+const DefaultRetainRounds = 2
+
 // SelectorKind picks the per-round client sampling algorithm.
 type SelectorKind string
 
@@ -246,6 +253,17 @@ type RunConfig struct {
 	// and every RNG draw stays serial — so Workers is a wall-clock knob,
 	// never a semantics knob.
 	Workers int
+	// RetainRounds is the control-plane record retention window: after
+	// round r closes, the round loop retires every record belonging to
+	// rounds <= r − RetainRounds (Service.RetireRound; the async loop
+	// retires by folded version), keeping the newest RetainRounds rounds'
+	// records live for mid-round failover replay and the cell fabric's
+	// wait-all checkpoint-restore. 0 means DefaultRetainRounds; negative
+	// disables eviction entirely — the pre-eviction behaviour, whose live
+	// heap grows linearly with round count on the serverless systems.
+	// Eviction is bookkeeping, not schedule: the Report is byte-identical
+	// for ANY value, including eviction off.
+	RetainRounds int
 	// FailureRate is the probability a selected client dies mid-round
 	// (battery, lost connectivity). Failures are detected by keep-alive
 	// heartbeats (§3) and covered by over-provisioned standbys, so rounds
@@ -339,6 +357,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.Workers == 0 {
 		c.Workers = 1
+	}
+	if c.RetainRounds == 0 {
+		c.RetainRounds = DefaultRetainRounds
 	}
 	if c.System == SystemAsync {
 		a := AsyncSpec{}
@@ -666,6 +687,12 @@ func (p *Platform) StepRound(rng *sim.RNG, round, goal int) (systems.RoundResult
 	}
 	if result == nil {
 		return systems.RoundResult{}, 0, errors.New("core: round did not complete")
+	}
+	// Round closed, global installed: retire records that fell out of the
+	// retention window. Sitting here (not in Run's loop) covers the cell
+	// fabric too, which drives StepRound directly.
+	if rr := p.Cfg.RetainRounds; rr > 0 {
+		p.Sys.RetireRound(round - rr)
 	}
 	return *result, time.Since(roundStart), nil
 }

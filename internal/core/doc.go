@@ -20,4 +20,13 @@
 // deterministic fold. RunConfig.Workers bounds the pool (internal/par);
 // it is a wall-clock knob only — the Report is byte-identical for any
 // worker count (TestWorkersByteIdenticalReports).
+//
+// Every StepRound ends by retiring closed rounds' control-plane records:
+// Service.RetireRound(round − RunConfig.RetainRounds) evicts them once
+// they leave the retention window (the async loop retires per version
+// bump). Like Workers, RetainRounds is not a schedule knob — the Report
+// is byte-identical for any window, including retirement disabled
+// (TestRetainRoundsByteIdenticalReports) — it is what keeps million-round
+// runs' memory flat in every system, not just the static-hierarchy SF
+// (TestFlatRSSLongRun; docs/MEMORY.md).
 package core

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The retirement determinism contract: RetainRounds is a memory knob, not
+// a schedule knob. For a fixed seed, every retention window — the default,
+// a wide one, and retirement disabled outright — must produce a
+// byte-identical Report, because eviction only drops closed rounds'
+// bookkeeping and never touches the event queue, the CPU accounting, or
+// the model bits.
+func TestRetainRoundsByteIdenticalReports(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  RunConfig
+	}{
+		{"lifl", smallCfg(SystemLIFL)},
+		{"slh", smallCfg(SystemSLH)},
+		{"sf", smallCfg(SystemSF)},
+		{"sl", smallCfg(SystemSL)},
+		{"async", smallAsync()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := tc.cfg
+			ref.RetainRounds = -1 // retirement disabled: every record retained
+			want, err := Run(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stripReportWall(want)
+			for _, rr := range []int{DefaultRetainRounds, 8} {
+				cfg := tc.cfg
+				cfg.RetainRounds = rr
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("retain=%d: %v", rr, err)
+				}
+				stripReportWall(got)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("retain=%d diverged from retain=-1:\noff: rounds=%d elapsed=%v cpu=%v\non:  rounds=%d elapsed=%v cpu=%v",
+						rr, want.RoundsRun, want.Elapsed, want.CPUTotal,
+						got.RoundsRun, got.Elapsed, got.CPUTotal)
+				}
+			}
+		})
+	}
+}
+
+// RetainRounds zero means the default window — the knob must round-trip
+// through withDefaults without disabling retirement.
+func TestRetainRoundsDefaulting(t *testing.T) {
+	cfg := smallCfg(SystemLIFL)
+	d := cfg.Defaulted()
+	if d.RetainRounds != DefaultRetainRounds {
+		t.Fatalf("zero RetainRounds defaulted to %d, want %d", d.RetainRounds, DefaultRetainRounds)
+	}
+	cfg.RetainRounds = -3
+	if d := cfg.Defaulted(); d.RetainRounds != -3 {
+		t.Fatalf("negative RetainRounds rewritten to %d", d.RetainRounds)
+	}
+}

@@ -6,6 +6,13 @@
 // event-driven execution (a program runs only when a send() event fires, so
 // idle cost is zero) — while the kernel boundary itself is simulated.
 //
+// Metric samples are stamped with the training round (or async version)
+// of the message that produced them, and SKMSGProgram.RetireRound deletes
+// a closed round's samples from the in-kernel map — the map-entry half of
+// the round-closure lifecycle (docs/MEMORY.md) that keeps long runs'
+// kernel state bounded. Sockmap entries are per logical aggregator name;
+// the systems layer removes them when the name's round retires.
+//
 // Layer (DESIGN.md): component model under internal/systems — the
 // SockMap/SkMsg kernel-bypass substrate (§4.3).
 package ebpf

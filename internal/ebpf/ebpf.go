@@ -126,10 +126,13 @@ func (sm *SockMap) Len() int { return len(sm.socks) }
 
 // MetricSample is one record in the metrics map, written by the eBPF sidecar
 // on every send() event (§4.3) and drained periodically by the LIFL agent.
+// Round stamps the training round (or async version) the message belonged
+// to, which is what lets RetireRound evict a closed round's samples.
 type MetricSample struct {
 	Owner     string
 	Kind      string
 	Size      uint64
+	Round     int
 	ExecTime  sim.Duration // execution time of the preceding task
 	Timestamp sim.Duration
 }
@@ -170,6 +173,7 @@ func (p *SKMSGProgram) Run(msg Message, execTime sim.Duration) (Verdict, *Socket
 			Owner:     msg.SrcID,
 			Kind:      msg.Kind,
 			Size:      msg.Size,
+			Round:     msg.Round,
 			ExecTime:  execTime,
 			Timestamp: p.eng.Now(),
 		})
@@ -181,6 +185,27 @@ func (p *SKMSGProgram) Run(msg Message, execTime sim.Duration) (Verdict, *Socket
 	}
 	p.Redirects++
 	return VerdictRedirect, dst, nil
+}
+
+// RetireRound deletes buffered samples stamped with Round <= last and
+// returns how many were dropped — the round-closure half of the metrics
+// map lifecycle. The control plane retires a round's samples when the
+// round's records are evicted; DrainMetrics stays available for the §4.3
+// periodic full retrieval.
+func (p *SKMSGProgram) RetireRound(last int) int {
+	if p.metrics == nil {
+		return 0
+	}
+	var dead []uint64
+	p.metrics.ForEach(func(k uint64, v MetricSample) {
+		if v.Round <= last {
+			dead = append(dead, k)
+		}
+	})
+	for _, k := range dead {
+		p.metrics.DeleteElem(k)
+	}
+	return len(dead)
 }
 
 // DrainMetrics removes and returns all buffered samples — the LIFL agent's

@@ -3,6 +3,10 @@
 // eBPF metrics maps, §4.3), sliding-window arrival-rate meters used by the
 // load balancer's k_{i,t}, and execution-time averages used for E_{i,t}.
 //
+// Series are append-only during a run; Server.TrimAll bounds them to a
+// constant tail when rounds retire, so diagnostic storage never grows
+// with run length (docs/MEMORY.md).
+//
 // Layer (DESIGN.md): component support under internal/core — arrival
 // meters feeding the placement/planner inputs.
 package metrics

@@ -31,6 +31,17 @@ func (s *Series) Last() Point {
 	return s.Points[len(s.Points)-1]
 }
 
+// TrimTo drops the oldest points beyond max, keeping the newest max
+// samples, and releases the larger backing array. Long-horizon runs bound
+// their diagnostic series this way; a reader that needs full history must
+// consume points before the owner's trim cadence passes them by.
+func (s *Series) TrimTo(max int) {
+	if max < 0 || len(s.Points) <= max {
+		return
+	}
+	s.Points = append(make([]Point, 0, max), s.Points[len(s.Points)-max:]...)
+}
+
 // Bucketize sums samples into fixed-width buckets over [0, horizon] — used
 // to produce the "arrival rate per minute" series of Fig. 10(a,d).
 func (s *Series) Bucketize(width, horizon sim.Duration) []float64 {
@@ -78,6 +89,15 @@ func (s *Server) Series(name string) *Series {
 
 // Record appends to the named series at the current virtual time.
 func (s *Server) Record(name string, v float64) { s.Series(name).Add(s.eng.Now(), v) }
+
+// TrimAll bounds every stored series to its newest max points — the
+// metrics server's part of the per-round record lifecycle (meters and
+// rolling averages are already self-bounding).
+func (s *Server) TrimAll(max int) {
+	for _, ser := range s.series {
+		ser.TrimTo(max)
+	}
+}
 
 // Names lists stored series, sorted.
 func (s *Server) Names() []string {

@@ -292,17 +292,18 @@ func init() {
 	// Round-count stress, short edition: 100K rounds streamed into the
 	// bounded-memory trajectory store (internal/trajstore). TinyFL keeps
 	// the per-round cost pure round machinery; the unreachable target
-	// (the curve tops out at 0.80) runs the full MaxRounds. SF because
-	// flat RSS needs a flat baseline: the always-on hierarchy creates its
-	// aggregators once, while the serverless systems accumulate per-round
-	// control-plane records (round-named aggregators, topology vertices,
-	// socket routes — a ROADMAP item). PR-gated: the bench gate watches
-	// the store's write path and the run's memory trajectory (final heap,
-	// slope) alongside its time trajectory.
+	// (the curve tops out at 0.80) runs the full MaxRounds. Sweeps every
+	// synchronous shape: round-closure retirement (Service.RetireRound,
+	// driven by RunConfig.RetainRounds) evicts per-round control-plane
+	// records — round-named aggregators, socket routes, eBPF map entries,
+	// broker topics — so the serverless systems now hold the same flat-RSS
+	// contract the always-on SF hierarchy gets for free. PR-gated: the
+	// bench gate watches the store's write path and each run's memory
+	// trajectory (final heap, slope) alongside its time trajectory.
 	mustRegister(Scenario{
 		Name:           "traj-100k",
 		Description:    "trajstore stress: 100K rounds streamed to the bounded-memory trajectory store",
-		System:         core.SystemSF,
+		Systems:        []core.SystemKind{core.SystemSF, core.SystemLIFL, core.SystemSLH, core.SystemSL},
 		Model:          model.TinyFL,
 		Clients:        512,
 		ActivePerRound: 8,
@@ -317,15 +318,17 @@ func init() {
 		Bench:          BenchMeta{Class: ClassShort, Repeats: 2, Milestones: []float64{0.50, 0.70}},
 	})
 	// Round-count stress, nightly edition: one million rounds under
-	// StreamOnly + Trajectory — the flat-RSS headline entry. The in-test
-	// assertion lives in traj_test.go (heap sampled over the run, bounded
-	// by a constant independent of round count); the nightly bench gate
-	// additionally fails on RSS-trajectory regression via the perfrec
-	// final-heap/slope metrics.
+	// StreamOnly + Trajectory — the flat-RSS headline entry, swept across
+	// all four synchronous shapes now that round retirement keeps the
+	// serverless control planes bounded. The in-test assertion lives in
+	// traj_test.go (heap sampled over the run, bounded by a constant
+	// independent of round count); the nightly bench gate additionally
+	// fails on RSS-trajectory regression via the perfrec final-heap/slope
+	// metrics.
 	mustRegister(Scenario{
 		Name:           "million-rounds",
 		Description:    "trajstore stress: 1M rounds, flat RSS, StreamOnly + trajectory sink",
-		System:         core.SystemSF,
+		Systems:        []core.SystemKind{core.SystemSF, core.SystemLIFL, core.SystemSLH, core.SystemSL},
 		Model:          model.TinyFL,
 		Clients:        512,
 		ActivePerRound: 8,

@@ -133,6 +133,11 @@ type AsyncService interface {
 	ActiveAggregators() int
 	// CPUTime returns cumulative usage-based CPU cost.
 	CPUTime() sim.Duration
+	// RetireRound evicts control-plane records belonging to folded
+	// versions <= last — the async counterpart of Service.RetireRound,
+	// called by core's version loop with version − RetainRounds after
+	// each fold. Same contract: bookkeeping only, never schedule.
+	RetireRound(last int)
 	// Finalize settles deferred costs before reading final counters.
 	Finalize()
 }
@@ -261,6 +266,18 @@ func (s *Async) ActiveAggregators() int { return s.Mgr.LiveCount() }
 func (s *Async) CPUTime() sim.Duration {
 	s.Finalize()
 	return s.Cluster.TotalCPUTime()
+}
+
+// RetireRound implements AsyncService: folded versions <= last are
+// closed, so the eBPF metric samples stamped with their version numbers
+// are deleted from every node's metrics map. The buffer's single sockmap
+// entry and its gateway routes are version-independent (installed once at
+// startup), so the metrics maps are the async plane's only per-version
+// records.
+func (s *Async) RetireRound(last int) {
+	for _, n := range s.Cluster.Nodes {
+		n.SKMSG.RetireRound(last)
+	}
 }
 
 // Finalize implements AsyncService.

@@ -12,6 +12,15 @@
 // hierarchy aggregates, the top aggregator installs the new global model
 // and evaluates it.
 //
+// Rounds also close: Service.RetireRound(last) evicts every control-plane
+// record a system holds for rounds <= last — round-named sockmap entries
+// and gateway routes (LIFL/SL-H), broker topics and sidecar bindings (SL),
+// round-stamped eBPF metric samples, superseded checkpoints, and the
+// retained round state itself. SF's static hierarchy names nothing per
+// round, so its RetireRound is a no-op. Retirement is bookkeeping, never
+// schedule: Reports are byte-identical for any retention window (see
+// docs/MEMORY.md for the full lifecycle).
+//
 // Layer (DESIGN.md): wires the component models into whole systems —
 // the only package that knows what LIFL or a baseline is. core drives these
 // assemblies; nothing below imports this package.

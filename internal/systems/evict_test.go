@@ -1,0 +1,227 @@
+package systems
+
+import (
+	"testing"
+
+	"repro/internal/ebpf"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// The round-closure retirement contract, per system: control-plane records
+// for closed rounds (sockmap entries, gateway routes, eBPF metric samples,
+// broker topics, sidecar bindings, round state) stay resident inside the
+// retention window and are gone after RetireRound — and retirement is pure
+// bookkeeping: no events scheduled, no CPU charged, no model bits moved.
+
+// runRoundN drives one numbered round to completion (eng.Run(-1), so
+// sequential rounds keep advancing the shared clock).
+func runRoundN(t *testing.T, svc Service, eng *sim.Engine, round, n int) {
+	t.Helper()
+	var got *RoundResult
+	svc.RunRound(round, makeJobs(n), func(r RoundResult) { got = &r })
+	if err := eng.Run(-1); err != nil {
+		t.Fatalf("round %d: %v", round, err)
+	}
+	if got == nil {
+		t.Fatalf("%s: round %d did not complete", svc.Name(), round)
+	}
+}
+
+// sockTotal sums logical-name sockmap entries across the cluster.
+func sockTotal(s *LIFL) int {
+	n := 0
+	for _, nd := range s.Cluster.Nodes {
+		n += nd.SockMap.Len()
+	}
+	return n
+}
+
+// routeTotal sums installed inter-node gateway routes.
+func routeTotal(s *LIFL) int {
+	n := 0
+	for _, gw := range s.GWs {
+		n += gw.Routes()
+	}
+	return n
+}
+
+func TestLIFLRetireRoundEvictsRecords(t *testing.T) {
+	for name, flags := range map[string]Flags{
+		"lifl": AllFlags(),
+		"slh":  {},
+	} {
+		t.Run(name, func(t *testing.T) {
+			eng := sim.NewEngine()
+			s := NewLIFL(eng, Config{Nodes: 5, Model: model.ResNet18, Flags: flags, Seed: 7})
+			for r := 1; r <= 3; r++ {
+				runRoundN(t, s, eng, r, 12)
+			}
+			if len(s.hist) != 3 {
+				t.Fatalf("hist holds %d rounds before retirement, want 3", len(s.hist))
+			}
+			socks0, routes0 := sockTotal(s), routeTotal(s)
+			if socks0 == 0 {
+				t.Fatal("no sockmap entries after 3 rounds; nothing to evict")
+			}
+
+			global := s.Global().Clone()
+			pending := eng.Pending()
+			cpu := s.CPUTime()
+
+			// Inside the window: rounds 1–2 retired, round 3 retained.
+			s.RetireRound(2)
+			if len(s.hist) != 1 {
+				t.Fatalf("hist holds %d rounds after RetireRound(2), want 1", len(s.hist))
+			}
+			if _, ok := s.hist[3]; !ok {
+				t.Fatal("round 3 evicted while inside the retention window")
+			}
+			if got := sockTotal(s); got >= socks0 {
+				t.Fatalf("sockmap entries did not shrink: %d -> %d", socks0, got)
+			}
+			if routes0 > 0 {
+				if got := routeTotal(s); got >= routes0 {
+					t.Fatalf("gateway routes did not shrink: %d -> %d", routes0, got)
+				}
+			}
+			for _, nd := range s.Cluster.Nodes {
+				nd.Metrics.ForEach(func(_ uint64, v ebpf.MetricSample) {
+					if v.Round <= 2 {
+						t.Fatalf("metric sample for retired round %d survived", v.Round)
+					}
+				})
+			}
+
+			// Retirement is bookkeeping: same global bits, no new events,
+			// no CPU charged.
+			if diff, err := s.Global().MaxAbsDiff(global); err != nil || diff != 0 {
+				t.Fatalf("retirement touched the global model: diff %v err %v", diff, err)
+			}
+			if eng.Pending() != pending {
+				t.Fatalf("retirement scheduled events: %d -> %d", pending, eng.Pending())
+			}
+			if s.CPUTime() != cpu {
+				t.Fatalf("retirement charged CPU: %v -> %v", cpu, s.CPUTime())
+			}
+
+			// Past the window: everything goes.
+			s.RetireRound(3)
+			if len(s.hist) != 0 {
+				t.Fatalf("hist holds %d rounds after full retirement", len(s.hist))
+			}
+			if got := sockTotal(s); got != 0 {
+				t.Fatalf("%d sockmap entries survived full retirement", got)
+			}
+			if got := routeTotal(s); got != 0 {
+				t.Fatalf("%d gateway routes survived full retirement", got)
+			}
+			for _, nd := range s.Cluster.Nodes {
+				if nd.Metrics.Len() != 0 {
+					t.Fatalf("%d metric samples survived full retirement", nd.Metrics.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestSLRetireRoundEvictsRecords(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSL(eng, Config{Nodes: 5, Model: model.ResNet18, Seed: 7})
+	for r := 1; r <= 3; r++ {
+		runRoundN(t, s, eng, r, 12)
+	}
+	if len(s.hist) != 3 {
+		t.Fatalf("hist holds %d rounds before retirement, want 3", len(s.hist))
+	}
+	topics0 := 0
+	for _, b := range s.Brokers {
+		topics0 += b.Topics()
+	}
+	if topics0 == 0 {
+		t.Fatal("no broker topic records after 3 rounds; nothing to evict")
+	}
+
+	s.RetireRound(2)
+	if len(s.hist) != 1 {
+		t.Fatalf("hist holds %d rounds after RetireRound(2), want 1", len(s.hist))
+	}
+	if _, ok := s.hist[3]; !ok {
+		t.Fatal("round 3 evicted while inside the retention window")
+	}
+	topics1 := 0
+	for _, b := range s.Brokers {
+		topics1 += b.Topics()
+	}
+	if topics1 >= topics0 {
+		t.Fatalf("broker topic records did not shrink: %d -> %d", topics0, topics1)
+	}
+
+	s.RetireRound(3)
+	if len(s.hist) != 0 {
+		t.Fatalf("hist holds %d rounds after full retirement", len(s.hist))
+	}
+	for _, b := range s.Brokers {
+		if b.Topics() != 0 {
+			t.Fatalf("%d topic records survived full retirement on %s", b.Topics(), b.Node.Name)
+		}
+	}
+	if len(s.aggSidecar) != 0 {
+		t.Fatalf("%d sidecar bindings survived full retirement", len(s.aggSidecar))
+	}
+}
+
+// SF's hierarchy is static — there are no per-round records, and
+// RetireRound must be a true no-op.
+func TestSFRetireRoundNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSF(eng, Config{Nodes: 5, Model: model.ResNet18, SFLeaves: 6, Seed: 7})
+	runOneRound(t, s, eng, 12)
+	global := s.Global().Clone()
+	pending := eng.Pending()
+	s.RetireRound(1)
+	if diff, err := s.Global().MaxAbsDiff(global); err != nil || diff != 0 {
+		t.Fatalf("SF retirement touched the global model: diff %v err %v", diff, err)
+	}
+	if eng.Pending() != pending {
+		t.Fatalf("SF retirement scheduled events: %d -> %d", pending, eng.Pending())
+	}
+}
+
+// The async shape retires by folded version: samples stamped at or below
+// the retired version leave every node's metrics map, newer ones stay.
+func TestAsyncRetireRoundEvictsMetrics(t *testing.T) {
+	eng, s := newAsyncRig(t, 2, AsyncParams{BufferK: 1})
+	for i := 0; i < 6; i++ {
+		dispatchConst(s, i%2, float32(i+1), 1, sim.Duration(i+1)*sim.Second, nil)
+	}
+	if err := eng.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range s.Cluster.Nodes {
+		total += n.Metrics.Len()
+	}
+	if total == 0 {
+		t.Fatal("no metric samples after 6 folds; nothing to retire")
+	}
+	s.RetireRound(3)
+	left := 0
+	for _, n := range s.Cluster.Nodes {
+		n.Metrics.ForEach(func(_ uint64, v ebpf.MetricSample) {
+			if v.Round <= 3 {
+				t.Fatalf("sample for retired version %d survived", v.Round)
+			}
+		})
+		left += n.Metrics.Len()
+	}
+	if left == 0 || left >= total {
+		t.Fatalf("version retirement off: %d -> %d samples", total, left)
+	}
+	s.RetireRound(s.Version())
+	for _, n := range s.Cluster.Nodes {
+		if n.Metrics.Len() != 0 {
+			t.Fatalf("%d samples survived full retirement", n.Metrics.Len())
+		}
+	}
+}

@@ -54,6 +54,10 @@ type LIFL struct {
 	Ckpt *checkpoint.Store
 
 	rs *liflRound
+	// hist retains closed rounds' state until RetireRound evicts them —
+	// the control-plane record window that keeps mid-round failover
+	// replay and checkpoint-restore working while bounding live heap.
+	hist map[int]*liflRound
 
 	// TotalConversions counts §5.3 role conversions across rounds.
 	TotalConversions uint64
@@ -110,6 +114,7 @@ func NewLIFL(eng *sim.Engine, cfg Config) *LIFL {
 		global:  newGlobal(cfg.Model),
 		algo:    fedavg.FedAvg{Workers: cfg.Workers},
 		Ckpt:    checkpoint.NewStore(eng, 1e9), // 1 GB/s uplink to storage
+		hist:    make(map[int]*liflRound),
 	}
 	for _, n := range cl.Nodes {
 		s.GWs = append(s.GWs, gateway.New(n))
@@ -202,6 +207,7 @@ func (s *LIFL) RunRound(round int, jobs []ClientJob, done func(RoundResult)) {
 		}
 	}
 	s.rs = rs
+	s.hist[round] = rs
 
 	// Reap expired warm instances at round boundaries (the agent's cycle).
 	for _, m := range s.Mgrs {
@@ -365,6 +371,77 @@ func (s *LIFL) FailAggregator(name string) (int, error) {
 	rs.pending[name] = append(rs.pending[name], replay...)
 	s.provision(rs, name, node, role, goal, dst)
 	return len(replay), nil
+}
+
+// metricsKeep bounds the diagnostic metrics series once rounds start
+// retiring: enough history for any rate/window consumer, constant over
+// arbitrarily many rounds.
+const metricsKeep = 4096
+
+// RetireRound implements Service: evict every control-plane record for
+// rounds <= last. For each retired round the logical aggregator names are
+// re-derived deterministically from the retained plan (sorted node walk),
+// their sockmap entries and gateway routes dropped on every node, leftover
+// pending shm references released, and the round state — bind map, TAG,
+// plans, aggregator closures — unreferenced. The eBPF metrics maps drop
+// the rounds' samples, the checkpoint store retires superseded snapshots,
+// and the metrics server's series are bounded. Pure bookkeeping: no
+// sandbox terminations, no CPU charges, no events.
+func (s *LIFL) RetireRound(last int) {
+	var rounds []int
+	for r, rs := range s.hist {
+		if r <= last && rs.finished {
+			rounds = append(rounds, r)
+		}
+	}
+	if len(rounds) == 0 {
+		return
+	}
+	sort.Ints(rounds)
+	for _, r := range rounds {
+		s.evictRound(s.hist[r])
+		delete(s.hist, r)
+	}
+	for _, n := range s.Cluster.Nodes {
+		n.SKMSG.RetireRound(last)
+	}
+	s.Ckpt.Retire(last)
+	s.Metrics.TrimAll(metricsKeep)
+}
+
+// evictRound retires one closed round's registrations and references.
+func (s *LIFL) evictRound(rs *liflRound) {
+	for _, name := range s.roundNames(rs) {
+		for _, n := range s.Cluster.Nodes {
+			n.SockMap.Remove(name)
+		}
+		for _, gw := range s.GWs {
+			gw.DropRoute(name)
+		}
+		for _, u := range rs.pending[name] {
+			u.Release()
+		}
+		delete(rs.pending, name)
+	}
+}
+
+// roundNames lists a round's logical aggregator names in deterministic
+// order: each planned node's leaves then its middle (sorted by node
+// index), and the top last.
+func (s *LIFL) roundNames(rs *liflRound) []string {
+	nodes := make([]int, 0, len(rs.plans))
+	for nd := range rs.plans {
+		nodes = append(nodes, nd)
+	}
+	sort.Ints(nodes)
+	names := make([]string, 0, 2*len(nodes)+1)
+	for _, nd := range nodes {
+		names = append(names, rs.leafFor[nd]...)
+		if rs.plans[nd].Middle {
+			names = append(names, s.middleName(rs.round, nd))
+		}
+	}
+	return append(names, s.topName(rs.round))
 }
 
 func (s *LIFL) leafName(round, node, i int) string {

@@ -167,6 +167,12 @@ func (s *SF) CPUTime() sim.Duration { return s.Cluster.TotalReservedCPUTime() }
 // ActiveAggregators implements Service: the static pool is always active.
 func (s *SF) ActiveAggregators() int { return len(s.leaves) + len(s.middles) + 1 }
 
+// RetireRound implements Service: a no-op. The serverful hierarchy is
+// static — channels, queues and aggregator processes are round-agnostic,
+// so there are no per-round control-plane records to evict (which is why
+// SF's live heap was flat over long runs before eviction existed).
+func (s *SF) RetireRound(int) {}
+
 // Finalize implements Service.
 func (s *SF) Finalize() {}
 

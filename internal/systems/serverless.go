@@ -10,6 +10,7 @@ package systems
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/aggcore"
 	"repro/internal/autoscaler"
@@ -42,6 +43,8 @@ type SL struct {
 	aggSidecar map[string]*sidecar.Container // aggregator ID → its pod's sidecar
 
 	rs *slRound
+	// hist retains closed rounds' state until RetireRound evicts them.
+	hist map[int]*slRound
 }
 
 type slAgg struct {
@@ -97,6 +100,7 @@ func NewSL(eng *sim.Engine, cfg Config) *SL {
 		algo:       fedavg.FedAvg{Workers: cfg.Workers},
 		sidecars:   make(map[string]*sidecar.Container),
 		aggSidecar: make(map[string]*sidecar.Container),
+		hist:       make(map[int]*slRound),
 	}
 	for _, n := range cl.Nodes {
 		s.Brokers = append(s.Brokers, broker.New(n))
@@ -178,6 +182,7 @@ func (s *SL) RunRound(round int, jobs []ClientJob, done func(RoundResult)) {
 		}
 	}
 	s.rs = rs
+	s.hist[round] = rs
 	for _, m := range s.Mgrs {
 		m.ReapIdle()
 	}
@@ -257,6 +262,55 @@ func (s *SL) RunRound(round int, jobs []ClientJob, done func(RoundResult)) {
 			})
 		})
 	}
+}
+
+// RetireRound implements Service: evict every control-plane record for
+// rounds <= last. The round's broker topics (subscriber closures and queue
+// slots) are retired on every node's broker, the name → sidecar bindings
+// dropped, and the round state unreferenced. Sidecars themselves live and
+// die with their pods (OnReclaim), and sandboxes are never terminated here
+// — eviction is bookkeeping, not schedule.
+func (s *SL) RetireRound(last int) {
+	var rounds []int
+	for r, rs := range s.hist {
+		if r <= last && rs.finished {
+			rounds = append(rounds, r)
+		}
+	}
+	sort.Ints(rounds)
+	for _, r := range rounds {
+		s.evictRound(s.hist[r])
+		delete(s.hist, r)
+	}
+}
+
+// evictRound retires one closed round's broker topics and bindings.
+func (s *SL) evictRound(rs *slRound) {
+	for _, name := range s.roundNames(rs) {
+		for _, b := range s.Brokers {
+			b.RetireTopic(name)
+		}
+		delete(s.aggSidecar, name)
+	}
+}
+
+// roundNames lists a round's logical aggregator names in deterministic
+// order: each planned node's leaves then its middle (sorted by node
+// index), and the top last.
+func (s *SL) roundNames(rs *slRound) []string {
+	nodes := make([]int, 0, len(rs.plans))
+	for nd := range rs.plans {
+		nodes = append(nodes, nd)
+	}
+	sort.Ints(nodes)
+	names := make([]string, 0, 2*len(nodes)+1)
+	for _, nd := range nodes {
+		names = append(names, rs.leafFor[nd]...)
+		if rs.plans[nd].Middle {
+			names = append(names, s.middleName(rs.round, nd))
+		}
+	}
+	return append(names, s.topName(rs.round))
 }
 
 func (s *SL) middleName(round, node int) string { return fmt.Sprintf("slr%d-n%d-middle", round, node) }

@@ -161,6 +161,16 @@ type Service interface {
 	// CPUTime returns cumulative aggregation-service CPU cost under the
 	// system's accounting model.
 	CPUTime() sim.Duration
+	// RetireRound evicts every control-plane record belonging to rounds
+	// <= last: round-named registrations (sockmap entries and gateway
+	// routes, or broker topics), retained round state and TAG, buffered
+	// eBPF metric samples, and any shm references still parked on retired
+	// names. Eviction is bookkeeping, not schedule — it must never
+	// terminate sandboxes, charge CPU, or touch the event queue, so
+	// fixed-seed Reports are byte-identical whether or not (and how
+	// aggressively) the caller retires. core's round loop calls it with
+	// round − RunConfig.RetainRounds after each round closes.
+	RetireRound(last int)
 	// Finalize settles deferred costs (sidecar idle drain, reservations)
 	// before reading final counters.
 	Finalize()

@@ -123,6 +123,10 @@ var (
 	ResNet18  = model.ResNet18
 	ResNet34  = model.ResNet34
 	ResNet152 = model.ResNet152
+	// TinyFL is the synthetic miniature behind the round-count stress
+	// entries (traj-100k, million-rounds) — per-round cost is pure round
+	// machinery. Not part of the paper's zoo.
+	TinyFL = model.TinyFL
 )
 
 // Run executes a full FL workload run; see core.Run. Configs with a Cells

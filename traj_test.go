@@ -12,14 +12,17 @@ import (
 )
 
 // trajScenario shrinks the traj-100k registry entry to n rounds for test
-// budgets (the registered entry runs 100K; nightly million-rounds runs 1M).
-func trajScenario(t *testing.T, n int) Scenario {
+// budgets (the registered entry runs 100K; nightly million-rounds runs 1M)
+// and pins one system out of its all-systems sweep axis, so tests that
+// need exactly one expanded run still get one.
+func trajScenario(t *testing.T, n int, sys SystemKind) Scenario {
 	t.Helper()
 	sc, ok := GetScenario("traj-100k")
 	if !ok {
 		t.Fatal("traj-100k not registered")
 	}
 	sc.MaxRounds = n
+	sc.Systems = []SystemKind{sys}
 	return sc
 }
 
@@ -58,7 +61,7 @@ func sweepTraj(t *testing.T, sc Scenario, parallel int) []byte {
 // full blocks plus a remainder at the default block capacity.
 func TestTrajectoryDeterministic(t *testing.T) {
 	const rounds = 10_000
-	base := trajScenario(t, rounds)
+	base := trajScenario(t, rounds, SystemSF)
 
 	variants := map[string][]byte{}
 	for name, f := range map[string]func() []byte{
@@ -112,12 +115,51 @@ func TestTrajectoryDeterministic(t *testing.T) {
 	}
 }
 
+// TestTrajectoryIdenticalAcrossRetention pins the eviction half of the
+// determinism contract at the file level: the retention window is a memory
+// knob only, so the default window, a wide one, and retirement disabled
+// must stream byte-identical trajectory files. LIFL is the shape with the
+// most per-round control-plane state — the one eviction touches hardest.
+func TestTrajectoryIdenticalAcrossRetention(t *testing.T) {
+	base := trajScenario(t, 5_000, SystemLIFL).Expand()[0].Cfg
+	runWith := func(retain int) []byte {
+		cfg := base
+		cfg.RetainRounds = retain
+		path := filepath.Join(t.TempDir(), "run.traj")
+		sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Trajectory = sink
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("retain=%d: %v", retain, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	ref := runWith(-1)
+	if len(ref) == 0 {
+		t.Fatal("empty trajectory file")
+	}
+	for _, retain := range []int{2, 8} {
+		if got := runWith(retain); !bytes.Equal(got, ref) {
+			t.Errorf("retain=%d trajectory differs from retain=-1 (%d vs %d bytes)", retain, len(got), len(ref))
+		}
+	}
+}
+
 // TestReplayMatchesLiveRun pins replay fidelity: every scalar the live
 // Report carries — reached verdict, time/CPU-to-target, milestone
 // crossings, round count — must be re-derivable from the file alone, and
 // ReplayAt must return the exact observation the live run streamed.
 func TestReplayMatchesLiveRun(t *testing.T) {
-	cfg := trajScenario(t, 2000).Expand()[0].Cfg
+	cfg := trajScenario(t, 2000, SystemSF).Expand()[0].Cfg
 	cfg.TargetAccuracy = 0.75 // reachable: TinyFL's curve tops out at 0.80
 	cfg.Milestones = []float64{0.50, 0.70}
 
@@ -181,61 +223,78 @@ func TestReplayMatchesLiveRun(t *testing.T) {
 }
 
 // TestFlatRSSLongRun is the bounded-memory assertion behind the
-// million-rounds registry entry: live heap sampled across the run must
-// stay within a constant band of its early-run baseline — a bound
-// independent of round count, so the same constant holds at 100K rounds
-// (-short) and at the full million (nightly). The trajectory sink is
-// attached, so the bound covers the store's write path too.
+// million-rounds registry entry, held by every shape in its sweep: live
+// heap sampled across the run must stay within a constant band of its
+// early-run baseline — a bound independent of round count, so the same
+// constant holds at the -short round counts and at the nightly full
+// counts. SF gets the deepest run (its rounds are cheapest); the
+// serverless shapes run fewer rounds but the same contract — before round
+// retirement they grew without bound, so any slope reappearing here trips
+// the band well inside these budgets. The trajectory sink is attached, so
+// the bound covers the store's write path too.
 func TestFlatRSSLongRun(t *testing.T) {
-	rounds := 1_000_000
-	if testing.Short() {
-		rounds = 100_000
+	cases := []struct {
+		sys           SystemKind
+		rounds, short int
+	}{
+		{SystemSF, 1_000_000, 100_000},
+		{SystemLIFL, 200_000, 20_000},
+		{SystemSLH, 200_000, 20_000},
+		{SystemSL, 200_000, 20_000},
 	}
-	sc := trajScenario(t, rounds)
-
-	const sampleEvery = 25_000
 	// Live heap after GC must never exceed the first sample by more than
-	// this, no matter how many rounds follow. The run's steady state is
-	// ~4 MB; the band absorbs GC timing noise, not growth.
+	// this, no matter how many rounds follow. The runs' steady states are
+	// well under 8 MB; the band absorbs GC timing noise, not growth.
 	const maxGrowth = 16 << 20
 
-	var baseline uint64
-	samples := 0
-	cfg := sc.Expand()[0].Cfg
-	cfg.OnRound = func(o RoundObservation) {
-		if o.Acc.Round%sampleEvery != 0 {
-			return
-		}
-		runtime.GC()
-		var ms runtime.MemStats
-		runtime.ReadMemStats(&ms)
-		if baseline == 0 {
-			baseline = ms.HeapAlloc
-			return
-		}
-		samples++
-		if ms.HeapAlloc > baseline+maxGrowth {
-			t.Errorf("round %d: live heap %.1f MB exceeds baseline %.1f MB + %d MB",
-				o.Acc.Round, float64(ms.HeapAlloc)/(1<<20), float64(baseline)/(1<<20), maxGrowth>>20)
-		}
-	}
-	path := filepath.Join(t.TempDir(), "flat.traj")
-	sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg.Trajectory = sink
-	rep, err := Run(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sink.Close(); err != nil {
-		t.Fatal(err)
-	}
-	if rep.RoundsRun != rounds || sink.Rounds() != rounds {
-		t.Fatalf("rounds: live %d, stored %d, want %d", rep.RoundsRun, sink.Rounds(), rounds)
-	}
-	if samples < 2 {
-		t.Fatalf("only %d heap samples taken", samples)
+	for _, tc := range cases {
+		t.Run(string(tc.sys), func(t *testing.T) {
+			rounds := tc.rounds
+			if testing.Short() {
+				rounds = tc.short
+			}
+			sc := trajScenario(t, rounds, tc.sys)
+			sampleEvery := rounds / 8
+
+			var baseline uint64
+			samples := 0
+			cfg := sc.Expand()[0].Cfg
+			cfg.OnRound = func(o RoundObservation) {
+				if o.Acc.Round%sampleEvery != 0 {
+					return
+				}
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if baseline == 0 {
+					baseline = ms.HeapAlloc
+					return
+				}
+				samples++
+				if ms.HeapAlloc > baseline+maxGrowth {
+					t.Errorf("round %d: live heap %.1f MB exceeds baseline %.1f MB + %d MB",
+						o.Acc.Round, float64(ms.HeapAlloc)/(1<<20), float64(baseline)/(1<<20), maxGrowth>>20)
+				}
+			}
+			path := filepath.Join(t.TempDir(), "flat.traj")
+			sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Trajectory = sink
+			rep, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sink.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.RoundsRun != rounds || sink.Rounds() != rounds {
+				t.Fatalf("rounds: live %d, stored %d, want %d", rep.RoundsRun, sink.Rounds(), rounds)
+			}
+			if samples < 2 {
+				t.Fatalf("only %d heap samples taken", samples)
+			}
+		})
 	}
 }
