@@ -1,0 +1,97 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// parseCellPlan parses the -cellplan DSL into an elastic-fabric
+// reconfiguration plan: semicolon-separated, round-stamped steps,
+//
+//	25:join w=0.5 n=1440     join a cell (routing weight w, n residents)
+//	40:drain 1               drain cell 1 (drain-then-delete)
+//	60:weight 2 w=1.5 n=300  set cell 2's weight (n = flash-crowd arrivals)
+//
+// Step order is irrelevant — the fabric normalizes the schedule (joins →
+// weights → drains within each round) — and schedule-level feasibility is
+// the fabric's wholesale validation, not the parser's: this only rejects
+// strings that don't spell well-formed steps.
+func parseCellPlan(src string) (*core.CellPlan, error) {
+	var plan core.CellPlan
+	for _, raw := range strings.Split(src, ";") {
+		stmt := strings.TrimSpace(raw)
+		if stmt == "" {
+			continue
+		}
+		round, rest, ok := strings.Cut(stmt, ":")
+		if !ok {
+			return nil, fmt.Errorf("cellplan %q: want ROUND:OP...", stmt)
+		}
+		r, err := strconv.Atoi(strings.TrimSpace(round))
+		if err != nil {
+			return nil, fmt.Errorf("cellplan %q: bad round: %v", stmt, err)
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("cellplan %q: missing op", stmt)
+		}
+		step := core.CellPlanStep{Round: r, Op: core.CellPlanOp(fields[0])}
+		args := fields[1:]
+		switch step.Op {
+		case core.CellJoin:
+			if err := parsePlanArgs(args, &step); err != nil {
+				return nil, fmt.Errorf("cellplan %q: %v", stmt, err)
+			}
+		case core.CellDrain, core.CellWeight:
+			if len(args) == 0 {
+				return nil, fmt.Errorf("cellplan %q: %s needs a cell id", stmt, step.Op)
+			}
+			if step.Cell, err = strconv.Atoi(args[0]); err != nil {
+				return nil, fmt.Errorf("cellplan %q: bad cell id: %v", stmt, err)
+			}
+			if err := parsePlanArgs(args[1:], &step); err != nil {
+				return nil, fmt.Errorf("cellplan %q: %v", stmt, err)
+			}
+		default:
+			return nil, fmt.Errorf("cellplan %q: unknown op %q (want join/drain/weight)", stmt, fields[0])
+		}
+		plan.Steps = append(plan.Steps, step)
+	}
+	if len(plan.Steps) == 0 {
+		return nil, fmt.Errorf("cellplan %q: no steps", src)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &plan, nil
+}
+
+// parsePlanArgs fills a step's w= / n= keyword arguments.
+func parsePlanArgs(args []string, step *core.CellPlanStep) error {
+	for _, a := range args {
+		key, val, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("bad argument %q (want w=WEIGHT or n=CLIENTS)", a)
+		}
+		switch key {
+		case "w":
+			w, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return fmt.Errorf("bad weight %q: %v", val, err)
+			}
+			step.Weight = w
+		case "n":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return fmt.Errorf("bad client count %q: %v", val, err)
+			}
+			step.Clients = n
+		default:
+			return fmt.Errorf("unknown argument %q (want w= or n=)", a)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseCellPlan(t *testing.T) {
+	plan, err := parseCellPlan("25:join w=0.5 n=1440; 40:drain 1; 60:weight 2 w=1.5 n=300;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.CellPlanStep{
+		{Round: 25, Op: core.CellJoin, Weight: 0.5, Clients: 1440},
+		{Round: 40, Op: core.CellDrain, Cell: 1},
+		{Round: 60, Op: core.CellWeight, Cell: 2, Weight: 1.5, Clients: 300},
+	}
+	if !reflect.DeepEqual(plan.Steps, want) {
+		t.Fatalf("parsed steps = %+v, want %+v", plan.Steps, want)
+	}
+	// Minimal forms: a join without residents, a drain with whitespace slack.
+	plan, err = parseCellPlan(" 3:join w=1 ;  9:drain 0 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Steps) != 2 || plan.Steps[0].Clients != 0 || plan.Steps[1].Cell != 0 {
+		t.Fatalf("minimal forms parsed wrong: %+v", plan.Steps)
+	}
+}
+
+func TestParseCellPlanRejects(t *testing.T) {
+	for _, src := range []string{
+		"",                  // no steps
+		"  ;  ",             // no steps after trimming
+		"join w=0.5",        // missing round stamp
+		"x:join w=0.5",      // non-numeric round
+		"0:join w=0.5",      // round < 1 (plan.Validate)
+		"25:bogus",          // unknown op
+		"25:join",           // join without a weight (plan.Validate)
+		"25:join w=zero",    // bad weight literal
+		"25:join w=1 n=ten", // bad client literal
+		"25:join w=1 q=3",   // unknown keyword
+		"25:join w=1 extra", // positional junk
+		"40:drain",          // drain without a cell id
+		"40:drain one",      // non-numeric cell id
+		"60:weight 2",       // weight without a value (plan.Validate)
+	} {
+		if _, err := parseCellPlan(src); err == nil {
+			t.Errorf("parseCellPlan(%q) accepted", src)
+		}
+	}
+}

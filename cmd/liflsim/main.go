@@ -14,6 +14,7 @@
 //	liflsim overhead           # orchestration overhead (§6.1)
 //	liflsim scenarios          # list the workload registry
 //	liflsim scenario <name>    # sweep one registry scenario
+//	liflsim plan <name>        # dry-run a scenario's reconfiguration plan
 //	liflsim replay <run.traj>  # summarize a stored trajectory file
 //	liflsim all                # everything above (except replay)
 //
@@ -27,6 +28,17 @@
 // aggregation folds share an N-goroutine pool (N >= 1). Output is
 // byte-identical for any value. When not passed, registry scenarios keep
 // their own pinned worker counts (e.g. 10m-clients pins 8).
+//
+// -cellplan PLAN overrides the reconfiguration plan of every scenario the
+// command sweeps (elastic fabric: round-stamped join/drain/weight pushes,
+// applied only by fabric scenarios). The DSL is semicolon-separated steps:
+//
+//	liflsim -cellplan "25:join w=0.5 n=1440; 40:drain 1" scenario geo-4cell
+//	liflsim -cellplan "60:weight 2 w=1.5 n=300" plan geo-4cell
+//
+// The `plan` verb dry-runs the schedule: the fabric validates the plan
+// wholesale against the scenario's shape and prints the versioned pushes it
+// would apply, without running the workload.
 //
 // -traj DIR makes every scenario sweep also stream per-round observations
 // into DIR, one bounded-memory .traj file per run (internal/trajstore).
@@ -58,6 +70,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	parallel := flag.Int("parallel", 1, "workers for independent runs (>= 1)")
 	workers := flag.Int("workers", 1, "goroutines per run's staged round loop (>= 1)")
+	cellplan := flag.String("cellplan", "", `reconfiguration plan overriding scenario plans, e.g. "25:join w=0.5 n=1440; 40:drain 1"`)
 	traj := flag.String("traj", "", "directory to stream per-run trajectory files into (scenario verbs)")
 	at := flag.Int("at", 0, "with replay: print the stored record for this round")
 	milestones := flag.Bool("milestones", false, "with replay: list reconstructed milestone crossings")
@@ -105,6 +118,18 @@ func main() {
 			replayAt, replayAtSet = *at, true
 		}
 	})
+	// The plan DSL is validated here like scenario names below: a string
+	// that doesn't spell a well-formed plan is a usage error up front. (The
+	// fabric's schedule-level validation still applies per run.)
+	if *cellplan != "" {
+		plan, err := parseCellPlan(*cellplan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "liflsim: %v\n", err)
+			usage()
+			os.Exit(2)
+		}
+		experiments.CellPlan = plan
+	}
 	experiments.TrajDir = *traj
 	replayMilestones = *milestones
 	// Resolve the whole verb sequence before executing any of it: an
@@ -118,14 +143,15 @@ func main() {
 	for i := 0; i < len(verbs); i++ {
 		what := verbs[i]
 		runSeed := *seed
-		if _, ok := handlers[what]; !ok && what != "scenario" && what != "replay" {
+		if _, ok := handlers[what]; !ok && what != "scenario" && what != "plan" && what != "replay" {
 			fmt.Fprintf(os.Stderr, "liflsim: unknown experiment %q\n", what)
 			usage()
 			os.Exit(2)
 		}
-		if what == "scenario" {
+		if what == "scenario" || what == "plan" {
+			verb := what
 			if i+1 >= len(verbs) {
-				fmt.Fprintln(os.Stderr, "liflsim: scenario requires a name (see `liflsim scenarios`)")
+				fmt.Fprintf(os.Stderr, "liflsim: %s requires a scenario name (see `liflsim scenarios`)\n", verb)
 				usage()
 				os.Exit(2)
 			}
@@ -136,7 +162,7 @@ func main() {
 				usage()
 				os.Exit(2)
 			}
-			what = "scenario:" + verbs[i]
+			what = verb + ":" + verbs[i]
 			runSeed = scenarioSeed
 		}
 		if what == "replay" {
@@ -167,8 +193,9 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] [-traj dir] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] [-traj dir] [-cellplan plan] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|plan <name>|all}...")
 	fmt.Fprintln(os.Stderr, "       liflsim replay [-at n] [-milestones] <run.traj>")
+	fmt.Fprintln(os.Stderr, `       liflsim -cellplan "25:join w=0.5 n=1440; 40:drain 1; 60:weight 2 w=1.5 n=300" plan geo-4cell`)
 }
 
 // handlers is the single verb table: run dispatches through it and main
@@ -260,6 +287,14 @@ func init() {
 func run(w io.Writer, what string, seed int64) error {
 	if name, ok := strings.CutPrefix(what, "scenario:"); ok {
 		out, err := experiments.RunScenario(name, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+		return nil
+	}
+	if name, ok := strings.CutPrefix(what, "plan:"); ok {
+		out, err := experiments.PlanDiff(name)
 		if err != nil {
 			return err
 		}

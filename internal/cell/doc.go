@@ -21,6 +21,21 @@
 // restore works even when the outage lands past the retention window
 // (TestFabricRestorePastRetentionWindow).
 //
+// The fabric is elastic (RunConfig.CellPlan): round-stamped
+// join/drain/weight steps, grouped by round into versioned config pushes,
+// reconfigure it live. The whole schedule is statically simulated before
+// round 1 and rejected wholesale if any step is infeasible — the run then
+// proceeds byte-identical to an unplanned run (last-known-good), with the
+// reason in Detail.Plan. Validator and runtime share one pure
+// reconfigure() function so acceptance cannot drift from application;
+// PlanDiff exposes the same simulation as a dry run. Joins never re-home
+// arrived clients (placement.ElasticRouter's epoch contract), drains bank
+// the cell's accounting and re-home its clients across the survivors'
+// routing weights, and determinism holds under a live plan: fixed seed ⇒
+// byte-identical Reports and .traj files for any worker count, retention
+// window, or permutation of an equivalent schedule
+// (TestCellPlanByteIdenticalReports, internal/planprop).
+//
 // Layer (DESIGN.md): above internal/core, beside internal/harness — it
 // drives per-cell core.Platforms round by round via Platform.StepRound,
 // and harness sweeps dispatch RunConfigs with Cells set here. Cells are

@@ -13,7 +13,6 @@ import (
 	"repro/internal/fedavg"
 	"repro/internal/flwork"
 	"repro/internal/par"
-	"repro/internal/placement"
 	"repro/internal/sim"
 	"repro/internal/systems"
 	"repro/internal/tensor"
@@ -55,6 +54,15 @@ type CellReport struct {
 	// RestoredRound is the global round replayed on the checkpoint-restored
 	// replacement (wait-all policy; 0 = never restored).
 	RestoredRound int
+	// Drained reports the cell was retired by an elastic-plan drain
+	// (drain-then-delete: accounting banked, clients re-homed, platform
+	// discarded). Distinct from Dead, which is outage loss.
+	Drained bool
+	// DrainedRound is the global round at whose start the drain applied.
+	DrainedRound int
+	// JoinedRound is the global round at whose start the cell joined the
+	// fabric (0 = an original cell).
+	JoinedRound int
 }
 
 // Detail is the fabric-level outcome returned beside the global Report.
@@ -73,6 +81,10 @@ type Detail struct {
 	// CrossCellBytes is the total payload shipped over inter-cell links
 	// (cell aggregates up, global broadcasts down).
 	CrossCellBytes uint64
+	// Plan records the elastic reconfiguration outcome — pushes applied,
+	// cells joined/drained, or the wholesale rejection (nil = no plan
+	// configured).
+	Plan *PlanOutcome
 }
 
 // fcell is one cell's runtime state inside the fabric.
@@ -90,11 +102,18 @@ type fcell struct {
 	// on goal. clients can exceed it after an outage re-route (re-routed
 	// clients are modeled as extra selection quota on the survivor's
 	// synthetic residents, who are statistically identical).
-	pop  int
-	goal int // per-round selection share (0 = idle cell)
+	pop    int
+	goal   int     // per-round selection share (0 = idle cell)
+	weight float64 // routing weight (region share; plan steps update it)
 
 	dying bool // outage fired; silence not yet detected
 	dead  bool
+	// drained marks a cell retired by an elastic-plan drain; its accounting
+	// is banked and its platform discarded, like a dead cell's, but the
+	// retirement was orderly (no partial round lost).
+	drained      bool
+	drainedRound int
+	joinedRound  int // 0 = an original cell
 
 	rounds          int
 	roundsDiscarded int
@@ -108,6 +127,10 @@ type fcell struct {
 	arrAccum  []float64
 	elapsed   sim.Duration // last instance's local clock high-water mark
 }
+
+// alive reports the cell is still part of the fabric: neither lost to the
+// outage nor retired by a plan drain.
+func (c *fcell) alive() bool { return !c.dead && !c.drained }
 
 // bank settles a doomed instance's accounting into the accumulators before
 // the platform is discarded.
@@ -136,6 +159,12 @@ type fabric struct {
 	cells []*fcell
 	quota int // fabric-wide active share total (credit denominator)
 	curve flwork.Curve
+	// multi: the cross-cell tier exists — more than one cell, or an elastic
+	// plan that may grow/shrink the fabric mid-run.
+	multi bool
+	// plan is the accepted normalized schedule; planNext cursors it.
+	plan     []core.CellPlanStep
+	planNext int
 
 	feng  *sim.Engine
 	node  *cluster.Node
@@ -220,54 +249,32 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 	// Level one of the two-level placement: home every client on a cell,
 	// region-weighted and seed-stable (placement.CellRouter), then derive
 	// each cell's share of the fabric-wide active quota from its resident
-	// population (largest-remainder, capped by availability).
-	router, err := placement.NewCellRouter(spec.Count, spec.Regions, cfg.Seed)
+	// population (largest-remainder, capped by availability). planStart
+	// runs the same arithmetic the plan validator simulates against, so
+	// the two can never drift.
+	st, err := planStart(cfg, spec)
 	if err != nil {
 		return nil, err
 	}
-	counts := router.Counts(cfg.Clients)
-	weights := make([]float64, spec.Count)
-	for k, n := range counts {
-		weights[k] = float64(n)
-	}
-	goals := apportion(cfg.ActivePerRound, weights)
-	for k := range goals {
-		if goals[k] > counts[k] {
-			goals[k] = counts[k]
+	f.quota = st.quota
+
+	// The elastic plan: normalize and wholesale-validate the schedule. A
+	// plan that fails anywhere is rejected as a whole — recorded in the
+	// Detail, and the run proceeds exactly as if no plan were configured.
+	if cfg.CellPlan != nil {
+		steps, verr := validatePlan(cfg, spec)
+		if verr != nil {
+			f.detail.Plan = &PlanOutcome{Rejected: verr.Error()}
+		} else if len(steps) > 0 {
+			f.plan = steps
+			f.detail.Plan = &PlanOutcome{}
 		}
-		f.quota += goals[k]
 	}
+	f.multi = spec.Count > 1 || len(f.plan) > 0
 
 	ccfgs := make([]core.RunConfig, spec.Count)
 	for k := 0; k < spec.Count; k++ {
-		ccfg := cfg
-		ccfg.Cells = nil
-		ccfg.Clients = counts[k]
-		if ccfg.Clients == 0 {
-			// An empty cell never runs a round; a 1-client population keeps
-			// core's zero-means-default rule from synthesizing 2,800.
-			ccfg.Clients = 1
-		}
-		ccfg.ActivePerRound = goals[k]
-		if ccfg.ActivePerRound == 0 {
-			ccfg.ActivePerRound = 1 // same zero-means-default guard; unused
-		}
-		// Seed salt keeps cells' draw streams independent; cell 0 keeps the
-		// fabric seed exactly so K = 1 is byte-identical to the plain run.
-		ccfg.Seed = cfg.Seed + int64(k)*1_000_003
-		ccfg.Milestones = nil // milestone capture is fabric-level
-		ccfg.OnRound = nil
-		ccfg.Trajectory = nil // the fabric's global loop owns the sink
-		if spec.Count > 1 {
-			// Cells adopt their local mean; the configured server optimizer
-			// acts once, at the global tier, where the paper's Eq. (1)
-			// aggregate actually materializes.
-			ccfg.ServerOpt = fedavg.Adopt{}
-		}
-		if spec.CheckpointRounds > 0 {
-			ccfg.Params.CheckpointPeriodRounds = spec.CheckpointRounds
-		}
-		ccfgs[k] = ccfg
+		ccfgs[k] = f.cellConfig(k, st.cells[k].clients, st.cells[k].goal)
 	}
 	// Cell assembly runs on the worker pool: each platform synthesizes its
 	// population from a private engine and RNG seeded by the cell's salted
@@ -288,13 +295,14 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 		}
 		f.cells = append(f.cells, &fcell{
 			id:      k,
-			name:    coordinator.ClientID(fmt.Sprintf("cell-%d", k)),
+			name:    cellName(k),
 			cfg:     ccfgs[k],
 			plat:    plats[k].plat,
-			rng:     sim.NewRNG(ccfgs[k].Seed + 2),
-			clients: counts[k],
+			rng:     newCellRNG(ccfgs[k]),
+			clients: st.cells[k].clients,
 			pop:     ccfgs[k].Clients,
-			goal:    goals[k],
+			goal:    st.cells[k].goal,
+			weight:  st.cells[k].weight,
 		})
 	}
 	f.curve = f.cells[0].plat.Curve
@@ -320,7 +328,48 @@ func newFabric(cfg core.RunConfig) (*fabric, error) {
 	return f, nil
 }
 
-func (f *fabric) single() bool { return len(f.cells) == 1 }
+func (f *fabric) single() bool { return !f.multi }
+
+// cellConfig derives one cell's single-cluster config from the fabric's:
+// Cells and the plan stripped, population and share localized, seed salted.
+// Used for the original cells and for cells a plan push joins mid-run.
+func (f *fabric) cellConfig(id, clients, goal int) core.RunConfig {
+	ccfg := f.cfg
+	ccfg.Cells = nil
+	ccfg.CellPlan = nil
+	ccfg.Clients = clients
+	if ccfg.Clients == 0 {
+		// An empty cell never runs a round; a 1-client population keeps
+		// core's zero-means-default rule from synthesizing 2,800.
+		ccfg.Clients = 1
+	}
+	ccfg.ActivePerRound = goal
+	if ccfg.ActivePerRound == 0 {
+		ccfg.ActivePerRound = 1 // same zero-means-default guard; unused
+	}
+	// Seed salt keeps cells' draw streams independent; cell 0 keeps the
+	// fabric seed exactly so K = 1 is byte-identical to the plain run.
+	ccfg.Seed = f.cfg.Seed + int64(id)*1_000_003
+	ccfg.Milestones = nil // milestone capture is fabric-level
+	ccfg.OnRound = nil
+	ccfg.Trajectory = nil // the fabric's global loop owns the sink
+	if f.multi {
+		// Cells adopt their local mean; the configured server optimizer
+		// acts once, at the global tier, where the paper's Eq. (1)
+		// aggregate actually materializes.
+		ccfg.ServerOpt = fedavg.Adopt{}
+	}
+	if f.spec.CheckpointRounds > 0 {
+		ccfg.Params.CheckpointPeriodRounds = f.spec.CheckpointRounds
+	}
+	return ccfg
+}
+
+func cellName(id int) coordinator.ClientID {
+	return coordinator.ClientID(fmt.Sprintf("cell-%d", id))
+}
+
+func newCellRNG(ccfg core.RunConfig) *sim.RNG { return sim.NewRNG(ccfg.Seed + 2) }
 
 // hop is the one-way inter-cell cost of shipping one model-sized payload.
 func (f *fabric) hop() sim.Duration {
@@ -350,7 +399,7 @@ func (f *fabric) startBeatChain(c *fcell) {
 	period := f.cfg.Params.HeartbeatPeriod
 	var tick func()
 	tick = func() {
-		if f.stopped || c.dying || c.dead {
+		if f.stopped || c.dying || c.dead || c.drained {
 			return
 		}
 		f.beats.Beat(c.name)
@@ -461,6 +510,10 @@ func (f *fabric) playRound(r int) (systems.RoundResult, time.Duration, int, erro
 	wall0 := time.Now()
 	start := f.feng.Now()
 	cpu0 := f.cpuTotal()
+	// Reconfiguration lands first: a push stamped for round r rewires the
+	// fabric at the round's start — before the outage kill, so a plan can
+	// retire a cell at the very round an outage would have hit another.
+	f.applyPlan(r)
 	if f.spec.OutageRound == r {
 		f.kill(f.cells[f.spec.OutageCell], r)
 	}
@@ -475,7 +528,7 @@ func (f *fabric) playRound(r int) (systems.RoundResult, time.Duration, int, erro
 	// local round ends.
 	live := make([]*fcell, 0, len(f.cells))
 	for _, c := range f.cells {
-		if c.dead || c.dying || c.goal <= 0 {
+		if c.dead || c.dying || c.drained || c.goal <= 0 {
 			continue
 		}
 		live = append(live, c)
@@ -566,7 +619,7 @@ func (f *fabric) playRound(r int) (systems.RoundResult, time.Duration, int, erro
 
 	// Install the folded global into every live cell for the next round.
 	for _, c := range f.cells {
-		if !c.dead && c.plat != nil {
+		if c.alive() && c.plat != nil {
 			c.plat.InstallGlobal(f.global.Clone())
 		}
 	}
@@ -743,7 +796,7 @@ func (f *fabric) reroute(dead *fcell) {
 	var weights []float64
 	var idx []int
 	for _, c := range f.cells {
-		if !c.dead {
+		if c.alive() {
 			weights = append(weights, float64(c.clients))
 			idx = append(idx, c.id)
 		}
@@ -773,7 +826,7 @@ func (f *fabric) reroute(dead *fcell) {
 func (f *fabric) liveCount() int {
 	n := 0
 	for _, c := range f.cells {
-		if !c.dead {
+		if c.alive() {
 			n++
 		}
 	}
@@ -841,6 +894,9 @@ func (f *fabric) assembleDetail() *Detail {
 			Dead:             c.dead,
 			DiedRound:        c.diedRound,
 			RestoredRound:    c.restoredRound,
+			Drained:          c.drained,
+			DrainedRound:     c.drainedRound,
+			JoinedRound:      c.joinedRound,
 		}
 		if c.plat != nil {
 			cr.Elapsed = c.plat.Eng.Now()

@@ -1,0 +1,450 @@
+package cell
+
+// The elastic control plane: versioned, validated, atomic reconfiguration
+// of a running fabric (core.RunConfig.CellPlan).
+//
+// A plan's steps are grouped by round into config pushes. Before the first
+// round the whole schedule is validated by simulating it — push by push,
+// interleaved with the configured outage — against the fabric's initial
+// state; a plan that fails anywhere is rejected WHOLESALE and the run
+// proceeds exactly as if no plan were configured (last-known-good
+// semantics; the rejection reason lands in Detail.Plan.Rejected). At a
+// push's round the fabric snapshots its state, applies the push through
+// the same pure reconfigure function the validator ran, materializes any
+// joined cells, and only then commits — an error at any point discards
+// the staged state and keeps the snapshot.
+//
+// Drains are drain-then-delete: the push lands at a round's start, when
+// the lockstep barrier guarantees the cell's previous round — including
+// its in-flight cross-cell aggregation — has fully folded. The cell's
+// accounting and checkpoint count are banked, its clients re-homed across
+// the survivors' routing weights by the same largest-remainder apportion
+// the outage path uses, and its platform discarded. Joins receive the
+// fabric's current global model before their first round, so a joined
+// cell starts from the fleet's state, not from initialization.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+// PlanOutcome records an elastic plan's fate in the fabric Detail.
+type PlanOutcome struct {
+	// Version counts config pushes applied (the last applied version).
+	Version int
+	// Rejected, when non-empty, is the validation error that made the
+	// fabric discard the whole plan before the first round (or the rest of
+	// it at apply time): the run proceeded on its last-known-good state.
+	Rejected string
+	// CellsJoined / CellsDrained count topology changes actually applied.
+	CellsJoined  int
+	CellsDrained int
+	// Pushes holds each applied push's dry-run diff, in apply order.
+	Pushes []PlanPush
+}
+
+// PlanPush is one applied (or dry-run) config push.
+type PlanPush struct {
+	Round   int
+	Version int
+	// Diff lists the push's changes, one line per effect.
+	Diff []string
+}
+
+// planCell is one cell's reconfigurable state: the slice of fabric state
+// the pure reconfigure function reads and rewrites.
+type planCell struct {
+	id      int
+	weight  float64 // routing weight (region share; joins bring their own)
+	clients int     // routed clients (selection quota source)
+	pop     int     // resident platform population — the goal ceiling
+	goal    int     // per-round selection share
+	live    bool    // false: drained or dead
+}
+
+// planState is the fabric state a config push transforms.
+type planState struct {
+	cells []planCell
+	quota int
+}
+
+func (st *planState) liveCount() int {
+	n := 0
+	for _, c := range st.cells {
+		if c.live {
+			n++
+		}
+	}
+	return n
+}
+
+// apportionGoals re-derives every live cell's selection share from the
+// fabric-wide quota, proportional to routed clients and capped by the
+// resident population — the same arithmetic the outage re-route runs.
+func (st *planState) apportionGoals() {
+	weights := make([]float64, len(st.cells))
+	for i, c := range st.cells {
+		if c.live {
+			weights[i] = float64(c.clients)
+		}
+	}
+	goals := apportion(st.quota, weights)
+	for i := range st.cells {
+		c := &st.cells[i]
+		c.goal = goals[i]
+		if c.goal > c.pop {
+			c.goal = c.pop
+		}
+	}
+}
+
+// maskOutage replicates the quorum-masking outage on the plan state: the
+// dead cell's clients re-home onto the survivors in proportion to their
+// populations, and the quota is re-apportioned (fabric.reroute's math).
+func (st *planState) maskOutage(cell int) {
+	dead := &st.cells[cell]
+	dead.live = false
+	var weights []float64
+	var idx []int
+	for i, c := range st.cells {
+		if c.live {
+			weights = append(weights, float64(c.clients))
+			idx = append(idx, i)
+		}
+	}
+	extra := apportion(dead.clients, weights)
+	for i, id := range idx {
+		st.cells[id].clients += extra[i]
+	}
+	dead.clients = 0
+	st.apportionGoals()
+}
+
+// reconfigure applies one config push to st and returns the new state plus
+// its diff — a pure function: the input state is never mutated, so the
+// caller's copy is the snapshot a failed push rolls back to. steps must be
+// one round's batch in canonical (Normalized) order. quorum is the live-
+// cell floor a drain may not cross (max(1, quorum)).
+func reconfigure(st planState, steps []core.CellPlanStep, quorum int) (planState, []string, error) {
+	out := planState{quota: st.quota, cells: append([]planCell(nil), st.cells...)}
+	var diff []string
+	var drains []int
+	for _, s := range steps {
+		switch s.Op {
+		case core.CellJoin:
+			id := len(out.cells)
+			pop := s.Clients
+			if pop < 1 {
+				pop = 1 // the empty-cell guard newFabric applies
+			}
+			out.cells = append(out.cells, planCell{id: id, weight: s.Weight, clients: s.Clients, pop: pop, live: true})
+			diff = append(diff, fmt.Sprintf("+ cell %d joins: weight %g, %d clients", id, s.Weight, s.Clients))
+		case core.CellWeight:
+			if s.Cell >= len(out.cells) || !out.cells[s.Cell].live {
+				return st, nil, fmt.Errorf("weight change on unknown or retired cell %d", s.Cell)
+			}
+			c := &out.cells[s.Cell]
+			diff = append(diff, fmt.Sprintf("~ cell %d weight %g -> %g", s.Cell, c.weight, s.Weight))
+			c.weight = s.Weight
+			if s.Clients > 0 {
+				c.clients += s.Clients
+				diff = append(diff, fmt.Sprintf("~ cell %d absorbs %d flash-crowd arrivals (%d clients)", s.Cell, s.Clients, c.clients))
+			}
+		case core.CellDrain:
+			if s.Cell >= len(out.cells) || !out.cells[s.Cell].live {
+				return st, nil, fmt.Errorf("drain of unknown or retired cell %d", s.Cell)
+			}
+			out.cells[s.Cell].live = false
+			drains = append(drains, s.Cell)
+		default:
+			return st, nil, fmt.Errorf("unknown plan op %q", s.Op)
+		}
+	}
+	floor := 1
+	if quorum > floor {
+		floor = quorum
+	}
+	if live := out.liveCount(); live < floor {
+		return st, nil, fmt.Errorf("push leaves %d live cells, below the floor %d", live, floor)
+	}
+	// Drain-then-delete, one cell at a time in canonical order: each
+	// drained cell's clients re-home across the surviving routing weights
+	// by largest remainder — the removal-stable counterpart of the
+	// router's add contract (placement.ElasticRouter pins the per-client
+	// version of this invariant).
+	for _, id := range drains {
+		d := &out.cells[id]
+		var weights []float64
+		var idx []int
+		for i, c := range out.cells {
+			if c.live {
+				weights = append(weights, c.weight)
+				idx = append(idx, i)
+			}
+		}
+		extra := apportion(d.clients, weights)
+		for i, target := range idx {
+			out.cells[target].clients += extra[i]
+		}
+		diff = append(diff, fmt.Sprintf("- cell %d drains: %d clients re-homed across %d survivors", id, d.clients, len(idx)))
+		d.clients = 0
+	}
+	out.apportionGoals()
+	for i := range out.cells {
+		if out.cells[i].goal != goalOf(st, i) {
+			diff = append(diff, fmt.Sprintf("~ cell %d share %d -> %d", i, goalOf(st, i), out.cells[i].goal))
+		}
+	}
+	return out, diff, nil
+}
+
+// goalOf reads a cell's pre-push share (0 for cells the push created).
+func goalOf(st planState, i int) int {
+	if i < len(st.cells) {
+		return st.cells[i].goal
+	}
+	return 0
+}
+
+// planStart derives the fabric's initial plan state — router counts,
+// apportioned shares, quota — without building any platform. newFabric
+// builds its cells from this same state, so the validator's simulation
+// and the real fabric can never drift.
+func planStart(cfg core.RunConfig, spec core.CellSpec) (planState, error) {
+	router, err := placement.NewCellRouter(spec.Count, spec.Regions, cfg.Seed)
+	if err != nil {
+		return planState{}, err
+	}
+	counts := router.Counts(cfg.Clients)
+	weights := make([]float64, spec.Count)
+	for k, n := range counts {
+		weights[k] = float64(n)
+	}
+	goals := apportion(cfg.ActivePerRound, weights)
+	st := planState{}
+	for k := 0; k < spec.Count; k++ {
+		if goals[k] > counts[k] {
+			goals[k] = counts[k]
+		}
+		st.quota += goals[k]
+		region := 1.0
+		if len(spec.Regions) == spec.Count {
+			region = spec.Regions[k]
+		}
+		pop := counts[k]
+		if pop < 1 {
+			pop = 1
+		}
+		st.cells = append(st.cells, planCell{id: k, weight: region, clients: counts[k], pop: pop, goal: goals[k], live: true})
+	}
+	return st, nil
+}
+
+// simulatePlan dry-runs the whole normalized schedule against st,
+// interleaving the spec's configured outage at its round, and returns
+// every push's diff. Any error rejects the plan wholesale.
+func simulatePlan(st planState, steps []core.CellPlanStep, spec core.CellSpec) ([]PlanPush, error) {
+	outageDone := spec.OutageRound == 0
+	outage := func() error {
+		if !st.cells[spec.OutageCell].live {
+			return fmt.Errorf("round %d outage targets cell %d, already retired by the plan", spec.OutageRound, spec.OutageCell)
+		}
+		if spec.Quorum > 0 {
+			if st.liveCount()-1 < spec.Quorum {
+				return fmt.Errorf("round %d outage leaves %d live cells, below quorum %d", spec.OutageRound, st.liveCount()-1, spec.Quorum)
+			}
+			st.maskOutage(spec.OutageCell)
+		}
+		// Wait-all restores the cell within the outage round: no state change.
+		return nil
+	}
+	var pushes []PlanPush
+	version := 0
+	for i := 0; i < len(steps); {
+		r := steps[i].Round
+		j := i
+		for j < len(steps) && steps[j].Round == r {
+			j++
+		}
+		// The outage kill fires after the same round's push is applied, so
+		// pushes at earlier rounds see the healthy fabric and pushes at
+		// later rounds see the post-outage one.
+		if !outageDone && spec.OutageRound < r {
+			if err := outage(); err != nil {
+				return nil, err
+			}
+			outageDone = true
+		}
+		next, diff, err := reconfigure(st, steps[i:j], spec.Quorum)
+		if err != nil {
+			return nil, fmt.Errorf("round %d push: %w", r, err)
+		}
+		st = next
+		version++
+		pushes = append(pushes, PlanPush{Round: r, Version: version, Diff: diff})
+		if !outageDone && spec.OutageRound == r {
+			if err := outage(); err != nil {
+				return nil, err
+			}
+			outageDone = true
+		}
+		i = j
+	}
+	if !outageDone {
+		if err := outage(); err != nil {
+			return nil, err
+		}
+	}
+	return pushes, nil
+}
+
+// validatePlan normalizes and wholesale-validates cfg's plan against its
+// cell spec: well-formedness first, then the full schedule simulation.
+// Returns the canonical steps (nil for a no-op plan).
+func validatePlan(cfg core.RunConfig, spec core.CellSpec) ([]core.CellPlanStep, error) {
+	steps := cfg.CellPlan.Normalized()
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	if err := cfg.CellPlan.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := planStart(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := simulatePlan(st, steps, spec); err != nil {
+		return nil, err
+	}
+	return steps, nil
+}
+
+// PlanDiff validates cfg's plan and returns every push's dry-run diff
+// without building a single platform — the `liflsim plan` verb. A config
+// without a plan returns no pushes; an invalid plan returns the rejection
+// the fabric would record.
+func PlanDiff(cfg core.RunConfig) ([]PlanPush, error) {
+	if cfg.Cells == nil {
+		return nil, fmt.Errorf("cell: config has no Cells spec to reconfigure")
+	}
+	spec := *cfg.Cells
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.Defaulted()
+	steps := cfg.CellPlan.Normalized()
+	if len(steps) == 0 {
+		return nil, nil
+	}
+	if err := cfg.CellPlan.Validate(); err != nil {
+		return nil, err
+	}
+	st, err := planStart(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return simulatePlan(st, steps, spec)
+}
+
+// stateOf snapshots the fabric's current reconfigurable state — the
+// last-known-good copy a push is validated against and rolls back to.
+func (f *fabric) stateOf() planState {
+	st := planState{quota: f.quota}
+	for _, c := range f.cells {
+		st.cells = append(st.cells, planCell{
+			id:      c.id,
+			weight:  c.weight,
+			clients: c.clients,
+			pop:     c.pop,
+			goal:    c.goal,
+			live:    c.alive(),
+		})
+	}
+	return st
+}
+
+// rejectPlan drops the remaining plan and records why: the fabric keeps
+// running on its last-known-good configuration.
+func (f *fabric) rejectPlan(round int, err error) {
+	if f.detail.Plan == nil {
+		f.detail.Plan = &PlanOutcome{}
+	}
+	f.detail.Plan.Rejected = fmt.Sprintf("round %d: %v", round, err)
+	f.planNext = len(f.plan)
+}
+
+// applyPlan applies the config push stamped for round r, if any: validate
+// against the live state, materialize joined cells, then commit the swap
+// atomically. Any failure keeps the snapshot (nothing is half-applied)
+// and rejects the rest of the plan.
+func (f *fabric) applyPlan(r int) {
+	if f.planNext >= len(f.plan) || f.plan[f.planNext].Round != r {
+		return
+	}
+	first := f.planNext
+	for f.planNext < len(f.plan) && f.plan[f.planNext].Round == r {
+		f.planNext++
+	}
+	steps := f.plan[first:f.planNext]
+	snap := f.stateOf() // last-known-good: untouched unless we commit
+	next, diff, err := reconfigure(snap, steps, f.spec.Quorum)
+	if err != nil {
+		// Statically validated, so only reachable if the live fabric
+		// diverged from the simulated schedule; keep last-known-good.
+		f.rejectPlan(r, err)
+		return
+	}
+	// Materialize joined cells before touching any fabric state: a failed
+	// construction rolls back by simply not committing.
+	var joins []*fcell
+	for id := len(f.cells); id < len(next.cells); id++ {
+		pc := next.cells[id]
+		ccfg := f.cellConfig(id, pc.clients, pc.goal)
+		plat, err := core.NewPlatform(ccfg)
+		if err != nil {
+			f.rejectPlan(r, fmt.Errorf("materializing joined cell %d: %w", id, err))
+			return
+		}
+		// The handoff: a joined cell starts from the fabric's current
+		// global model, not from initialization.
+		plat.InstallGlobal(f.global.Clone())
+		joins = append(joins, &fcell{
+			id:          id,
+			name:        cellName(id),
+			cfg:         ccfg,
+			plat:        plat,
+			rng:         newCellRNG(ccfg),
+			clients:     pc.clients,
+			pop:         pc.pop,
+			goal:        pc.goal,
+			weight:      pc.weight,
+			joinedRound: r,
+		})
+	}
+	// Commit: the atomic swap from snapshot to next.
+	for _, c := range joins {
+		f.cells = append(f.cells, c)
+		f.beats.Beat(c.name)
+		f.startBeatChain(c)
+		f.detail.Plan.CellsJoined++
+	}
+	for _, c := range f.cells {
+		pc := next.cells[c.id]
+		if c.alive() && !pc.live {
+			// Drain-then-delete: the round barrier already folded the
+			// cell's last round, so banking and discarding is the whole
+			// delete; the fabric's global carries its contribution forward.
+			c.drained = true
+			c.drainedRound = r
+			c.bank()
+			c.plat = nil
+			f.beats.Forget(c.name)
+			f.detail.Plan.CellsDrained++
+		}
+		c.clients, c.goal, c.weight = pc.clients, pc.goal, pc.weight
+	}
+	f.detail.Plan.Version++
+	f.detail.Plan.Pushes = append(f.detail.Plan.Pushes, PlanPush{Round: r, Version: f.detail.Plan.Version, Diff: diff})
+}

@@ -1,0 +1,420 @@
+package cell
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trajstore"
+)
+
+// geoSpec is the 4-cell skewed-region fabric the plan tests reconfigure.
+func geoSpec() *core.CellSpec {
+	return &core.CellSpec{Count: 4, Regions: []float64{0.4, 0.3, 0.2, 0.1}}
+}
+
+func runPlan(t *testing.T, cfg core.RunConfig) (*core.Report, *Detail) {
+	t.Helper()
+	rep, det, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripWall(rep)
+	return rep, det
+}
+
+// The elastic acceptance gate: a plan with no steps is no plan at all. The
+// Report AND the Detail must be byte-identical between a nil plan, an
+// empty plan, and a zero-step plan — nothing in the fabric may even
+// observe that a CellPlan pointer existed.
+func TestCellPlanNoOpByteIdentical(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Cells = geoSpec()
+	repNone, detNone := runPlan(t, cfg)
+
+	empty := cfg
+	empty.CellPlan = &core.CellPlan{}
+	repEmpty, detEmpty := runPlan(t, empty)
+	if !reflect.DeepEqual(repNone, repEmpty) || !reflect.DeepEqual(detNone, detEmpty) {
+		t.Fatal("empty plan diverged from no plan")
+	}
+
+	zero := cfg
+	zero.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{}}
+	repZero, detZero := runPlan(t, zero)
+	if !reflect.DeepEqual(repNone, repZero) || !reflect.DeepEqual(detNone, detZero) {
+		t.Fatal("zero-step plan diverged from no plan")
+	}
+}
+
+// Last-known-good semantics: an invalid plan is rejected wholesale before
+// the first round, the rejection is recorded, and the run is byte-identical
+// to the same config with no plan at all — the fabric never half-applies.
+func TestCellPlanRejectedByteIdentical(t *testing.T) {
+	outage := *geoSpec()
+	outage.Quorum = 2
+	outage.OutageRound = 20
+	outage.OutageCell = 1
+	cases := []struct {
+		name string
+		spec core.CellSpec
+		plan core.CellPlan
+	}{
+		{"drain-unknown-cell", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 10, Op: core.CellDrain, Cell: 9},
+		}}},
+		{"double-drain", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 10, Op: core.CellDrain, Cell: 1},
+			{Round: 20, Op: core.CellDrain, Cell: 1},
+		}}},
+		{"weight-on-drained-cell", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 10, Op: core.CellDrain, Cell: 1},
+			{Round: 20, Op: core.CellWeight, Cell: 1, Weight: 2},
+		}}},
+		{"zero-weight-join", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 10, Op: core.CellJoin, Weight: 0, Clients: 50},
+		}}},
+		{"unknown-op", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 10, Op: "rename", Cell: 0},
+		}}},
+		{"round-zero", *geoSpec(), core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 0, Op: core.CellDrain, Cell: 1},
+		}}},
+		// Draining below the quorum floor is statically infeasible.
+		{"below-quorum-floor", outage, core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 5, Op: core.CellDrain, Cell: 0},
+			{Round: 6, Op: core.CellDrain, Cell: 2},
+		}}},
+		// The plan retires the cell the outage is scheduled to kill.
+		{"drain-of-outage-cell", outage, core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 5, Op: core.CellDrain, Cell: 1},
+		}}},
+		// Draining a cell the outage already killed (quorum masks at r20).
+		{"drain-of-dead-cell", outage, core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 40, Op: core.CellDrain, Cell: 1},
+		}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseCfg()
+			spec := tc.spec
+			cfg.Cells = &spec
+			repNone, detNone := runPlan(t, cfg)
+
+			pcfg := cfg
+			plan := tc.plan
+			pcfg.CellPlan = &plan
+			rep, det := runPlan(t, pcfg)
+			if det.Plan == nil || det.Plan.Rejected == "" {
+				t.Fatalf("invalid plan not rejected: %+v", det.Plan)
+			}
+			if det.Plan.Version != 0 || len(det.Plan.Pushes) != 0 || det.Plan.CellsJoined != 0 || det.Plan.CellsDrained != 0 {
+				t.Fatalf("rejected plan was partially applied: %+v", det.Plan)
+			}
+			det.Plan = nil
+			if !reflect.DeepEqual(repNone, rep) || !reflect.DeepEqual(detNone, det) {
+				t.Fatal("rejected plan diverged from no plan (last-known-good broken)")
+			}
+		})
+	}
+}
+
+// A live join + drain schedule end to end: the fabric grows, shrinks, keeps
+// every client homed somewhere, keeps the quota conserved, and the whole
+// run is deterministic across executions.
+func TestCellPlanJoinDrainRun(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Cells = geoSpec()
+	cfg.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 10, Op: core.CellJoin, Weight: 0.25, Clients: 90},
+		{Round: 20, Op: core.CellDrain, Cell: 3},
+	}}
+	rep1, det1 := runPlan(t, cfg)
+	rep2, det2 := runPlan(t, cfg)
+	if !reflect.DeepEqual(rep1, rep2) || !reflect.DeepEqual(det1, det2) {
+		t.Fatal("planned run not deterministic across executions")
+	}
+	if !rep1.Reached {
+		t.Fatalf("planned run did not reach target in %d rounds", rep1.RoundsRun)
+	}
+	p := det1.Plan
+	if p == nil || p.Rejected != "" {
+		t.Fatalf("plan not applied: %+v", p)
+	}
+	if p.Version != 2 || len(p.Pushes) != 2 || p.CellsJoined != 1 || p.CellsDrained != 1 {
+		t.Fatalf("plan outcome wrong: %+v", p)
+	}
+	if p.Pushes[0].Round != 10 || p.Pushes[1].Round != 20 || len(p.Pushes[0].Diff) == 0 {
+		t.Fatalf("push records wrong: %+v", p.Pushes)
+	}
+	if len(det1.Cells) != 5 {
+		t.Fatalf("expected 5 cell reports, got %d", len(det1.Cells))
+	}
+	joined := det1.Cells[4]
+	if joined.JoinedRound != 10 || joined.Drained || joined.Dead {
+		t.Fatalf("joined cell state wrong: %+v", joined)
+	}
+	if joined.RoundsRun == 0 || joined.RoundsRun >= rep1.RoundsRun {
+		t.Fatalf("joined cell ran %d of %d rounds", joined.RoundsRun, rep1.RoundsRun)
+	}
+	drained := det1.Cells[3]
+	if !drained.Drained || drained.DrainedRound != 20 || drained.Dead {
+		t.Fatalf("drained cell state wrong: %+v", drained)
+	}
+	if drained.Clients != 0 || drained.ActivePerRound != 0 {
+		t.Fatalf("drained cell kept load: %+v", drained)
+	}
+	if drained.RoundsRun != 19 {
+		t.Fatalf("drained cell ran %d rounds, want 19 (drain lands at round 20's start)", drained.RoundsRun)
+	}
+	clients, shares := 0, 0
+	for _, c := range det1.Cells {
+		clients += c.Clients
+		shares += c.ActivePerRound
+	}
+	if clients != cfg.Clients+90 {
+		t.Fatalf("fabric lost clients: %d != %d", clients, cfg.Clients+90)
+	}
+	if shares != cfg.ActivePerRound {
+		t.Fatalf("shares %d != quota %d after reconfiguration", shares, cfg.ActivePerRound)
+	}
+}
+
+// Canonical ordering: two plans that are permutations of the same schedule
+// are the same plan — byte-identical Report and Detail.
+func TestCellPlanEquivalentSchedules(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Cells = geoSpec()
+	steps := []core.CellPlanStep{
+		{Round: 10, Op: core.CellJoin, Weight: 0.25, Clients: 90},
+		{Round: 10, Op: core.CellWeight, Cell: 0, Weight: 0.5},
+		{Round: 10, Op: core.CellDrain, Cell: 3},
+		{Round: 18, Op: core.CellWeight, Cell: 1, Weight: 1.2, Clients: 40},
+	}
+	cfg.CellPlan = &core.CellPlan{Steps: steps}
+	rep, det := runPlan(t, cfg)
+
+	perm := cfg
+	perm.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{steps[3], steps[2], steps[1], steps[0]}}
+	repP, detP := runPlan(t, perm)
+	if !reflect.DeepEqual(rep, repP) || !reflect.DeepEqual(det, detP) {
+		t.Fatal("permuted schedule diverged from canonical order")
+	}
+	if det.Plan == nil || det.Plan.Rejected != "" || det.Plan.Version != 2 {
+		t.Fatalf("plan outcome wrong: %+v", det.Plan)
+	}
+}
+
+// Fault injection: the outage lands on the same round as a config push —
+// the push (a drain of one cell, a join in the second case) applies at the
+// round's start, then the outage kills another cell mid-round. The fabric
+// must keep both books straight: drained vs dead, re-homed vs re-routed.
+func TestCellPlanOutageMidDrain(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MaxRounds = 160
+	spec := *geoSpec()
+	spec.Quorum = 2
+	spec.OutageRound = 20
+	spec.OutageCell = 2
+	cfg.Cells = &spec
+
+	t.Run("drain-at-outage-round", func(t *testing.T) {
+		c := cfg
+		c.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 20, Op: core.CellDrain, Cell: 1},
+		}}
+		rep1, det1 := runPlan(t, c)
+		rep2, det2 := runPlan(t, c)
+		if !reflect.DeepEqual(rep1, rep2) || !reflect.DeepEqual(det1, det2) {
+			t.Fatal("outage-mid-drain run not deterministic")
+		}
+		if !rep1.Reached {
+			t.Fatalf("run did not reach target in %d rounds", rep1.RoundsRun)
+		}
+		dr, dd := det1.Cells[1], det1.Cells[2]
+		if !dr.Drained || dr.DrainedRound != 20 || dr.Dead {
+			t.Fatalf("drained cell state wrong: %+v", dr)
+		}
+		if !dd.Dead || dd.DiedRound != 20 || dd.Drained {
+			t.Fatalf("dead cell state wrong: %+v", dd)
+		}
+		if dd.RoundsDiscarded != 1 || det1.CellRoundsDiscarded != 1 {
+			t.Fatalf("outage partial round not discarded: %+v", dd)
+		}
+		if det1.ReRoutedClients == 0 {
+			t.Fatal("outage re-route never happened")
+		}
+		clients, shares := 0, 0
+		for _, cr := range det1.Cells {
+			clients += cr.Clients
+			shares += cr.ActivePerRound
+		}
+		if clients != cfg.Clients {
+			t.Fatalf("clients lost across drain+outage: %d != %d", clients, cfg.Clients)
+		}
+		if shares != cfg.ActivePerRound {
+			t.Fatalf("shares %d != quota %d after drain+outage", shares, cfg.ActivePerRound)
+		}
+	})
+
+	t.Run("join-at-outage-round", func(t *testing.T) {
+		c := cfg
+		c.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 20, Op: core.CellJoin, Weight: 0.3, Clients: 120},
+		}}
+		rep, det := runPlan(t, c)
+		if !rep.Reached {
+			t.Fatalf("run did not reach target in %d rounds", rep.RoundsRun)
+		}
+		joined := det.Cells[4]
+		if joined.JoinedRound != 20 || joined.RoundsRun == 0 {
+			t.Fatalf("joined cell state wrong: %+v", joined)
+		}
+		if !det.Cells[2].Dead {
+			t.Fatalf("outage cell not dead: %+v", det.Cells[2])
+		}
+		clients := 0
+		for _, cr := range det.Cells {
+			clients += cr.Clients
+		}
+		if clients != cfg.Clients+120 {
+			t.Fatalf("clients lost across join+outage: %d != %d", clients, cfg.Clients+120)
+		}
+	})
+}
+
+// Wait-all restore after reconfiguration, at the edge of the retention
+// window: the fabric joins a cell and re-weighs a region, then loses a cell
+// at round 29 — past the default window's memory of the checkpoint round —
+// and must still restore and stay byte-identical across retention settings.
+func TestCellPlanRestorePastRetentionWindow(t *testing.T) {
+	cfg := baseCfg()
+	cfg.MaxRounds = 110
+	spec := core.CellSpec{Count: 3, OutageRound: 29, OutageCell: 1}
+	cfg.Cells = &spec
+	cfg.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 8, Op: core.CellJoin, Weight: 0.5, Clients: 80},
+		{Round: 12, Op: core.CellWeight, Cell: 0, Weight: 1.5},
+	}}
+
+	run := func(retain int) (*core.Report, *Detail) {
+		c := cfg
+		c.RetainRounds = retain
+		return runPlan(t, c)
+	}
+	rep, det := run(core.DefaultRetainRounds)
+	c := det.Cells[1]
+	if c.Dead {
+		t.Fatalf("wait-all cell stayed dead: %+v", c)
+	}
+	if c.DiedRound != 29 || c.RestoredRound != 29 {
+		t.Fatalf("restore rounds wrong: %+v", c)
+	}
+	if c.Checkpoints == 0 {
+		t.Fatal("cell never checkpointed; restore had nothing to round-trip")
+	}
+	if det.Plan == nil || det.Plan.Version != 2 || det.Plan.CellsJoined != 1 {
+		t.Fatalf("plan not applied before the outage: %+v", det.Plan)
+	}
+	if !rep.Reached {
+		t.Fatalf("restored run did not reach target in %d rounds", rep.RoundsRun)
+	}
+	repOff, detOff := run(-1)
+	if !reflect.DeepEqual(rep, repOff) || !reflect.DeepEqual(det, detOff) {
+		t.Fatal("post-reconfiguration restore diverged across retention windows")
+	}
+}
+
+// The determinism contract under a live plan, mirroring the workers suite:
+// a fixed seed must produce byte-identical Reports, Details, and .traj
+// trajectory files for any worker count and any retention window.
+func TestCellPlanByteIdenticalReports(t *testing.T) {
+	base := baseCfg()
+	base.MaxRounds = 60
+	base.Cells = geoSpec()
+	base.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 8, Op: core.CellJoin, Weight: 0.3, Clients: 90},
+		{Round: 12, Op: core.CellWeight, Cell: 0, Weight: 0.8, Clients: 40},
+		{Round: 16, Op: core.CellDrain, Cell: 1},
+	}}
+
+	run := func(workers, retain int) (*core.Report, *Detail, []byte) {
+		cfg := base
+		cfg.Workers = workers
+		cfg.RetainRounds = retain
+		path := filepath.Join(t.TempDir(), "plan.traj")
+		sink, err := trajstore.NewSink(path, cfg, trajstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Trajectory = sink
+		rep, det, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d retain=%d: %v", workers, retain, err)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stripWall(rep)
+		return rep, det, data
+	}
+
+	refRep, refDet, refTraj := run(1, 0)
+	if len(refTraj) == 0 {
+		t.Fatal("empty trajectory file")
+	}
+	if refDet.Plan == nil || refDet.Plan.Version != 3 || refDet.Plan.Rejected != "" {
+		t.Fatalf("plan not fully applied: %+v", refDet.Plan)
+	}
+	for _, tc := range []struct{ workers, retain int }{
+		{2, 0}, {8, 0}, {1, -1}, {8, -1}, {8, 5},
+	} {
+		rep, det, traj := run(tc.workers, tc.retain)
+		if !reflect.DeepEqual(refRep, rep) || !reflect.DeepEqual(refDet, det) {
+			t.Fatalf("workers=%d retain=%d: planned run diverged from workers=1 retain=0", tc.workers, tc.retain)
+		}
+		if !bytes.Equal(refTraj, traj) {
+			t.Fatalf("workers=%d retain=%d: trajectory file differs (%d vs %d bytes)", tc.workers, tc.retain, len(traj), len(refTraj))
+		}
+	}
+}
+
+// PlanDiff is the dry-run half of the config push: diffs without a fabric.
+func TestPlanDiff(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Cells = geoSpec()
+	if pushes, err := PlanDiff(cfg); err != nil || len(pushes) != 0 {
+		t.Fatalf("no-plan diff: %v, %+v", err, pushes)
+	}
+	cfg.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 10, Op: core.CellJoin, Weight: 0.25, Clients: 90},
+		{Round: 20, Op: core.CellDrain, Cell: 3},
+	}}
+	pushes, err := PlanDiff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pushes) != 2 || pushes[0].Round != 10 || pushes[1].Round != 20 {
+		t.Fatalf("wrong pushes: %+v", pushes)
+	}
+	if len(pushes[0].Diff) == 0 || len(pushes[1].Diff) == 0 {
+		t.Fatalf("empty diffs: %+v", pushes)
+	}
+	cfg.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 10, Op: core.CellDrain, Cell: 9},
+	}}
+	if _, err := PlanDiff(cfg); err == nil {
+		t.Fatal("invalid plan diffed without error")
+	}
+	cfg.Cells = nil
+	if _, err := PlanDiff(cfg); err == nil {
+		t.Fatal("PlanDiff accepted a config without cells")
+	}
+}

@@ -1,0 +1,100 @@
+package cell
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The elastic headline (ISSUE acceptance): a flash crowd landing on one
+// region mid-run produces a time-to-accuracy cliff — the crowded cell's
+// quota share gets capped by its resident population, the lost shares cost
+// accuracy credit every round, and the milestones slip — while the same
+// crowd absorbed by a scale-out join (fresh cells bringing their own
+// capacity) shows no cliff: its milestone crossings land within one round
+// of a fleet that was pre-sized for the crowd from round 1.
+func TestCellPlanScaleOutAbsorbsFlashCrowd(t *testing.T) {
+	const crowdRound = 25
+	const crowd = 2880 // 8x the fabric's original population
+
+	base := baseCfg()
+	base.MaxRounds = 160
+	// A quota high enough that the crowd overloads one region's residents:
+	// the flash-crowd cell's apportioned share (~179) caps at its 144
+	// residents, and the capped shares are lost credit.
+	base.ActivePerRound = 192
+	base.Cells = geoSpec()
+
+	flash := base
+	flash.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: crowdRound, Op: core.CellWeight, Cell: 0, Weight: 0.4, Clients: crowd},
+	}}
+	scale := base
+	scale.CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: crowdRound, Op: core.CellJoin, Weight: 0.5, Clients: crowd / 2},
+		{Round: crowdRound, Op: core.CellJoin, Weight: 0.5, Clients: crowd / 2},
+	}}
+	// The control: a fleet sized for the crowd from round 1 — the original
+	// four regions plus two crowd-sized cells, same active quota.
+	presized := baseCfg()
+	presized.MaxRounds = 160
+	presized.ActivePerRound = 192
+	presized.Clients = base.Clients + crowd
+	presized.Cells = &core.CellSpec{Count: 6, Regions: []float64{
+		0.4 * 360, 0.3 * 360, 0.2 * 360, 0.1 * 360, crowd / 2, crowd / 2,
+	}}
+
+	flashRep, flashDet := runPlan(t, flash)
+	scaleRep, scaleDet := runPlan(t, scale)
+	preRep, _ := runPlan(t, presized)
+	for name, rep := range map[string]*core.Report{"flash": flashRep, "scale": scaleRep, "presized": preRep} {
+		if !rep.Reached {
+			t.Fatalf("%s run did not reach target in %d rounds", name, rep.RoundsRun)
+		}
+	}
+	if flashDet.Plan.Version != 1 || scaleDet.Plan.CellsJoined != 2 {
+		t.Fatalf("plans not applied: flash %+v scale %+v", flashDet.Plan, scaleDet.Plan)
+	}
+
+	// The acceptance gate: every scale-out milestone crossing lands within
+	// one round of the pre-sized fleet's.
+	if len(scaleRep.Milestones) != len(preRep.Milestones) {
+		t.Fatalf("milestone counts differ: scale %d, presized %d", len(scaleRep.Milestones), len(preRep.Milestones))
+	}
+	for i, m := range scaleRep.Milestones {
+		pre := preRep.Milestones[i]
+		if d := m.At.Round - pre.At.Round; d < -1 || d > 1 {
+			t.Errorf("milestone %.2f crossed at round %d under scale-out, %d pre-sized (cliff: |Δ| > 1)",
+				m.Target, m.At.Round, pre.At.Round)
+		}
+	}
+
+	// The flash crowd, by contrast, is a real cliff: the capped region
+	// bleeds credit every round, so the target milestone slips by many
+	// rounds and the time-to-accuracy stretches measurably.
+	last := len(flashRep.Milestones) - 1
+	if d := flashRep.Milestones[last].At.Round - preRep.Milestones[last].At.Round; d < 5 {
+		t.Errorf("flash crowd shows no round cliff: target milestone slipped only %d rounds", d)
+	}
+	if flashRep.TimeToTarget <= scaleRep.TimeToTarget {
+		t.Errorf("flash crowd shows no time cliff: tta %v <= scale-out %v", flashRep.TimeToTarget, scaleRep.TimeToTarget)
+	}
+
+	// The overload is visible in the books: the crowded cell's share is
+	// pinned at its resident population, so the fabric fields fewer shares
+	// than its quota.
+	flashShares := 0
+	for _, c := range flashDet.Cells {
+		flashShares += c.ActivePerRound
+	}
+	if flashShares >= base.ActivePerRound {
+		t.Fatalf("flash crowd lost no shares: %d >= quota %d", flashShares, base.ActivePerRound)
+	}
+	scaleShares := 0
+	for _, c := range scaleDet.Cells {
+		scaleShares += c.ActivePerRound
+	}
+	if scaleShares != base.ActivePerRound {
+		t.Fatalf("scale-out lost shares: %d != quota %d", scaleShares, base.ActivePerRound)
+	}
+}

@@ -288,6 +288,14 @@ type RunConfig struct {
 	// core.Run itself rejects them rather than silently running a single
 	// cluster. Only synchronous per-cell systems are federated today.
 	Cells *CellSpec
+	// CellPlan schedules live fabric reconfiguration — round-stamped
+	// join/drain/weight-change config pushes applied atomically at round
+	// starts (internal/cell.Reconfigure). Requires Cells; a plan with no
+	// steps is equivalent to no plan at all (byte-identical run). An
+	// invalid plan is rejected wholesale before the first round and the
+	// run proceeds exactly as if no plan were configured (last-known-good
+	// semantics), with the rejection recorded in the cell Detail.
+	CellPlan *CellPlan
 	// Async tunes the buffered-async system; only SystemAsync honours it
 	// (NewPlatform rejects it on synchronous systems). For SystemAsync a
 	// nil Async takes every default. Async runs reuse the round-oriented
@@ -516,6 +524,12 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		// Cells from the per-cell configs it builds, so anything arriving
 		// here took a wrong turn.
 		return nil, fmt.Errorf("core: Cells is a multi-cell fabric knob; run it through internal/cell (harness sweeps dispatch there automatically)")
+	}
+	if cfg.CellPlan != nil {
+		// Without a Cells spec there is no fabric to reconfigure; dropping
+		// the plan silently would run a static cluster under an operator
+		// who believes cells are joining and draining.
+		return nil, fmt.Errorf("core: CellPlan requires a Cells spec (the plan reconfigures the multi-cell fabric)")
 	}
 	if cfg.Async != nil && cfg.System != SystemAsync {
 		// Silently dropping async knobs would turn an async sweep cell

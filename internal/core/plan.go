@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CellPlanOp is one reconfiguration verb of an elastic-fabric plan.
+type CellPlanOp string
+
+// The three reconfiguration verbs. A plan's steps are round-stamped; every
+// step sharing a round forms one versioned config push that the fabric
+// validates, dry-run diffs, snapshots and then applies atomically at that
+// global round's start (internal/cell.Reconfigure).
+const (
+	// CellJoin adds a fresh cell: Weight is its routing weight and Clients
+	// its resident population (new arrivals homed on it — existing clients
+	// never re-home on a join; placement.ElasticRouter pins that contract).
+	CellJoin CellPlanOp = "join"
+	// CellDrain retires cell Cell with drain-then-delete semantics: the
+	// cell stops accepting new rounds at the step round's start (the round
+	// barrier means its in-flight aggregation already folded), its
+	// accounting and last checkpoint are banked, and its clients are
+	// re-apportioned across the surviving cells' routing weights by the
+	// fabric's largest-remainder path.
+	CellDrain CellPlanOp = "drain"
+	// CellWeight sets cell Cell's routing weight to Weight; Clients, when
+	// > 0, additionally models a flash-crowd burst of that many new
+	// arrivals homed on the cell (selection quota over its existing
+	// synthetic residents, like an outage re-route).
+	CellWeight CellPlanOp = "weight"
+)
+
+// CellPlanStep is one round-stamped reconfiguration step.
+type CellPlanStep struct {
+	// Round is the global round at whose start the step applies (>= 1).
+	Round int
+	Op    CellPlanOp
+	// Cell indexes the target cell for drain/weight steps. Joins ignore it:
+	// a joined cell is assigned the next free index (cell ids are never
+	// reused).
+	Cell int
+	// Weight is the routing weight for join/weight steps.
+	Weight float64
+	// Clients is the joined cell's resident population (join) or the
+	// flash-crowd arrival count (weight).
+	Clients int
+}
+
+// CellPlan schedules live reconfiguration of a multi-cell fabric
+// (RunConfig.CellPlan). Steps are grouped by round into versioned config
+// pushes and applied in canonical order — joins, then weight changes, then
+// drains — so any permutation of an equivalent schedule produces a
+// byte-identical run. The whole plan is validated statically before the
+// run starts; an invalid plan is rejected wholesale (last-known-good
+// semantics: the fabric runs exactly as if no plan were configured, and
+// the rejection reason is recorded in the cell Detail).
+type CellPlan struct {
+	Steps []CellPlanStep
+}
+
+// opOrder is the canonical within-push application order.
+func opOrder(op CellPlanOp) int {
+	switch op {
+	case CellJoin:
+		return 0
+	case CellWeight:
+		return 1
+	case CellDrain:
+		return 2
+	}
+	return 3
+}
+
+// Normalized returns the plan's steps in canonical order: by round, then
+// joins → weight changes → drains, then by target cell. Two plans with the
+// same normalized steps are the same schedule — the fabric runs them
+// byte-identically. A nil plan or one with no steps normalizes to nil (a
+// no-op plan is no plan at all).
+func (p *CellPlan) Normalized() []CellPlanStep {
+	if p == nil || len(p.Steps) == 0 {
+		return nil
+	}
+	steps := append([]CellPlanStep(nil), p.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool {
+		if steps[i].Round != steps[j].Round {
+			return steps[i].Round < steps[j].Round
+		}
+		if a, b := opOrder(steps[i].Op), opOrder(steps[j].Op); a != b {
+			return a < b
+		}
+		return steps[i].Cell < steps[j].Cell
+	})
+	return steps
+}
+
+// Validate checks each step's well-formedness in isolation — op known,
+// round >= 1, weights/populations in range. Schedule-level feasibility
+// (cell references, quorum floors, outage interplay) needs the fabric's
+// state and lives in internal/cell, which folds this check into its
+// wholesale plan validation.
+func (p *CellPlan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, s := range p.Steps {
+		switch s.Op {
+		case CellJoin:
+			if s.Weight <= 0 {
+				return fmt.Errorf("core: plan step %d: join needs Weight > 0 (got %v)", i, s.Weight)
+			}
+			if s.Clients < 0 {
+				return fmt.Errorf("core: plan step %d: join Clients %d must be >= 0", i, s.Clients)
+			}
+		case CellDrain:
+			if s.Cell < 0 {
+				return fmt.Errorf("core: plan step %d: drain Cell %d must be >= 0", i, s.Cell)
+			}
+		case CellWeight:
+			if s.Cell < 0 {
+				return fmt.Errorf("core: plan step %d: weight Cell %d must be >= 0", i, s.Cell)
+			}
+			if s.Weight <= 0 {
+				return fmt.Errorf("core: plan step %d: weight needs Weight > 0 (got %v)", i, s.Weight)
+			}
+			if s.Clients < 0 {
+				return fmt.Errorf("core: plan step %d: weight Clients %d must be >= 0", i, s.Clients)
+			}
+		default:
+			return fmt.Errorf("core: plan step %d: unknown op %q", i, s.Op)
+		}
+		if s.Round < 1 {
+			return fmt.Errorf("core: plan step %d: Round %d must be >= 1", i, s.Round)
+		}
+	}
+	return nil
+}

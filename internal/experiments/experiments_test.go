@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/model"
 )
 
@@ -295,5 +296,57 @@ func TestFig9ReproducesWorkloadShape(t *testing.T) {
 	}
 	if !strings.Contains(FormatFig9(rows), "ResNet-18") || !strings.Contains(FormatFig10(series), "lifl") {
 		t.Error("formatting broken")
+	}
+}
+
+// The elastic verb path: a planned scenario sweeps byte-identically serial
+// vs parallel (the plan applies mid-run inside each private engine), the
+// formatted detail carries the plan outcome, and PlanDiff dry-runs the
+// same schedule the sweep applies — including the -cellplan override.
+func TestRunScenarioWithPlanParallelMatchesSerial(t *testing.T) {
+	old := Parallelism
+	defer func() { Parallelism = old }()
+
+	Parallelism = 1
+	serial, err := RunScenario("scale-out-under-load", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Parallelism = 8
+	parallel, err := RunScenario("scale-out-under-load", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("planned scenario diverged under parallel sweep:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+	for _, want := range []string{"plan: v1 applied", "joined@r25"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("scenario output missing %q:\n%s", want, serial)
+		}
+	}
+
+	diff, err := PlanDiff("scale-out-under-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "push v1 @ round 25") || !strings.Contains(diff, "joins") {
+		t.Errorf("plan diff missing the push schedule:\n%s", diff)
+	}
+	if _, err := PlanDiff("fig9-r18"); err == nil {
+		t.Error("PlanDiff accepted a non-fabric scenario")
+	}
+
+	// The -cellplan override supersedes the registry plan in both paths.
+	defer func() { CellPlan = nil }()
+	CellPlan = &core.CellPlan{Steps: []core.CellPlanStep{
+		{Round: 30, Op: core.CellDrain, Cell: 3},
+	}}
+	diff, err = PlanDiff("scale-out-under-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(diff, "push v1 @ round 30") || strings.Contains(diff, "joins") {
+		t.Errorf("-cellplan override not applied to the dry run:\n%s", diff)
 	}
 }

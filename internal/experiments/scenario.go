@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/cell"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/scenario"
 )
@@ -24,6 +25,14 @@ var Parallelism = 1
 // knobs (byte-identical output at any setting). cmd/liflsim sets it from
 // an explicit -workers.
 var Workers = 0
+
+// CellPlan, when non-nil, overrides the per-scenario reconfiguration plan
+// (scenario.Scenario.CellPlan → core.RunConfig.CellPlan: the elastic
+// fabric's round-stamped join/drain/weight pushes) for every run
+// RunScenario expands. Only fabric runs (Cells > 0) pick it up; the fabric
+// validates it wholesale at run start, and a rejected plan leaves the run
+// byte-identical to the unplanned one. cmd/liflsim sets it from -cellplan.
+var CellPlan *core.CellPlan
 
 // TrajDir, when non-empty, equips every run RunScenario expands with a
 // trajectory sink writing under that directory (one .traj file per run,
@@ -63,6 +72,9 @@ func RunScenario(name string, seed int64) (string, error) {
 		// Scalar override only: a scenario sweeping a WorkerCounts axis
 		// keeps its axis (the sweep is the point of such an entry).
 		sc.Workers = Workers
+	}
+	if CellPlan != nil {
+		sc.CellPlan = CellPlan
 	}
 	runs := sc.Expand()
 	var closeTraj func() error
@@ -119,8 +131,12 @@ func formatCellDetail(d *cell.Detail) string {
 		switch {
 		case c.Dead:
 			state = fmt.Sprintf("dead@r%d", c.DiedRound)
+		case c.Drained:
+			state = fmt.Sprintf("drained@r%d", c.DrainedRound)
 		case c.RestoredRound > 0:
 			state = fmt.Sprintf("restored@r%d", c.RestoredRound)
+		case c.JoinedRound > 0:
+			state = fmt.Sprintf("joined@r%d", c.JoinedRound)
 		}
 		fmt.Fprintf(&b, "    cell %d: clients=%d active=%d rounds=%d ckpts=%d cpu(h)=%.2f %s\n",
 			c.Cell, c.Clients, c.ActivePerRound, c.RoundsRun, c.Checkpoints, c.CPUTime.Hours(), state)
@@ -129,7 +145,59 @@ func formatCellDetail(d *cell.Detail) string {
 		fmt.Fprintf(&b, "    outage: detected at %.1f min, %d clients re-routed, %d partial round(s) discarded\n",
 			d.OutageDetectedAt.Minutes(), d.ReRoutedClients, d.CellRoundsDiscarded)
 	}
+	if p := d.Plan; p != nil {
+		if p.Rejected != "" {
+			fmt.Fprintf(&b, "    plan: REJECTED wholesale (%s); ran as unplanned\n", p.Rejected)
+		} else {
+			fmt.Fprintf(&b, "    plan: v%d applied, %d push(es), %d joined, %d drained\n",
+				p.Version, len(p.Pushes), p.CellsJoined, p.CellsDrained)
+		}
+	}
 	return b.String()
+}
+
+// PlanDiff dry-runs the named scenario's reconfiguration plan without
+// executing the workload: the elastic fabric validates the plan wholesale
+// against the scenario's fabric shape and returns the versioned push
+// schedule it would apply (the `liflsim plan` verb). The CellPlan override
+// applies here exactly as in RunScenario, so `-cellplan ... plan <name>` is
+// the dry run of `-cellplan ... scenario <name>`.
+func PlanDiff(name string) (string, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return "", fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	if CellPlan != nil {
+		sc.CellPlan = CellPlan
+	}
+	runs := sc.Expand()
+	var b strings.Builder
+	shown := false
+	for _, r := range runs {
+		if r.Cfg.Cells == nil {
+			continue
+		}
+		shown = true
+		pushes, err := cell.PlanDiff(r.Cfg)
+		if err != nil {
+			return "", fmt.Errorf("scenario %s run %s: plan rejected: %w", name, r.Label, err)
+		}
+		fmt.Fprintf(&b, "Plan for %s (run %s):\n", name, r.Label)
+		if len(pushes) == 0 {
+			b.WriteString("  no reconfiguration plan: the fabric runs with its initial shape\n")
+			continue
+		}
+		for _, p := range pushes {
+			fmt.Fprintf(&b, "  push v%d @ round %d:\n", p.Version, p.Round)
+			for _, d := range p.Diff {
+				fmt.Fprintf(&b, "    %s\n", d)
+			}
+		}
+	}
+	if !shown {
+		return "", fmt.Errorf("scenario %q has no fabric runs (Cells = 0): nothing to plan", name)
+	}
+	return b.String(), nil
 }
 
 // RunGeo sweeps the geo scenario family — the locality-routed multi-cell

@@ -21,7 +21,12 @@
 // Above the node level, CellRouter is level one of the geo fabric's
 // two-level placement: a deterministic, seed-stable, region-weighted map
 // client → home cell (internal/cell), under which the per-cell engines
-// place updates onto nodes as before.
+// place updates onto nodes as before. ElasticRouter extends it for the
+// elastic fabric (RunConfig.CellPlan): epoch-sealed routing where joins
+// and weight changes redirect only future arrivals — an arrived client's
+// home is immutable until its cell drains, at which point exactly the
+// drained cell's clients re-home across the survivors (the contract
+// internal/planprop property-tests across generated plans).
 //
 // Layer (DESIGN.md): component model under internal/systems — the
 // indexed locality-aware load balancer (§5.1); see the hot-path invariants

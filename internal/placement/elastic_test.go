@@ -1,0 +1,175 @@
+package placement
+
+import (
+	"testing"
+)
+
+// With no topology changes the elastic router must be the CellRouter, bit
+// for bit: same cumulative table, same draw, same homes.
+func TestElasticStaticMatchesCellRouter(t *testing.T) {
+	for _, tc := range []struct {
+		cells   int
+		weights []float64
+		seed    int64
+	}{
+		{1, nil, 7},
+		{4, []float64{0.4, 0.3, 0.2, 0.1}, 7},
+		{8, []float64{0.30, 0.20, 0.15, 0.10, 0.10, 0.05, 0.05, 0.05}, 1},
+		{3, nil, 42},
+	} {
+		base, err := NewCellRouter(tc.cells, tc.weights, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er, err := NewElasticRouter(tc.cells, tc.weights, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		er.Extend(5000)
+		for i := 0; i < 5000; i++ {
+			if base.Home(i) != er.Home(i) {
+				t.Fatalf("cells=%d seed=%d: client %d homes diverge: cell %d vs elastic %d",
+					tc.cells, tc.seed, i, base.Home(i), er.Home(i))
+			}
+		}
+	}
+}
+
+// Joins and weight changes seal the epoch: no arrived client may re-home.
+func TestElasticJoinAndWeightNeverRehome(t *testing.T) {
+	r, err := NewElasticRouter(3, []float64{0.5, 0.3, 0.2}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3000
+	r.Extend(n)
+	before := make([]int, n)
+	for i := range before {
+		before[i] = r.Home(i)
+	}
+	if _, err := r.Join(0.4); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetWeight(0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if got := r.Home(i); got != before[i] {
+			t.Fatalf("client %d re-homed %d -> %d after join/weight", i, before[i], got)
+		}
+	}
+	// Future arrivals do land on the joined cell.
+	r.Extend(n)
+	joined := 0
+	for i := n; i < 2*n; i++ {
+		if r.Home(i) == 3 {
+			joined++
+		}
+	}
+	if joined == 0 {
+		t.Fatal("no new arrival routed to the joined cell")
+	}
+}
+
+// A drain re-homes exactly the drained cell's clients, onto live cells.
+func TestElasticDrainMovesExactlyDrainedClients(t *testing.T) {
+	r, err := NewElasticRouter(4, []float64{0.4, 0.3, 0.2, 0.1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4000
+	r.Extend(n)
+	before := make([]int, n)
+	for i := range before {
+		before[i] = r.Home(i)
+	}
+	if err := r.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := range before {
+		after := r.Home(i)
+		if before[i] != 1 {
+			if after != before[i] {
+				t.Fatalf("client %d homed on cell %d moved to %d on an unrelated drain", i, before[i], after)
+			}
+			continue
+		}
+		moved++
+		if after == 1 {
+			t.Fatalf("client %d still homed on drained cell", i)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("drained cell had no clients; test proves nothing")
+	}
+	counts := r.Counts()
+	if counts[1] != 0 {
+		t.Fatalf("drained cell still counts %d clients", counts[1])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("drain lost clients: %d != %d", total, n)
+	}
+}
+
+// Drain chains resolve: drain a cell, then drain a survivor that absorbed
+// some of its clients; every client must still land on a live cell.
+func TestElasticDrainChain(t *testing.T) {
+	r, err := NewElasticRouter(4, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	r.Extend(n)
+	if err := r.Drain(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		h := r.Home(i)
+		if h != 1 && h != 3 {
+			t.Fatalf("client %d homed on drained cell %d", i, h)
+		}
+	}
+	if err := r.Drain(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(3); err == nil {
+		t.Fatal("drain of the last live cell accepted")
+	}
+}
+
+// Validation: joins/weights/drains reject what they cannot route.
+func TestElasticValidation(t *testing.T) {
+	r, err := NewElasticRouter(2, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Join(0); err == nil {
+		t.Fatal("zero-weight join accepted")
+	}
+	if err := r.SetWeight(5, 1); err == nil {
+		t.Fatal("weight change on unknown cell accepted")
+	}
+	if err := r.SetWeight(0, -1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if err := r.Drain(7); err == nil {
+		t.Fatal("drain of unknown cell accepted")
+	}
+	if err := r.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Drain(0); err == nil {
+		t.Fatal("double drain accepted")
+	}
+	if err := r.SetWeight(0, 1); err == nil {
+		t.Fatal("weight change on drained cell accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package planprop
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+// Check walks the plan's normalized schedule through an ElasticRouter over
+// an initial population and asserts the routing contract after every push:
+//
+//   - no client that arrived before the push moves, unless its home cell
+//     drained in that push;
+//   - every client homed on a drained cell moves, onto a live cell;
+//   - the arrived population is conserved across the per-cell counts.
+//
+// Between pushes a slice of `arrivals` new clients arrives (flash-crowd
+// Clients on weight steps arrive too), so epoch sealing is exercised with
+// real epoch boundaries. Returns the first violation, or nil.
+func Check(plan *core.CellPlan, cells, clients, arrivals int, weights []float64, seed int64) error {
+	r, err := placement.NewElasticRouter(cells, weights, seed)
+	if err != nil {
+		return err
+	}
+	r.Extend(clients)
+	allDrained := map[int]bool{}
+	steps := plan.Normalized()
+	for i := 0; i < len(steps); {
+		j := i
+		for j < len(steps) && steps[j].Round == steps[i].Round {
+			j++
+		}
+		push := steps[i:j]
+		round := push[0].Round
+
+		before := make([]int, r.Arrived())
+		for c := range before {
+			before[c] = r.Home(c)
+		}
+		drained := map[int]bool{}
+		burst := 0
+		for _, s := range push {
+			switch s.Op {
+			case core.CellJoin:
+				if _, err := r.Join(s.Weight); err != nil {
+					return fmt.Errorf("round %d: join: %w", round, err)
+				}
+				burst += s.Clients
+			case core.CellWeight:
+				if err := r.SetWeight(s.Cell, s.Weight); err != nil {
+					return fmt.Errorf("round %d: weight(%d): %w", round, s.Cell, err)
+				}
+				burst += s.Clients
+			case core.CellDrain:
+				if err := r.Drain(s.Cell); err != nil {
+					return fmt.Errorf("round %d: drain(%d): %w", round, s.Cell, err)
+				}
+				drained[s.Cell] = true
+				allDrained[s.Cell] = true
+			default:
+				return fmt.Errorf("round %d: unknown op %q", round, s.Op)
+			}
+		}
+
+		for c, old := range before {
+			now := r.Home(c)
+			if drained[old] {
+				if allDrained[now] {
+					return fmt.Errorf("round %d: client %d re-homed from drained cell %d onto drained cell %d", round, c, old, now)
+				}
+				continue
+			}
+			if now != old {
+				return fmt.Errorf("round %d: client %d re-homed %d -> %d though cell %d did not drain",
+					round, c, old, now, old)
+			}
+		}
+		counts := r.Counts()
+		total := 0
+		for cell, cnt := range counts {
+			total += cnt
+			if cnt > 0 && allDrained[cell] {
+				return fmt.Errorf("round %d: drained cell %d still counts %d clients", round, cell, cnt)
+			}
+		}
+		if total != r.Arrived() {
+			return fmt.Errorf("round %d: population not conserved: %d != %d arrived", round, total, r.Arrived())
+		}
+
+		r.Extend(arrivals + burst)
+		i = j
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Package planprop is the reconfiguration property harness: a seeded
+// generator of random — but feasible-by-construction — elastic cell plans
+// (core.CellPlan) and an invariant checker that walks a generated plan
+// through placement.ElasticRouter, asserting the routing contract the
+// elastic fabric is built on:
+//
+//   - adds never re-home: a join or weight change moves no client that has
+//     already arrived;
+//   - drains re-home exactly the drained cell's clients, every one of them
+//     onto a live cell, conserving the population.
+//
+// The harness is a first-class deliverable, not test scaffolding: CI runs
+// it across 100+ generated plans per seed stream, and the same generator
+// feeds fabric-level byte-identity checks (a generated plan, validated by
+// cell.PlanDiff, must run deterministically).
+package planprop

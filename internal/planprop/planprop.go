@@ -1,0 +1,141 @@
+package planprop
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Shape bounds the generator: the fabric a plan reconfigures and how wild
+// the schedule may get.
+type Shape struct {
+	// Cells is the fabric's initial cell count (>= 1).
+	Cells int
+	// Quorum is the fabric's straggler quorum; a generated plan never
+	// drains the live set below max(1, Quorum) (the fabric's floor).
+	Quorum int
+	// MaxRound caps the latest step round (>= 1).
+	MaxRound int
+	// MaxSteps caps the total step count (default 12).
+	MaxSteps int
+}
+
+func (s Shape) withDefaults() Shape {
+	if s.Cells < 1 {
+		s.Cells = 4
+	}
+	if s.MaxRound < 1 {
+		s.MaxRound = 40
+	}
+	if s.MaxSteps < 1 {
+		s.MaxSteps = 12
+	}
+	return s
+}
+
+// floor is the live-cell count a plan must preserve.
+func (s Shape) floor() int {
+	if s.Quorum > 1 {
+		return s.Quorum
+	}
+	return 1
+}
+
+// Generate derives a random feasible plan from the seed: joins with random
+// weights and populations, weight changes (some carrying flash-crowd
+// arrivals), and drains that respect the live floor. The generator tracks
+// the live set while emitting steps, so every plan it returns passes the
+// fabric's wholesale validation by construction. Steps are emitted in
+// round order but deliberately NOT in canonical within-round order — the
+// fabric must normalize.
+func Generate(shape Shape, seed int64) *core.CellPlan {
+	shape = shape.withDefaults()
+	rng := sim.NewRNG(seed)
+	live := make(map[int]bool, shape.Cells)
+	for k := 0; k < shape.Cells; k++ {
+		live[k] = true
+	}
+	next := shape.Cells // next join id
+	liveIDs := func() []int {
+		var ids []int
+		for id := 0; id < next; id++ {
+			if live[id] {
+				ids = append(ids, id)
+			}
+		}
+		return ids
+	}
+
+	var steps []core.CellPlanStep
+	n := 1 + rng.Intn(shape.MaxSteps)
+	round := 1 + rng.Intn(3)
+	for len(steps) < n && round <= shape.MaxRound {
+		// A push carries 1-3 steps at this round.
+		burst := 1 + rng.Intn(3)
+		for b := 0; b < burst && len(steps) < n; b++ {
+			switch op := rng.Intn(3); {
+			case op == 0: // join
+				steps = append(steps, core.CellPlanStep{
+					Round:   round,
+					Op:      core.CellJoin,
+					Weight:  0.1 + rng.Float64(),
+					Clients: rng.Intn(400),
+				})
+				live[next] = true
+				next++
+			case op == 1: // weight change, sometimes a flash crowd
+				ids := liveIDs()
+				target := ids[rng.Intn(len(ids))]
+				crowd := 0
+				if rng.Intn(3) == 0 {
+					crowd = 50 + rng.Intn(500)
+				}
+				steps = append(steps, core.CellPlanStep{
+					Round:   round,
+					Op:      core.CellWeight,
+					Cell:    target,
+					Weight:  0.1 + 2*rng.Float64(),
+					Clients: crowd,
+				})
+			default: // drain, only while above the floor
+				ids := liveIDs()
+				if len(ids) <= shape.floor() {
+					continue
+				}
+				target := ids[rng.Intn(len(ids))]
+				steps = append(steps, core.CellPlanStep{
+					Round: round,
+					Op:    core.CellDrain,
+					Cell:  target,
+				})
+				delete(live, target)
+			}
+		}
+		round += 1 + rng.Intn(6)
+	}
+	if len(steps) == 0 {
+		// Degenerate draw: emit one join so every generated plan reconfigures.
+		steps = append(steps, core.CellPlanStep{Round: 1, Op: core.CellJoin, Weight: 0.5, Clients: 10})
+	}
+	// Shuffle within the plan to exercise normalization; round stamps keep
+	// the schedule itself unchanged.
+	rng.Shuffle(len(steps), func(i, j int) { steps[i], steps[j] = steps[j], steps[i] })
+	return &core.CellPlan{Steps: steps}
+}
+
+// String renders a plan compactly for failure messages.
+func String(p *core.CellPlan) string {
+	out := ""
+	for _, s := range p.Normalized() {
+		switch s.Op {
+		case core.CellJoin:
+			out += fmt.Sprintf("%d:join(w=%.2f,n=%d) ", s.Round, s.Weight, s.Clients)
+		case core.CellWeight:
+			out += fmt.Sprintf("%d:weight(%d,w=%.2f,n=%d) ", s.Round, s.Cell, s.Weight, s.Clients)
+		case core.CellDrain:
+			out += fmt.Sprintf("%d:drain(%d) ", s.Round, s.Cell)
+		}
+	}
+	return out
+}

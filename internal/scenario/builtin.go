@@ -289,6 +289,87 @@ func init() {
 		CellQuorums:     []int{0, 3},
 		Bench:           BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
 	})
+	// Elastic family: live fabric reconfiguration (core.CellPlan →
+	// internal/cell's versioned config pushes). Scale-out is the headline:
+	// a flash crowd 8x the fleet's population lands at round 25 and two
+	// joined cells absorb it — the ISSUE acceptance pins its milestone
+	// crossings to within one round of a fleet pre-sized for the crowd.
+	// Short-class: the PR bench gate watches the reconfiguration path.
+	mustRegister(Scenario{
+		Name:           "scale-out-under-load",
+		Description:    "elastic fabric: 8x flash crowd at round 25 absorbed by two joining cells",
+		Model:          model.ResNet18,
+		Clients:        360,
+		ActivePerRound: 192,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      160,
+		Nodes:          3,
+		MC:             60,
+		Seed:           7,
+		Cells:          4,
+		CellRegions:    []float64{0.4, 0.3, 0.2, 0.1},
+		CellPlan: &core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 25, Op: core.CellJoin, Weight: 0.5, Clients: 1440},
+			{Round: 25, Op: core.CellJoin, Weight: 0.5, Clients: 1440},
+		}},
+		Bench: BenchMeta{Class: ClassShort, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// The elastic counterfactual: the same 8x crowd dumped onto one region
+	// with no capacity added. The crowded cell's quota share caps at its
+	// resident population, the capped shares are lost accuracy credit every
+	// round, and the milestones slip — the cliff scale-out-under-load
+	// avoids. Nightly: the pair is a drift check on the overload model.
+	mustRegister(Scenario{
+		Name:           "flash-crowd",
+		Description:    "elastic fabric: 8x flash crowd on one region, no scale-out — the TTA cliff",
+		Model:          model.ResNet18,
+		Clients:        360,
+		ActivePerRound: 192,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      160,
+		Nodes:          3,
+		MC:             60,
+		Seed:           7,
+		Cells:          4,
+		CellRegions:    []float64{0.4, 0.3, 0.2, 0.1},
+		CellPlan: &core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 25, Op: core.CellWeight, Cell: 0, Weight: 0.4, Clients: 2880},
+		}},
+		Bench: BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
+	// Rolling upgrade: replace the whole fleet cell by cell — every 20
+	// rounds a replacement joins with the retiring cell's routing weight,
+	// then the old cell drains (its clients re-home onto the survivors, its
+	// accounting banks). By round 80 no original cell remains; the run must
+	// still converge. Nightly: four reconfiguration pushes end to end.
+	mustRegister(Scenario{
+		Name:           "rolling-upgrade",
+		Description:    "elastic fabric: rotate out all 4 cells via join+drain pushes every 20 rounds",
+		Model:          model.ResNet18,
+		Clients:        2800,
+		ActivePerRound: 120,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.70,
+		MaxRounds:      200,
+		Nodes:          5,
+		MC:             60,
+		Seed:           1,
+		Cells:          4,
+		CellRegions:    []float64{0.4, 0.3, 0.2, 0.1},
+		CellPlan: &core.CellPlan{Steps: []core.CellPlanStep{
+			{Round: 20, Op: core.CellJoin, Weight: 0.4, Clients: 700},
+			{Round: 20, Op: core.CellDrain, Cell: 0},
+			{Round: 40, Op: core.CellJoin, Weight: 0.3, Clients: 700},
+			{Round: 40, Op: core.CellDrain, Cell: 1},
+			{Round: 60, Op: core.CellJoin, Weight: 0.2, Clients: 700},
+			{Round: 60, Op: core.CellDrain, Cell: 2},
+			{Round: 80, Op: core.CellJoin, Weight: 0.1, Clients: 700},
+			{Round: 80, Op: core.CellDrain, Cell: 3},
+		}},
+		Bench: BenchMeta{Class: ClassLong, Repeats: 3, Milestones: []float64{0.50, 0.70}},
+	})
 	// Round-count stress, short edition: 100K rounds streamed into the
 	// bounded-memory trajectory store (internal/trajstore). TinyFL keeps
 	// the per-round cost pure round machinery; the unreachable target

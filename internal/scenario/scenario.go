@@ -120,6 +120,13 @@ type Scenario struct {
 	// core.CellSpec); 0 = healthy run.
 	CellOutageRound int
 	CellOutageCell  int
+	// CellPlan schedules live fabric reconfiguration — round-stamped
+	// join/drain/weight pushes (core.CellPlan) — for every expanded run
+	// that federates (Cells / CellCounts > 0); non-fabric points ignore
+	// it. The fabric validates the plan wholesale before the run starts: a
+	// rejected plan leaves the run byte-identical to the unplanned one,
+	// with the rejection reason in the cell Detail.
+	CellPlan *core.CellPlan
 
 	// Workers bounds the goroutine pool each run's staged round loop may
 	// use (core.RunConfig.Workers); 0 or 1 = serial. Reports are
@@ -257,6 +264,9 @@ func (s Scenario) Expand() []Run {
 											spec.Regions = append([]float64(nil), s.CellRegions...)
 										}
 										cfg.Cells = &spec
+										// Sharing the pointer is safe: the fabric
+										// never mutates a plan (Normalized copies).
+										cfg.CellPlan = s.CellPlan
 									}
 									if len(s.Variants) > 0 {
 										flags := v.Flags
@@ -341,6 +351,9 @@ func (s Scenario) clone() Scenario {
 	s.CellQuorums = append([]int(nil), s.CellQuorums...)
 	s.WorkerCounts = append([]int(nil), s.WorkerCounts...)
 	s.CellRegions = append([]float64(nil), s.CellRegions...)
+	if s.CellPlan != nil {
+		s.CellPlan = &core.CellPlan{Steps: append([]core.CellPlanStep(nil), s.CellPlan.Steps...)}
+	}
 	s.Seeds = append([]int64(nil), s.Seeds...)
 	s.Bench.Milestones = append([]float64(nil), s.Bench.Milestones...)
 	return s

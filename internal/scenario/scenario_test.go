@@ -337,3 +337,27 @@ func TestCellKnobsExpand(t *testing.T) {
 			srs[0].Cfg.Cells, srs[1].Cfg.Cells, srs[2].Cfg.Cells)
 	}
 }
+
+func TestCellPlanKnobExpands(t *testing.T) {
+	runs := MustGet("scale-out-under-load").Expand()
+	if len(runs) != 1 {
+		t.Fatalf("scale-out-under-load runs = %d", len(runs))
+	}
+	plan := runs[0].Cfg.CellPlan
+	if plan == nil || len(plan.Steps) != 2 || plan.Steps[0].Op != core.CellJoin {
+		t.Fatalf("plan knob not wired into the expanded config: %+v", plan)
+	}
+	// A plan on a non-fabric scenario stays out of the config: core rejects
+	// CellPlan without Cells, and non-fabric points ignoring the knob is
+	// what lets one entry sweep a CellCounts axis through zero.
+	flat := Scenario{Name: "flat", CellPlan: &core.CellPlan{Steps: plan.Steps}}
+	if cfg := flat.Expand()[0].Cfg; cfg.CellPlan != nil || cfg.Cells != nil {
+		t.Fatalf("non-fabric expansion picked up a cell plan: %+v", cfg)
+	}
+	// Registry isolation extends to the plan's step slice.
+	sc := MustGet("scale-out-under-load")
+	sc.CellPlan.Steps[0].Round = 99
+	if fresh := MustGet("scale-out-under-load"); fresh.CellPlan.Steps[0].Round != 25 {
+		t.Fatalf("registry plan mutated through a Get copy: %+v", fresh.CellPlan.Steps)
+	}
+}

@@ -24,7 +24,10 @@
 //     aggregation stack, stitched by a per-round cross-cell tier with
 //     heartbeat-monitored cell failover (internal/cell). Sweeps route
 //     fabric configs automatically; SweepResult.Cells carries the
-//     per-cell detail.
+//     per-cell detail. The fabric is elastic (RunConfig.CellPlan):
+//     round-stamped join/drain/weight pushes reconfigure it live —
+//     validated wholesale up front (PlanDiff dry-runs the schedule),
+//     applied atomically at round starts, deterministic for a fixed seed.
 //   - Large-scale knobs on RunConfig: the SelectStream client selector
 //     (O(ActivePerRound) per round, flat in population size — million-
 //     client populations), OnRound streaming observation, StreamOnly
@@ -72,6 +75,13 @@ const (
 	SelectStream = core.SelectStream // O(ActivePerRound) streaming selector
 )
 
+// Reconfiguration verbs for elastic-fabric plan steps (CellPlanStep.Op).
+const (
+	CellJoin   = core.CellJoin   // add a fresh cell (weight + residents)
+	CellDrain  = core.CellDrain  // drain-then-delete a cell
+	CellWeight = core.CellWeight // set a cell's routing weight (± flash crowd)
+)
+
 // Re-exported types; see the internal packages for full documentation.
 type (
 	// RunConfig parameterizes a full FL training run.
@@ -85,6 +95,20 @@ type (
 	CellDetail = cell.Detail
 	// CellReport is one cell's summary inside a CellDetail.
 	CellReport = cell.CellReport
+	// CellPlan schedules live fabric reconfiguration (RunConfig.CellPlan):
+	// round-stamped join/drain/weight steps grouped into versioned config
+	// pushes, validated wholesale before the run starts.
+	CellPlan = core.CellPlan
+	// CellPlanStep is one round-stamped reconfiguration step.
+	CellPlanStep = core.CellPlanStep
+	// CellPlanOp is a reconfiguration verb (CellJoin/CellDrain/CellWeight).
+	CellPlanOp = core.CellPlanOp
+	// CellPlanOutcome records how a run's plan fared — version reached,
+	// cells joined/drained, applied pushes, or the wholesale rejection
+	// reason (CellDetail.Plan).
+	CellPlanOutcome = cell.PlanOutcome
+	// CellPlanPush is one applied (or dry-run) versioned config push.
+	CellPlanPush = cell.PlanPush
 	// Report is the outcome of a training run.
 	Report = core.Report
 	// Platform couples an engine, a system and a population.
@@ -143,6 +167,13 @@ func Run(cfg RunConfig) (*Report, error) {
 // RunCells executes a multi-cell federated run and returns the per-cell
 // detail beside the global Report; see internal/cell.
 func RunCells(cfg RunConfig) (*Report, *CellDetail, error) { return cell.Run(cfg) }
+
+// PlanDiff dry-runs cfg's reconfiguration plan: the elastic fabric
+// validates the plan wholesale against cfg's fabric shape and returns the
+// versioned push schedule it would apply, without running the workload.
+// A plan the fabric would reject wholesale is returned as an error — the
+// same last-known-good gate a live run applies; see cell.PlanDiff.
+func PlanDiff(cfg RunConfig) ([]CellPlanPush, error) { return cell.PlanDiff(cfg) }
 
 // NewPlatform assembles a platform without running it; see core.NewPlatform.
 func NewPlatform(cfg RunConfig) (*Platform, error) { return core.NewPlatform(cfg) }
