@@ -8,10 +8,11 @@
 //
 // Usage:
 //
-//	liflbench                                  # measure everything -> BENCH_PR9.json
+//	liflbench                                  # measure everything -> BENCH_PR10.json
 //	liflbench -short                           # only short-class scenarios (the PR-CI gate)
 //	liflbench -scenario fig9-r18,million-clients
 //	liflbench -baseline BENCH_baseline.json -tolerance 0.15
+//	liflbench -pprof profiles/                 # also write per-scenario CPU+heap profiles
 //	liflbench -list                            # show registry entries + bench classes
 //
 // Exit status: 0 on success, 1 when the baseline comparison finds
@@ -41,7 +42,7 @@ import (
 const placementScenario = "placement-10k"
 
 func main() {
-	out := flag.String("out", "BENCH_PR9.json", "output suite path")
+	out := flag.String("out", "BENCH_PR10.json", "output suite path")
 	baseline := flag.String("baseline", "", "baseline suite to compare against (empty = measure only)")
 	tolerance := flag.Float64("tolerance", perfrec.DefaultTolerance, "allowed fractional growth for deterministic metrics (0 = exact equality)")
 	wallTol := flag.Float64("wall-tolerance", 0, "allowed fractional growth for wall-clock metrics (0 = 4x tolerance)")
@@ -51,6 +52,7 @@ func main() {
 	handicap := flag.Float64("handicap", 1, "multiply measured wall-clock metrics — self-test hook for the regression gate")
 	note := flag.String("note", "", "free-form provenance recorded in the suite")
 	list := flag.Bool("list", false, "list registry entries with bench metadata and exit")
+	pprofDir := flag.String("pprof", "", "directory for per-scenario CPU and heap profiles (empty = no profiling)")
 	flag.Parse()
 
 	if flag.NArg() > 0 {
@@ -86,11 +88,25 @@ func main() {
 		GOARCH:    runtime.GOARCH,
 		Note:      *note,
 	}
+	prof, err := newProfiler(*pprofDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "liflbench: %v\n", err)
+		os.Exit(1)
+	}
 	suite.Runs = append(suite.Runs, measurePlacement())
 	for _, name := range selected {
 		sc := scenario.MustGet(name)
 		fmt.Fprintf(os.Stderr, "liflbench: measuring %s (%d runs)\n", name, len(sc.Expand()))
+		stop, err := prof.start(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "liflbench: %v\n", err)
+			os.Exit(1)
+		}
 		recs, err := harness.MeasureScenario(sc, harness.MeasureOptions{Repeats: *repeat})
+		if perr := stop(); perr != nil {
+			fmt.Fprintf(os.Stderr, "liflbench: %v\n", perr)
+			os.Exit(1)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "liflbench: %v\n", err)
 			os.Exit(1)

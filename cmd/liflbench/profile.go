@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler writes one CPU profile (<scenario>.cpu.pprof, covering the
+// measurement window) and one heap profile (<scenario>.heap.pprof, taken
+// after a forced GC at window close) per scenario under dir. Profiling is
+// observation-only: the simulated outcomes liflbench records are
+// byte-identical with it on or off; only wall-clock metrics carry its
+// (small) sampling overhead — so profile runs should not be committed as
+// baselines.
+type profiler struct{ dir string }
+
+// newProfiler returns a nil profiler for an empty dir; every method is
+// nil-safe, so call sites never branch on whether -pprof was passed.
+func newProfiler(dir string) (*profiler, error) {
+	if dir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &profiler{dir: dir}, nil
+}
+
+// start begins the scenario's CPU profile and returns the stop func that
+// ends it and snapshots the heap. Only one CPU profile can run at a time
+// (a runtime/pprof constraint), which the per-scenario loop satisfies.
+func (p *profiler) start(name string) (stop func() error, err error) {
+	if p == nil {
+		return func() error { return nil }, nil
+	}
+	f, err := os.Create(filepath.Join(p.dir, name+".cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pprof %s: %w", name, err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			return err
+		}
+		hf, err := os.Create(filepath.Join(p.dir, name+".heap.pprof"))
+		if err != nil {
+			return err
+		}
+		defer hf.Close()
+		// Collect garbage first so the profile shows live retention, not
+		// whatever the last measurement round left unswept.
+		runtime.GC()
+		return pprof.WriteHeapProfile(hf)
+	}, nil
+}

@@ -14,6 +14,8 @@
 //	liflsim overhead           # orchestration overhead (§6.1)
 //	liflsim scenarios          # list the workload registry
 //	liflsim scenario <name>    # sweep one registry scenario
+//	liflsim watch <name>       # run one scenario with a live dashboard
+//	liflsim spans <name>       # run one scenario and print task-span Gantts
 //	liflsim plan <name>        # dry-run a scenario's reconfiguration plan
 //	liflsim replay <run.traj>  # summarize a stored trajectory file
 //	liflsim all                # everything above (except replay)
@@ -48,6 +50,23 @@
 //	liflsim replay -milestones DIR/traj-100k--sf.traj  # + milestone crossings
 //	liflsim replay -at 250 DIR/traj-100k--sf.traj      # + round 250's record
 //
+// -telemetry DIR makes every scenario sweep also write one versioned
+// telemetry snapshot per run into DIR (<run>.telemetry.json — the
+// internal/obs counters/gauges/histograms plane; off by default, and
+// byte-identical for a fixed seed at any -parallel/-workers/retention).
+// -telemetry-wall opts the snapshots into the volatile wall-clock
+// section; -perfetto additionally writes <run>.trace.json, a Chrome
+// trace_event export of the run's virtual-time spans, loadable in
+// Perfetto:
+//
+//	liflsim -telemetry /tmp/obs -perfetto scenario fig8-ablation
+//
+// `liflsim watch <name>` runs one scenario sequentially with a live
+// dashboard: a repainting panel on a TTY (accuracy progress, stage wall
+// breakdown, per-cell shares), one line per round otherwise.
+// `liflsim spans <name>` runs one scenario and prints each run's task
+// spans as the Fig. 4-style ASCII Gantt.
+//
 // Exit status: 0 on success, 1 on runtime failure, 2 on usage errors
 // (missing verb, -parallel < 1, -workers < 1, unknown scenario name,
 // and replay given an unreadable/corrupt file or -at outside the stored
@@ -72,6 +91,9 @@ func main() {
 	workers := flag.Int("workers", 1, "goroutines per run's staged round loop (>= 1)")
 	cellplan := flag.String("cellplan", "", `reconfiguration plan overriding scenario plans, e.g. "25:join w=0.5 n=1440; 40:drain 1"`)
 	traj := flag.String("traj", "", "directory to stream per-run trajectory files into (scenario verbs)")
+	telemetry := flag.String("telemetry", "", "directory to write per-run telemetry snapshots into (scenario verbs)")
+	telemetryWall := flag.Bool("telemetry-wall", false, `opt telemetry snapshots into wall-clock capture (the volatile "wall" section)`)
+	perfetto := flag.Bool("perfetto", false, "with -telemetry: also write per-run Chrome/Perfetto trace files")
 	at := flag.Int("at", 0, "with replay: print the stored record for this round")
 	milestones := flag.Bool("milestones", false, "with replay: list reconstructed milestone crossings")
 	flag.Usage = usage
@@ -131,6 +153,16 @@ func main() {
 		experiments.CellPlan = plan
 	}
 	experiments.TrajDir = *traj
+	// Wall capture and the Perfetto export are modes of the telemetry
+	// plane, so both flags require a destination directory.
+	if (*telemetryWall || *perfetto) && *telemetry == "" {
+		fmt.Fprintln(os.Stderr, "liflsim: -telemetry-wall and -perfetto require -telemetry DIR")
+		usage()
+		os.Exit(2)
+	}
+	experiments.TelemetryDir = *telemetry
+	experiments.TelemetryWall = *telemetryWall
+	experiments.PerfettoOut = *perfetto
 	replayMilestones = *milestones
 	// Resolve the whole verb sequence before executing any of it: an
 	// unknown verb or scenario name is a usage error (exit 2) caught up
@@ -143,12 +175,13 @@ func main() {
 	for i := 0; i < len(verbs); i++ {
 		what := verbs[i]
 		runSeed := *seed
-		if _, ok := handlers[what]; !ok && what != "scenario" && what != "plan" && what != "replay" {
+		if _, ok := handlers[what]; !ok && what != "scenario" && what != "plan" && what != "replay" &&
+			what != "watch" && what != "spans" {
 			fmt.Fprintf(os.Stderr, "liflsim: unknown experiment %q\n", what)
 			usage()
 			os.Exit(2)
 		}
-		if what == "scenario" || what == "plan" {
+		if what == "scenario" || what == "plan" || what == "watch" || what == "spans" {
 			verb := what
 			if i+1 >= len(verbs) {
 				fmt.Fprintf(os.Stderr, "liflsim: %s requires a scenario name (see `liflsim scenarios`)\n", verb)
@@ -193,9 +226,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] [-traj dir] [-cellplan plan] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|plan <name>|all}...")
+	fmt.Fprintln(os.Stderr, "usage: liflsim [-seed n] [-parallel n] [-workers n] [-traj dir] [-telemetry dir [-telemetry-wall] [-perfetto]] [-cellplan plan] {fig4|fig7|fig8|fig9r18|fig9r152|fig11|fig13|geo|overhead|appendixe|ablation|verify|verifyfull|scenarios|scenario <name>|watch <name>|spans <name>|plan <name>|all}...")
 	fmt.Fprintln(os.Stderr, "       liflsim replay [-at n] [-milestones] <run.traj>")
 	fmt.Fprintln(os.Stderr, `       liflsim -cellplan "25:join w=0.5 n=1440; 40:drain 1; 60:weight 2 w=1.5 n=300" plan geo-4cell`)
+	fmt.Fprintln(os.Stderr, "       liflsim -telemetry /tmp/obs -perfetto scenario fig8-ablation")
+}
+
+// stdoutIsTTY reports whether stdout is an interactive terminal — the
+// switch between the watch verb's repainting panel and its line-per-round
+// degradation (what CI and piped invocations get).
+func stdoutIsTTY() bool {
+	fi, err := os.Stdout.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 // handlers is the single verb table: run dispatches through it and main
@@ -287,6 +329,17 @@ func init() {
 func run(w io.Writer, what string, seed int64) error {
 	if name, ok := strings.CutPrefix(what, "scenario:"); ok {
 		out, err := experiments.RunScenario(name, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, out)
+		return nil
+	}
+	if name, ok := strings.CutPrefix(what, "watch:"); ok {
+		return experiments.WatchScenario(w, stdoutIsTTY(), name, seed)
+	}
+	if name, ok := strings.CutPrefix(what, "spans:"); ok {
+		out, err := experiments.SpansScenario(name, seed)
 		if err != nil {
 			return err
 		}

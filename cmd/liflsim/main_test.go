@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -35,6 +36,54 @@ func TestScenariosGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("scenarios listing drifted from %s (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestSpansGolden pins the `liflsim spans fig8-ablation` Gantt output:
+// the span timeline is deterministic (virtual-time spans from a fixed
+// seed), so any drift in the recorded spans or the rendering shows up as
+// a golden diff. Regenerate with `go test ./cmd/liflsim -run Golden -update`.
+func TestSpansGolden(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "spans:fig8-ablation", 0); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "spans.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("spans output drifted from %s (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestWatchLineMode exercises the watch verb's non-TTY degradation (what
+// CI and piped invocations get): one parseable line per round plus a
+// done summary per run. Wall times vary, so the shape is pinned by regex
+// rather than golden bytes.
+func TestWatchLineMode(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, "watch:fig8-ablation", 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	line := regexp.MustCompile(`(?m)^watch lifl/SL-H/20 r\s*\d+/\d+ acc=\d+\.\d{3} sim=\S+ upd=\d+ wall=\S+$`)
+	if !line.MatchString(out) {
+		t.Fatalf("no per-round watch line matched:\n%s", out)
+	}
+	done := regexp.MustCompile(`(?m)^watch lifl/SL-H/20: done after \d+ round\(s\), acc \d+\.\d{3}, sim \S+, wall \S+$`)
+	if !done.MatchString(out) {
+		t.Fatalf("no done summary matched:\n%s", out)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("non-TTY watch emitted ANSI control sequences")
 	}
 }
 

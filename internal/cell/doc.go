@@ -44,4 +44,11 @@
 // barrier, and contributions fold in cell-index order, so the merged
 // Report is byte-identical for any worker count
 // (TestFabricWorkersByteIdentical).
+//
+// With RunConfig.Telemetry set, the fabric publishes fabric/* metrics
+// (rounds, folded shares, per-cell share gauges, outage and plan-push
+// counters) and per-round envelope spans from its serial global loop,
+// and hands each cell a prefixed Sub("cell/<id>/") registry view —
+// shared atomic store, disjoint names, no span log, so parallel cell
+// stepping stays race-free (internal/obs documents the contract).
 package cell

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fedavg"
 	"repro/internal/flwork"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sim"
 	"repro/internal/systems"
@@ -358,6 +359,14 @@ func (f *fabric) cellConfig(id, clients, goal int) core.RunConfig {
 		// acts once, at the global tier, where the paper's Eq. (1)
 		// aggregate actually materializes.
 		ccfg.ServerOpt = fedavg.Adopt{}
+		// Each cell reports under its own telemetry prefix. Sub views share
+		// the registry's metric store (atomic, name-disjoint) but expose no
+		// span log — cells step in parallel, and the root span log is
+		// single-writer from the fabric's serial loop only. The tracer is
+		// stripped for the same reason: K recorders appending concurrently
+		// into one span slice would race.
+		ccfg.Telemetry = f.cfg.Telemetry.Sub(fmt.Sprintf("cell/%d/", id))
+		ccfg.Tracer = nil
 	}
 	if f.spec.CheckpointRounds > 0 {
 		ccfg.Params.CheckpointPeriodRounds = f.spec.CheckpointRounds
@@ -452,12 +461,12 @@ func (f *fabric) run() (*core.Report, *Detail, error) {
 			nextMilestone++
 		}
 		if cfg.OnRound != nil || cfg.Trajectory != nil {
-			obs := core.RoundObservation{Result: res, Acc: point, Wall: wall, Shares: shares}
+			ob := core.RoundObservation{Result: res, Acc: point, Wall: wall, Shares: shares}
 			if cfg.OnRound != nil {
-				cfg.OnRound(obs)
+				cfg.OnRound(ob)
 			}
 			if cfg.Trajectory != nil {
-				if err := cfg.Trajectory.Observe(obs); err != nil {
+				if err := cfg.Trajectory.Observe(ob); err != nil {
 					return nil, nil, fmt.Errorf("cell: trajectory sink at round %d: %w", r, err)
 				}
 			}
@@ -651,7 +660,30 @@ func (f *fabric) playRound(r int) (systems.RoundResult, time.Duration, int, erro
 	}
 	merged.AggsActive++ // the cross-cell top
 	merged.CPUTime = f.cpuTotal() - cpu0
+	f.observeRound(r, start, shares)
 	return merged, time.Since(wall0), shares, nil
+}
+
+// observeRound publishes the fabric's per-round telemetry: the global
+// round envelope span, the fold counters, and the live per-cell quota
+// shares the watch dashboard renders. Runs serially between rounds — the
+// root span log and the share gauges are single-writer here by contract.
+func (f *fabric) observeRound(r int, start sim.Duration, shares int) {
+	reg := f.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter("fabric/rounds", obs.Det).Inc()
+	reg.Counter("fabric/shares_folded", obs.Det).Add(uint64(shares))
+	reg.Gauge("fabric/cross_cell_bytes", obs.Det).Set(float64(f.detail.CrossCellBytes))
+	reg.Spans().Add(obs.Span{Actor: "fabric", Kind: obs.KindRound, Start: start, End: f.endAt, Round: r})
+	for _, c := range f.cells {
+		goal := 0
+		if c.alive() {
+			goal = c.goal
+		}
+		reg.Gauge(fmt.Sprintf("fabric/cell/%d/share", c.id), obs.Det).Set(float64(goal))
+	}
 }
 
 // onFold fires when the cross-cell top emits the round's aggregate: apply
@@ -716,6 +748,7 @@ func (f *fabric) kill(c *fcell, r int) {
 func (f *fabric) onCellDead(c *fcell, r int) {
 	now := f.feng.Now()
 	f.detail.OutageDetectedAt = now
+	f.cfg.Telemetry.Counter("fabric/outages_detected", obs.Det).Inc()
 	f.beats.Forget(c.name)
 	// The cell's last durable checkpoint must be read before the dead
 	// instance is discarded (the store rides the cell's own engine).
@@ -740,6 +773,7 @@ func (f *fabric) onCellDead(c *fcell, r int) {
 		// reached the tier); its clients re-home onto the survivors.
 		c.roundsDiscarded++
 		f.detail.CellRoundsDiscarded++
+		f.cfg.Telemetry.Counter("fabric/rounds_discarded", obs.Det).Inc()
 		f.reroute(c)
 		f.pendingDetect = false
 		f.outagePending = false
@@ -807,6 +841,7 @@ func (f *fabric) reroute(dead *fcell) {
 		weights[i] = float64(f.cells[id].clients)
 	}
 	f.detail.ReRoutedClients += dead.clients
+	f.cfg.Telemetry.Counter("fabric/rerouted_clients", obs.Det).Add(uint64(dead.clients))
 	dead.clients = 0
 	dead.goal = 0
 	goals := apportion(f.quota, weights)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/placement"
 )
 
@@ -429,6 +430,7 @@ func (f *fabric) applyPlan(r int) {
 		f.beats.Beat(c.name)
 		f.startBeatChain(c)
 		f.detail.Plan.CellsJoined++
+		f.cfg.Telemetry.Counter("fabric/cells_joined", obs.Det).Inc()
 	}
 	for _, c := range f.cells {
 		pc := next.cells[c.id]
@@ -442,9 +444,11 @@ func (f *fabric) applyPlan(r int) {
 			c.plat = nil
 			f.beats.Forget(c.name)
 			f.detail.Plan.CellsDrained++
+			f.cfg.Telemetry.Counter("fabric/cells_drained", obs.Det).Inc()
 		}
 		c.clients, c.goal, c.weight = pc.clients, pc.goal, pc.weight
 	}
 	f.detail.Plan.Version++
 	f.detail.Plan.Pushes = append(f.detail.Plan.Pushes, PlanPush{Round: r, Version: f.detail.Plan.Version, Diff: diff})
+	f.cfg.Telemetry.Counter("fabric/plan_pushes_applied", obs.Det).Inc()
 }

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/systems"
 	"repro/internal/tensor"
@@ -86,6 +87,10 @@ func (p *Platform) runAsync() (*Report, error) {
 		})
 	}
 
+	// Version envelopes tile the virtual timeline: each one runs from the
+	// previous bump's end to this bump's, so every buffer span lands inside
+	// some envelope.
+	var lastEnvEnd sim.Duration
 	p.Asys.SetOnVersion(func(v systems.AsyncVersion) {
 		now := time.Now()
 		wall := now.Sub(lastBumpWall)
@@ -98,6 +103,14 @@ func (p *Platform) runAsync() (*Report, error) {
 		rep.RoundsRun = v.Version
 		rep.UpdatesDiscarded += v.Discarded
 		acc := p.Curve.At(folded / cfg.ActivePerRound)
+		if reg := cfg.Telemetry; reg != nil {
+			reg.Counter("core/versions", obs.Det).Inc()
+			reg.Counter("core/updates", obs.Det).Add(uint64(v.Updates))
+			reg.Counter("core/discarded", obs.Det).Add(uint64(v.Discarded))
+			reg.Gauge("core/accuracy", obs.Det).Set(acc)
+			reg.Spans().Add(obs.Span{Actor: "version", Kind: obs.KindRound, Start: lastEnvEnd, End: v.End, Round: v.Version})
+			lastEnvEnd = v.End
+		}
 		point := AccPoint{Round: v.Version, Time: v.End, CPUTime: v.CPUTime, Accuracy: acc}
 		if !cfg.StreamOnly {
 			rep.Acc = append(rep.Acc, point)
@@ -111,7 +124,7 @@ func (p *Platform) runAsync() (*Report, error) {
 			// ACT keeps its documented meaning (aggregation span ending at
 			// model install, evaluation excluded): for a version it runs
 			// from the first surviving fold to the merge.
-			obs := RoundObservation{
+			ob := RoundObservation{
 				Result: systems.RoundResult{
 					Round:        v.Version,
 					Start:        v.FirstFold,
@@ -126,10 +139,10 @@ func (p *Platform) runAsync() (*Report, error) {
 				Discarded: v.Discarded,
 			}
 			if cfg.OnRound != nil {
-				cfg.OnRound(obs)
+				cfg.OnRound(ob)
 			}
 			if cfg.Trajectory != nil && sinkErr == nil {
-				if err := cfg.Trajectory.Observe(obs); err != nil {
+				if err := cfg.Trajectory.Observe(ob); err != nil {
 					sinkErr = fmt.Errorf("core: trajectory sink at version %d: %w", v.Version, err)
 					done, stopped = true, true
 				}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/fedavg"
 	"repro/internal/flwork"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/systems"
 	"repro/internal/tensor"
@@ -328,6 +329,12 @@ type RunConfig struct {
 	StreamOnly bool
 	// Tracer, when set, records task spans.
 	Tracer *trace.Recorder
+	// Telemetry, when set, receives the run's counters, gauges, histograms
+	// and span logs (see internal/obs). Off by default — a nil registry
+	// keeps every instrumented site a no-op. When Telemetry is set and
+	// Tracer is nil, NewPlatform wires a trace.Recorder over the registry's
+	// span log so system task spans land in the same telemetry plane.
+	Telemetry *obs.Registry
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -495,6 +502,9 @@ type Platform struct {
 
 	sel      roundSelector
 	arrivals arrivalMeter
+	// wallBase anchors opt-in wall-clock stage spans: span offsets are
+	// nanoseconds since platform construction.
+	wallBase time.Time
 	// arena backs the staged round loop's parallel update
 	// materialization — one reusable tensor per aggregation slot, recycled
 	// every round (see stages.go).
@@ -508,6 +518,14 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		return nil, fmt.Errorf("core: Workers must be >= 1 (got %d)", cfg.Workers)
 	}
 	eng := sim.NewEngine()
+	// With a telemetry registry but no explicit tracer, record system task
+	// spans straight into the registry's span log (root registries only;
+	// Sub views return a nil log and stay tracer-less).
+	if cfg.Telemetry != nil && cfg.Tracer == nil {
+		if log := cfg.Telemetry.Spans(); log != nil {
+			cfg.Tracer = &trace.Recorder{Log: log}
+		}
+	}
 	scfg := systems.Config{
 		Nodes:     cfg.Nodes,
 		Model:     cfg.Model,
@@ -517,6 +535,7 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Workers:   cfg.Workers,
 		ServerOpt: cfg.ServerOpt,
 		Tracer:    cfg.Tracer,
+		Obs:       cfg.Telemetry,
 	}
 	if cfg.Cells != nil {
 		// A cell config reaching the single-cluster assembly would run one
@@ -594,14 +613,15 @@ func NewPlatform(cfg RunConfig) (*Platform, error) {
 		Workers:    cfg.Workers,
 	})
 	return &Platform{
-		Cfg:   cfg,
-		Eng:   eng,
-		Sys:   sys,
-		Asys:  asys,
-		Pop:   pop,
-		Curve: flwork.CurveFor(cfg.Model),
-		Beats: coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
-		sel:   sel,
+		Cfg:      cfg,
+		Eng:      eng,
+		Sys:      sys,
+		Asys:     asys,
+		Pop:      pop,
+		Curve:    flwork.CurveFor(cfg.Model),
+		Beats:    coordinator.NewHeartbeats(eng, cfg.Params.HeartbeatTimeout),
+		sel:      sel,
+		wallBase: time.Now(),
 	}, nil
 }
 
@@ -652,13 +672,14 @@ func (p *Platform) Run() (*Report, error) {
 			rep.Milestones = append(rep.Milestones, MilestoneHit{Target: milestones[nextMilestone], At: point})
 			nextMilestone++
 		}
+		cfg.Telemetry.Gauge("core/accuracy", obs.Det).Set(acc)
 		if cfg.OnRound != nil || cfg.Trajectory != nil {
-			obs := RoundObservation{Result: result, Acc: point, Wall: roundWall}
+			ob := RoundObservation{Result: result, Acc: point, Wall: roundWall}
 			if cfg.OnRound != nil {
-				cfg.OnRound(obs)
+				cfg.OnRound(ob)
 			}
 			if cfg.Trajectory != nil {
-				if err := cfg.Trajectory.Observe(obs); err != nil {
+				if err := cfg.Trajectory.Observe(ob); err != nil {
 					return nil, fmt.Errorf("core: trajectory sink at round %d: %w", r, err)
 				}
 			}
@@ -691,7 +712,9 @@ func (p *Platform) Run() (*Report, error) {
 // re-route); pass 0 for the configured value.
 func (p *Platform) StepRound(rng *sim.RNG, round, goal int) (systems.RoundResult, time.Duration, error) {
 	roundStart := time.Now()
+	simStart := p.Eng.Now()
 	jobs := p.roundJobs(rng, round, goal)
+	playStart := time.Now()
 	var result *systems.RoundResult
 	p.Sys.RunRound(round, jobs, func(res systems.RoundResult) { result = &res })
 	// Advance only until the round completes: pending keep-alive expiry
@@ -702,13 +725,41 @@ func (p *Platform) StepRound(rng *sim.RNG, round, goal int) (systems.RoundResult
 	if result == nil {
 		return systems.RoundResult{}, 0, errors.New("core: round did not complete")
 	}
+	p.stageWall("playout", playStart, round)
+	closeStart := time.Now()
 	// Round closed, global installed: retire records that fell out of the
 	// retention window. Sitting here (not in Run's loop) covers the cell
 	// fabric too, which drives StepRound directly.
 	if rr := p.Cfg.RetainRounds; rr > 0 {
 		p.Sys.RetireRound(round - rr)
 	}
+	p.stageWall("close", closeStart, round)
+	if reg := p.Cfg.Telemetry; reg != nil {
+		reg.Counter("core/rounds", obs.Det).Inc()
+		reg.Counter("core/updates", obs.Det).Add(uint64(result.Updates))
+		reg.Histogram("core/act_seconds", obs.Det, obs.ExpBuckets(0.25, 12)).Observe(result.ACT.Seconds())
+		// The round envelope: every system span of round r nests inside it
+		// (the Perfetto schema invariant). Appended from this serial loop —
+		// the span log is single-writer by contract.
+		reg.Spans().Add(obs.Span{Actor: "round", Kind: obs.KindRound, Start: simStart, End: p.Eng.Now(), Round: round})
+	}
 	return *result, time.Since(roundStart), nil
+}
+
+// stageWall accumulates one stage's wall clock into its Volatile counter
+// and, under CaptureWall, appends a wall-clock stage span (offsets are
+// nanoseconds since platform construction). No-ops without telemetry.
+func (p *Platform) stageWall(stage string, start time.Time, round int) {
+	reg := p.Cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	d := time.Since(start)
+	reg.Counter("stage/"+stage+"/wall_ns", obs.Volatile).Add(uint64(d))
+	if wl := reg.WallSpans(); wl != nil {
+		end := time.Since(p.wallBase)
+		wl.Add(obs.Span{Actor: "stage", Kind: stage, Start: sim.Duration(end - d), End: sim.Duration(end), Round: round})
+	}
 }
 
 // InstallGlobal replaces the system's global model between rounds — the
@@ -737,6 +788,7 @@ func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob 
 		goal = cfg.ActivePerRound
 	}
 	// Stage one (serial): selection, failure detection, delay pricing.
+	selStart := time.Now()
 	idx := p.sel.selectRound(p, rng, goal)
 	jobs := make([]systems.ClientJob, 0, len(idx))
 	base := p.Eng.Now()
@@ -754,8 +806,11 @@ func (p *Platform) roundJobs(rng *sim.RNG, round, goal int) []systems.ClientJob 
 			Weight: float64(c.Samples),
 		})
 	}
+	p.stageWall("select", selStart, round)
 	// Stage two (parallel): update materialization.
+	matStart := time.Now()
 	p.attachUpdates(jobs, idx, round)
+	p.stageWall("materialize", matStart, round)
 	return jobs
 }
 

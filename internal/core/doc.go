@@ -29,4 +29,12 @@
 // (TestRetainRoundsByteIdenticalReports) — it is what keeps million-round
 // runs' memory flat in every system, not just the static-hierarchy SF
 // (TestFlatRSSLongRun; docs/MEMORY.md).
+//
+// Runs are observable through RunConfig.Telemetry (internal/obs): the
+// round loop publishes round/update counters, accuracy gauges, ACT
+// histograms and per-round envelope spans; the four stages additionally
+// record wall-clock profile counters and spans behind the registry's
+// CaptureWall opt-in. Telemetry is off by default (nil registry = no-op
+// sites), and the default snapshot is byte-identical for a fixed seed —
+// the same contract Workers and RetainRounds carry.
 package core

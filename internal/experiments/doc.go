@@ -6,4 +6,7 @@
 //
 // Layer (DESIGN.md): side quest above scenario + harness — one file per
 // figure/table, reduced to sweeping registry scenarios and formatting.
+// Beyond the figures it carries the observation verbs of cmd/liflsim:
+// RunScenario's telemetry attachment (-telemetry/-perfetto), the live
+// watch dashboard (watch.go) and the per-run span Gantts (spans.go).
 package experiments

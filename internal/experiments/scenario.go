@@ -41,6 +41,24 @@ var CellPlan *core.CellPlan
 // sets it from -traj.
 var TrajDir = ""
 
+// TelemetryDir, when non-empty, equips every run RunScenario expands with
+// an obs.Registry and writes one .telemetry.json snapshot per run under
+// that directory (harness.AttachTelemetry). Telemetry stays off when
+// empty — instrumented sites are no-ops on a nil registry. cmd/liflsim
+// sets it from -telemetry.
+var TelemetryDir = ""
+
+// TelemetryWall opts attached registries into wall-clock capture: the
+// snapshot grows a "wall" section (Volatile metrics + stage spans) whose
+// bytes legitimately vary run over run. cmd/liflsim sets it from
+// -telemetry-wall.
+var TelemetryWall = false
+
+// PerfettoOut additionally writes each run's Chrome/Perfetto trace_event
+// export (<run>.trace.json) next to the snapshots under TelemetryDir.
+// cmd/liflsim sets it from -perfetto.
+var PerfettoOut = false
+
 // ScenarioNames lists the registered scenarios.
 func ScenarioNames() []string { return scenario.Names() }
 
@@ -85,11 +103,26 @@ func RunScenario(name string, seed int64) (string, error) {
 			return "", err
 		}
 	}
+	var flushTelemetry func() error
+	if TelemetryDir != "" {
+		var err error
+		flushTelemetry, err = harness.AttachTelemetry(runs, harness.TelemetryOptions{
+			Dir: TelemetryDir, Wall: TelemetryWall, Perfetto: PerfettoOut,
+		})
+		if err != nil {
+			return "", err
+		}
+	}
 	results := harness.Sweep(runs, Parallelism)
 	if closeTraj != nil {
 		// Seal before formatting: the remainder block is written at Close,
 		// and the caller may replay the files as soon as we return.
 		if err := closeTraj(); err != nil {
+			return "", err
+		}
+	}
+	if flushTelemetry != nil {
+		if err := flushTelemetry(); err != nil {
 			return "", err
 		}
 	}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// SpansScenario runs the named scenario and renders each run's task spans
+// as an ASCII Gantt (the `liflsim spans` verb) — the standing visual of
+// Fig. 4 / Fig. 7(c), now available for any registered scenario. Runs
+// execute sequentially with a private trace.Recorder each; the busiest
+// eight actors (by total span time, ties broken by name) get rows.
+// Fabric runs are skipped with a note: cells step in parallel and carry
+// no shared recorder (see internal/cell).
+func SpansScenario(name string, seed int64) (string, error) {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return "", fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	if Workers > 0 {
+		sc.Workers = Workers
+	}
+	runs := sc.Expand()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Spans for %s — %s\n", sc.Name, sc.Description)
+	for i := range runs {
+		if runs[i].Cfg.Cells != nil {
+			fmt.Fprintf(&b, "\nrun %s: fabric run (cells step in parallel; no shared span log) — skipped\n", runs[i].Label)
+			continue
+		}
+		rec := &trace.Recorder{}
+		runs[i].Cfg.Tracer = rec
+		if _, _, err := harness.Execute(runs[i].Cfg); err != nil {
+			return "", fmt.Errorf("spans %s/%s: %w", name, runs[i].Label, err)
+		}
+		fmt.Fprintf(&b, "\nrun %s (%d spans):\n", runs[i].Label, len(rec.Spans()))
+		b.WriteString(rec.RenderGantt(busiestActors(rec, 8), 0, 100))
+	}
+	return b.String(), nil
+}
+
+// busiestActors picks the top n actors by total span time, descending,
+// ties broken by name — a deterministic row order for the Gantt.
+func busiestActors(rec *trace.Recorder, n int) []string {
+	totals := make(map[string]sim.Duration)
+	for _, s := range rec.Spans() {
+		totals[s.Actor] += s.End - s.Start
+	}
+	actors := make([]string, 0, len(totals))
+	for a := range totals {
+		actors = append(actors, a)
+	}
+	sort.Slice(actors, func(i, j int) bool {
+		if totals[actors[i]] != totals[actors[j]] {
+			return totals[actors[i]] > totals[actors[j]]
+		}
+		return actors[i] < actors[j]
+	})
+	if len(actors) > n {
+		actors = actors[:n]
+	}
+	return actors
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// WatchScenario runs the named scenario's expanded runs sequentially,
+// rendering each through a live obs.Dash on w (the `liflsim watch` verb).
+// On a TTY the dash repaints a panel; otherwise it degrades to one line
+// per round — the form CI smokes. Runs are sequential regardless of
+// Parallelism: the dashboard is a single shared terminal, and watch is a
+// observation mode, not a sweep mode. Each run gets a wall-capturing
+// registry so the stage breakdown and per-cell share table render live;
+// watch never writes telemetry files (use -telemetry for that).
+func WatchScenario(w io.Writer, tty bool, name string, seed int64) error {
+	sc, ok := scenario.Get(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (have: %s)", name, strings.Join(scenario.Names(), ", "))
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	if Workers > 0 {
+		sc.Workers = Workers
+	}
+	if CellPlan != nil {
+		sc.CellPlan = CellPlan
+	}
+	runs := sc.Expand()
+	for i := range runs {
+		reg := obs.New(obs.Options{CaptureWall: true})
+		runs[i].Cfg.Telemetry = reg
+		dash := obs.NewDash(w, tty, reg, runs[i].Label)
+		cfg := runs[i].Cfg
+		runs[i].Cfg.OnRound = func(ob core.RoundObservation) {
+			dash.Observe(obs.DashUpdate{
+				Round:     ob.Result.Round,
+				MaxRounds: cfg.MaxRounds,
+				Accuracy:  ob.Acc.Accuracy,
+				Target:    cfg.TargetAccuracy,
+				SimNow:    ob.Result.End,
+				Wall:      ob.Wall,
+				Updates:   ob.Result.Updates,
+				Shares:    ob.Shares,
+				Discarded: ob.Discarded,
+			})
+		}
+		if _, _, err := harness.Execute(runs[i].Cfg); err != nil {
+			return fmt.Errorf("watch %s/%s: %w", name, runs[i].Label, err)
+		}
+		dash.Done()
+	}
+	return nil
+}

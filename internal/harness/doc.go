@@ -12,5 +12,8 @@
 // them under instrumentation for the perf trajectory (instrument.go,
 // recording each run's resolved Workers so perfrec only gates real-clock
 // metrics across matching worker counts), and dispatches configs with a
-// Cells spec to the multi-cell fabric (Execute → internal/cell).
+// Cells spec to the multi-cell fabric (Execute → internal/cell). It also
+// attaches per-run observation sinks to expanded runs: trajectory sinks
+// (trajectory.go → internal/trajstore) and telemetry registries
+// (telemetry.go → internal/obs, one snapshot/trace file per run).
 package harness

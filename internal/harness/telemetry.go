@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// TelemetryOptions configures AttachTelemetry.
+type TelemetryOptions struct {
+	// Dir receives one <label>.telemetry.json per expanded run (created
+	// if missing).
+	Dir string
+	// Wall opts the registries into wall-clock capture (Volatile metrics
+	// and wall stage spans appear in the snapshot). Off by default: the
+	// default snapshot is byte-identical for a fixed seed regardless of
+	// workers, parallelism, or host load.
+	Wall bool
+	// Perfetto additionally writes <label>.trace.json — a Chrome
+	// trace_event file built from the run's virtual-time spans (plus
+	// wall stage spans when Wall is set).
+	Perfetto bool
+}
+
+// TelemetryPath names the snapshot file for one expanded run inside dir;
+// it mirrors TrajPath's <scenario>[--<label>] naming.
+func TelemetryPath(dir string, run scenario.Run) string {
+	return filepath.Join(dir, runFileName(run)+".telemetry.json")
+}
+
+// TracePath names the Perfetto trace file for one expanded run inside dir.
+func TracePath(dir string, run scenario.Run) string {
+	return filepath.Join(dir, runFileName(run)+".trace.json")
+}
+
+func runFileName(run scenario.Run) string {
+	name := run.Scenario
+	if run.Label != run.Scenario {
+		name += "--" + sanitizeLabel(run.Label)
+	}
+	return name
+}
+
+// AttachTelemetry equips every run with a fresh obs.Registry and returns
+// a flush func that writes each registry's snapshot (and, under
+// opts.Perfetto, its trace) under opts.Dir. Unlike trajectory sinks the
+// registries buffer in memory, so flushing after a failed sweep still
+// writes whatever the completed runs recorded. Callers own the lifecycle:
+// run the sweep, then call the flusher.
+func AttachTelemetry(runs []scenario.Run, opts TelemetryOptions) (func() error, error) {
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	regs := make([]*obs.Registry, len(runs))
+	for i := range runs {
+		regs[i] = obs.New(obs.Options{CaptureWall: opts.Wall})
+		runs[i].Cfg.Telemetry = regs[i]
+	}
+	flush := func() error {
+		var first error
+		for i := range runs {
+			if err := os.WriteFile(TelemetryPath(opts.Dir, runs[i]), regs[i].Snapshot(), 0o644); err != nil && first == nil {
+				first = fmt.Errorf("harness: telemetry for %s/%s: %w", runs[i].Scenario, runs[i].Label, err)
+			}
+			if !opts.Perfetto {
+				continue
+			}
+			if err := os.WriteFile(TracePath(opts.Dir, runs[i]), regs[i].Perfetto(), 0o644); err != nil && first == nil {
+				first = fmt.Errorf("harness: trace for %s/%s: %w", runs[i].Scenario, runs[i].Label, err)
+			}
+		}
+		return first
+	}
+	return flush, nil
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/flwork"
+	"repro/internal/model"
+	"repro/internal/scenario"
+)
+
+// telemetryRuns is the determinism matrix's workload: all five systems on
+// a tiny population, plus a two-cell fabric run through the same sweep.
+func telemetryRuns() []scenario.Run {
+	s := scenario.Scenario{
+		Name:           "telemetry-test",
+		Model:          model.ResNet18,
+		Clients:        160,
+		ActivePerRound: 8,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.99,
+		MaxRounds:      3,
+		Seed:           7,
+		Systems: []core.SystemKind{
+			core.SystemLIFL, core.SystemSLH, core.SystemSF,
+			core.SystemSL, core.SystemAsync,
+		},
+	}
+	runs := s.Expand()
+	geo := scenario.Scenario{
+		Name:           "telemetry-test-geo",
+		Model:          model.ResNet18,
+		Clients:        160,
+		ActivePerRound: 8,
+		Class:          flwork.Mobile,
+		TargetAccuracy: 0.99,
+		MaxRounds:      3,
+		Seed:           7,
+		Cells:          2,
+	}
+	return append(runs, geo.Expand()...)
+}
+
+// snapshots runs the sweep with telemetry attached and returns the
+// snapshot bytes per run, keyed by the snapshot file's base name.
+func snapshots(t *testing.T, runs []scenario.Run, sweepWorkers int) map[string][]byte {
+	t.Helper()
+	dir := t.TempDir()
+	flush, err := AttachTelemetry(runs, TelemetryOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Sweep(runs, sweepWorkers) {
+		if r.Err != nil {
+			t.Fatalf("%s/%s: %v", r.Run.Scenario, r.Run.Label, r.Err)
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(runs))
+	for _, r := range runs {
+		path := TelemetryPath(dir, r)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(path)] = data
+	}
+	return out
+}
+
+// The telemetry determinism contract: the default snapshot is
+// byte-identical for a fixed seed across intra-run worker counts, sweep
+// parallelism, and retention windows — for every system and for the cell
+// fabric.
+func TestTelemetrySnapshotDeterminism(t *testing.T) {
+	base := snapshots(t, telemetryRuns(), 1)
+	if len(base) != 6 {
+		t.Fatalf("expected 6 runs, got %d", len(base))
+	}
+	for name, data := range base {
+		if !bytes.Contains(data, []byte(`"schema":"lifl-telemetry/1"`)) {
+			t.Fatalf("%s: missing schema header: %s", name, data)
+		}
+		if bytes.Contains(data, []byte(`"wall"`)) {
+			t.Fatalf("%s: wall section present without opt-in", name)
+		}
+	}
+	variants := []struct {
+		name   string
+		mutate func([]scenario.Run)
+		sweep  int
+	}{
+		{"parallel-sweep", func([]scenario.Run) {}, 6},
+		{"workers-8", func(rs []scenario.Run) {
+			for i := range rs {
+				rs[i].Cfg.Workers = 8
+			}
+		}, 1},
+		{"retain-2", func(rs []scenario.Run) {
+			for i := range rs {
+				rs[i].Cfg.RetainRounds = 2
+			}
+		}, 1},
+		{"retain-off", func(rs []scenario.Run) {
+			for i := range rs {
+				rs[i].Cfg.RetainRounds = -1
+			}
+		}, 1},
+	}
+	for _, v := range variants {
+		runs := telemetryRuns()
+		v.mutate(runs)
+		got := snapshots(t, runs, v.sweep)
+		for name, want := range base {
+			if !bytes.Equal(got[name], want) {
+				t.Fatalf("%s: %s snapshot diverged from baseline:\n%s\nvs\n%s",
+					v.name, name, got[name], want)
+			}
+		}
+	}
+}
+
+// Wall-clock capture is strictly opt-in: without it no Volatile metric or
+// wall span reaches the snapshot; with it the "wall" section appears and
+// carries the stage profile.
+func TestTelemetryWallOptIn(t *testing.T) {
+	runs := telemetryRuns()[:1] // one LIFL run is enough
+	dir := t.TempDir()
+	flush, err := AttachTelemetry(runs, TelemetryOptions{Dir: dir, Wall: true, Perfetto: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Sweep(runs, 1) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(TelemetryPath(dir, runs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"wall":{`, `stage/playout/wall_ns`, `stage/select/wall_ns`, `"stage_spans":`} {
+		if !strings.Contains(string(snap), want) {
+			t.Fatalf("wall snapshot missing %q:\n%s", want, snap)
+		}
+	}
+	trace, err := os.ReadFile(TracePath(dir, runs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(trace, []byte(`"traceEvents"`)) {
+		t.Fatalf("trace file is not a trace_event export: %s", trace[:min(len(trace), 200)])
+	}
+	// Wall capture puts the stage spans on the wall-clock process.
+	if !bytes.Contains(trace, []byte(`"pid":2`)) {
+		t.Fatal("wall stage spans missing from the Perfetto export")
+	}
+}
+
+// Without the Perfetto option flush writes snapshots only.
+func TestTelemetryPerfettoOffByDefault(t *testing.T) {
+	runs := telemetryRuns()[:1]
+	dir := t.TempDir()
+	flush, err := AttachTelemetry(runs, TelemetryOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range Sweep(runs, 1) {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(TracePath(dir, runs[0])); !os.IsNotExist(err) {
+		t.Fatalf("trace written without the Perfetto option: %v", err)
+	}
+}

@@ -46,6 +46,59 @@ func TestSeriesBucketize(t *testing.T) {
 	_ = eng
 }
 
+// TestBucketizePastHorizon: samples beyond the horizon are dropped, not
+// folded into the last bucket — the series length is a pure function of
+// (width, horizon), never of the data.
+func TestBucketizePastHorizon(t *testing.T) {
+	s := &Series{}
+	s.Add(30*sim.Second, 1)
+	s.Add(5*sim.Minute, 7)  // past the horizon: dropped
+	s.Add(90*sim.Minute, 9) // far past: dropped, no index overflow
+	got := s.Bucketize(sim.Minute, 2*sim.Minute)
+	want := []float64{1, 0, 0}
+	if len(got) != len(want) {
+		t.Fatalf("buckets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestTrimToEdgeCases pins the retention contract: zero empties the
+// series, negative means "no bound", and an under-full series is left
+// alone (no reallocation churn on the hot trim cadence).
+func TestTrimToEdgeCases(t *testing.T) {
+	mk := func(n int) *Series {
+		s := &Series{}
+		for i := 0; i < n; i++ {
+			s.Add(sim.Duration(i)*sim.Second, float64(i))
+		}
+		return s
+	}
+	s := mk(4)
+	s.TrimTo(0)
+	if len(s.Points) != 0 {
+		t.Fatalf("TrimTo(0) kept %d points", len(s.Points))
+	}
+	s = mk(4)
+	s.TrimTo(-1)
+	if len(s.Points) != 4 {
+		t.Fatalf("TrimTo(-1) trimmed to %d points (negative = unbounded)", len(s.Points))
+	}
+	s = mk(4)
+	s.TrimTo(10)
+	if len(s.Points) != 4 {
+		t.Fatalf("under-full trim changed the series: %d points", len(s.Points))
+	}
+	s = mk(4)
+	s.TrimTo(2)
+	if len(s.Points) != 2 || s.Points[0].V != 2 || s.Points[1].V != 3 {
+		t.Fatalf("TrimTo(2) kept %+v, want newest two", s.Points)
+	}
+}
+
 func TestMeterSlidingWindow(t *testing.T) {
 	eng := sim.NewEngine()
 	m := NewMeter(eng, sim.Minute)

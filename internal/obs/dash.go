@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DashUpdate is one completed round (or async version) as the watch
+// dashboard consumes it — a plain-data projection of the round loop's
+// observation stream, so obs stays below core in the layer map.
+type DashUpdate struct {
+	Round     int
+	MaxRounds int
+	Accuracy  float64
+	Target    float64
+	SimNow    sim.Duration
+	Wall      time.Duration
+	Updates   int
+	Shares    int // fabric quota shares folded (0 outside fabric runs)
+	Discarded int // async staleness discards this version
+}
+
+// Dash renders the live `liflsim watch` view from an OnRound stream. On
+// a TTY it redraws a full-screen panel (throttled to ~10 Hz); otherwise
+// it degrades to one line per round, which is what CI exercises. The
+// per-cell share table and the stage wall breakdown are read live from
+// the run's registry ("fabric/cell/" gauges, "stage/" counters).
+type Dash struct {
+	w     io.Writer
+	tty   bool
+	reg   *Registry
+	label string
+
+	rounds   int
+	last     DashUpdate
+	wallSum  time.Duration
+	started  time.Time
+	lastDraw time.Time
+}
+
+// NewDash builds a dashboard writing to w. tty selects the redraw panel;
+// reg may be nil (the cell and stage sections are simply omitted).
+func NewDash(w io.Writer, tty bool, reg *Registry, label string) *Dash {
+	return &Dash{w: w, tty: tty, reg: reg, label: label, started: time.Now()}
+}
+
+// Observe renders one completed round.
+func (d *Dash) Observe(u DashUpdate) {
+	d.rounds++
+	d.last = u
+	d.wallSum += u.Wall
+	if !d.tty {
+		d.line(u)
+		return
+	}
+	// Redraw at most ~10 Hz: a 100K-round run must not spend its wall
+	// clock painting frames.
+	if now := time.Now(); now.Sub(d.lastDraw) >= 100*time.Millisecond {
+		d.lastDraw = now
+		d.frame(false)
+	}
+}
+
+// Done paints the final state (always, even under throttling).
+func (d *Dash) Done() {
+	if d.tty {
+		d.frame(true)
+		return
+	}
+	fmt.Fprintf(d.w, "watch %s: done after %d round(s), acc %.3f, sim %s, wall %s\n",
+		d.label, d.rounds, d.last.Accuracy, fmtSim(d.last.SimNow), d.wallSum.Round(time.Millisecond))
+}
+
+// line is the non-TTY degradation: one parseable line per round.
+func (d *Dash) line(u DashUpdate) {
+	fmt.Fprintf(d.w, "watch %s r%4d/%d acc=%.3f sim=%s upd=%d", d.label, u.Round, u.MaxRounds, u.Accuracy, fmtSim(u.SimNow), u.Updates)
+	if u.Shares > 0 {
+		fmt.Fprintf(d.w, " shares=%d", u.Shares)
+		if cells := d.reg.GaugeValues("fabric/cell/"); len(cells) > 0 {
+			fmt.Fprintf(d.w, " cells=%s", cellSummary(cells))
+		}
+	}
+	if u.Discarded > 0 {
+		fmt.Fprintf(d.w, " discarded=%d", u.Discarded)
+	}
+	fmt.Fprintf(d.w, " wall=%s\n", u.Wall.Round(time.Microsecond))
+}
+
+// frame repaints the TTY panel.
+func (d *Dash) frame(final bool) {
+	u := d.last
+	var b strings.Builder
+	b.WriteString("\x1b[H\x1b[2J") // home + clear
+	fmt.Fprintf(&b, "watch %s\n", d.label)
+	fmt.Fprintf(&b, "round %d/%d   acc %.3f -> target %.2f\n", u.Round, u.MaxRounds, u.Accuracy, u.Target)
+	fmt.Fprintf(&b, "sim %s   wall %s   rss %s\n", fmtSim(u.SimNow), d.wallSum.Round(time.Millisecond), rss())
+	b.WriteString(progressBar(u.Accuracy, u.Target, 40))
+	b.WriteByte('\n')
+	if cells := d.reg.GaugeValues("fabric/cell/"); len(cells) > 0 {
+		fmt.Fprintf(&b, "cells: %s\n", cellSummary(cells))
+	}
+	if stages := d.reg.CounterValues("stage/"); len(stages) > 0 {
+		fmt.Fprintf(&b, "stages: %s\n", stageSummary(stages))
+	}
+	if final {
+		fmt.Fprintf(&b, "done: %d round(s) in %s\n", d.rounds, time.Since(d.started).Round(time.Millisecond))
+	}
+	io.WriteString(d.w, b.String())
+}
+
+// cellSummary compacts the per-cell share gauges ("fabric/cell/<id>/share")
+// into "0:30 1:28 ...". Gauges arrive name-sorted, so the rendering is
+// stable for a stable fabric shape.
+func cellSummary(values []Value) string {
+	var b strings.Builder
+	for _, v := range values {
+		rest, ok := strings.CutPrefix(v.Name, "fabric/cell/")
+		if !ok {
+			continue
+		}
+		id, found := strings.CutSuffix(rest, "/share")
+		if !found {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", id, int(v.Value))
+	}
+	return b.String()
+}
+
+// stageSummary renders the cumulative stage wall counters
+// ("stage/<name>/wall_ns") as percentages of their sum.
+func stageSummary(values []Value) string {
+	total := 0.0
+	for _, v := range values {
+		total += v.Value
+	}
+	if total <= 0 {
+		return "(no stage samples)"
+	}
+	var b strings.Builder
+	for _, v := range values {
+		name, ok := strings.CutPrefix(v.Name, "stage/")
+		if !ok {
+			continue
+		}
+		name, _ = strings.CutSuffix(name, "/wall_ns")
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %.0f%%", name, 100*v.Value/total)
+	}
+	return b.String()
+}
+
+// progressBar renders accuracy progress toward the target.
+func progressBar(acc, target float64, width int) string {
+	if target <= 0 {
+		target = 1
+	}
+	frac := acc / target
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	fill := int(frac * float64(width))
+	return "[" + strings.Repeat("#", fill) + strings.Repeat("-", width-fill) + fmt.Sprintf("] %3.0f%%", frac*100)
+}
+
+// fmtSim renders simulated time compactly (hours for training runs,
+// seconds below one hour).
+func fmtSim(d sim.Duration) string {
+	if d >= sim.Hour {
+		return fmt.Sprintf("%.2fh", d.Hours())
+	}
+	return fmt.Sprintf("%.1fs", d.Seconds())
+}
+
+// rss reads the live heap for the dashboard header. ReadMemStats is a
+// stop-the-world call, so it runs only on (throttled) repaints.
+func rss() string {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return fmt.Sprintf("%.0f MB", float64(m.HeapAlloc)/(1<<20))
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestDashLineMode pins the non-TTY degradation: one line per round with
+// the round/accuracy fields, plus per-cell shares for fabric rounds —
+// the mode CI smokes.
+func TestDashLineMode(t *testing.T) {
+	reg := New(Options{})
+	reg.Gauge("fabric/cell/0/share", Det).Set(30)
+	reg.Gauge("fabric/cell/1/share", Det).Set(28)
+	var b strings.Builder
+	d := NewDash(&b, false, reg, "geo-4cell")
+	d.Observe(DashUpdate{Round: 3, MaxRounds: 80, Accuracy: 0.41, Target: 0.7,
+		SimNow: 90 * sim.Minute, Wall: 2 * time.Millisecond, Updates: 58, Shares: 58})
+	d.Observe(DashUpdate{Round: 4, MaxRounds: 80, Accuracy: 0.44, Target: 0.7,
+		SimNow: 2 * sim.Hour, Wall: time.Millisecond, Updates: 58, Shares: 58})
+	d.Done()
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 2 round lines + done, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "watch geo-4cell r   3/80 acc=0.410 sim=1.50h upd=58 shares=58 cells=0:30 1:28") {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "watch geo-4cell: done after 2 round(s)") {
+		t.Fatalf("done line = %q", lines[2])
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("non-TTY output contains ANSI escapes")
+	}
+}
+
+// TestDashTTYFrame: the panel repaints with clear-screen escapes and the
+// stage breakdown when stage counters exist.
+func TestDashTTYFrame(t *testing.T) {
+	reg := New(Options{CaptureWall: true})
+	reg.Counter("stage/select/wall_ns", Volatile).Add(250)
+	reg.Counter("stage/playout/wall_ns", Volatile).Add(750)
+	var b strings.Builder
+	d := NewDash(&b, true, reg, "fig9-r18")
+	d.Observe(DashUpdate{Round: 10, MaxRounds: 500, Accuracy: 0.35, Target: 0.7, SimNow: sim.Hour})
+	d.Done()
+	out := b.String()
+	if !strings.Contains(out, "\x1b[H\x1b[2J") {
+		t.Fatal("TTY frame missing clear escape")
+	}
+	if !strings.Contains(out, "round 10/500") || !strings.Contains(out, "stages: playout 75% select 25%") {
+		t.Fatalf("frame = %q", out)
+	}
+	if !strings.Contains(out, "] ") || !strings.Contains(out, "50%") {
+		t.Fatalf("progress bar missing: %q", out)
+	}
+}
+
+func TestProgressBarBounds(t *testing.T) {
+	if got := progressBar(2, 0.7, 10); !strings.Contains(got, "100%") {
+		t.Fatalf("overshoot not clamped: %q", got)
+	}
+	if got := progressBar(-1, 0.7, 10); !strings.Contains(got, "0%") {
+		t.Fatalf("undershoot not clamped: %q", got)
+	}
+}

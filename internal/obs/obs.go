@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Class partitions metrics by determinism (see the package comment).
+type Class uint8
+
+const (
+	// Det metrics are pure functions of (config, seed): identical for any
+	// worker count, sweep parallelism or retention window. Only Det
+	// metrics appear in the default Snapshot.
+	Det Class = iota
+	// Volatile metrics derive from the wall clock or from bookkeeping
+	// policy (retention-dependent churn). They appear in the snapshot's
+	// "wall" section only when the registry opted in via CaptureWall.
+	Volatile
+)
+
+// Options tunes a registry at construction.
+type Options struct {
+	// CaptureWall opts the snapshot into Volatile metrics and enables the
+	// wall-time stage-span log — the trajstore CaptureWall contract:
+	// byte-identity is the default, wall-clock visibility is explicit.
+	CaptureWall bool
+	// MaxSpans bounds each span log (0 = DefaultMaxSpans). Appends past
+	// the cap are counted, not stored, so a million-round run keeps a
+	// flat telemetry heap.
+	MaxSpans int
+}
+
+// Counter is a monotonically increasing uint64. Updates are a single
+// atomic add — zero allocations, safe from parallel stages (adds are
+// commutative, so parallel increment order never shows in the value).
+// All methods are safe on a nil counter (the telemetry-off no-op).
+type Counter struct {
+	n     atomic.Uint64
+	class Class
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) {
+	if c != nil {
+		c.n.Add(d)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Gauge is a last-write-wins float64. Writers of a shared registry must
+// own distinct gauge names (the fabric's per-cell Sub prefixes); a gauge
+// written from one serial context is deterministic. Nil-safe.
+type Gauge struct {
+	bits  atomic.Uint64
+	class Class
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets chosen at
+// registration: counts[i] holds observations v <= bounds[i], the last
+// bucket is the +Inf overflow. Bucket increments are atomic adds, so a
+// Det histogram stays deterministic even under parallel observers (it
+// stores no order-dependent float sum, only commutative integer counts).
+// Nil-safe.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last = overflow
+	total  atomic.Uint64
+	class  Class
+}
+
+// Observe counts one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+}
+
+// Total returns the number of observations (0 on nil).
+func (h *Histogram) Total() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.total.Load()
+}
+
+// Counts returns the per-bucket counts (nil on nil).
+func (h *Histogram) Counts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets builds n exponentially growing upper bounds starting at
+// base and doubling — the default shape for duration histograms
+// (milliseconds: ExpBuckets(1, 12) spans 1 ms .. 2 s with +Inf above).
+func ExpBuckets(base float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = base
+		base *= 2
+	}
+	return out
+}
+
+// state is the shared store behind a registry and all its Sub views.
+type state struct {
+	opts     Options
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    SpanLog // virtual-time spans (Det)
+	wall     SpanLog // wall-clock stage spans (CaptureWall only)
+}
+
+// Registry is one run's telemetry plane — or, when built by Sub, a
+// name-prefixed view of one. All methods are safe on a nil registry and
+// return nil handles, so call sites never branch on "telemetry on".
+type Registry struct {
+	st     *state
+	prefix string
+}
+
+// New builds an empty registry.
+func New(opts Options) *Registry {
+	st := &state{
+		opts:     opts,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+	st.spans.max = opts.MaxSpans
+	st.wall.max = opts.MaxSpans
+	return &Registry{st: st}
+}
+
+// Sub returns a view that prefixes every registered name — the fabric's
+// per-cell scoping. Sub views share the metric store but expose no span
+// logs (Spans and WallSpans return nil): the logs are single-writer and
+// belong to the root's serial loop.
+func (r *Registry) Sub(prefix string) *Registry {
+	if r == nil {
+		return nil
+	}
+	return &Registry{st: r.st, prefix: r.prefix + prefix}
+}
+
+// Wall reports whether the registry opted into wall-clock capture.
+func (r *Registry) Wall() bool { return r != nil && r.st.opts.CaptureWall }
+
+// Counter returns (registering on first use) the named counter.
+func (r *Registry) Counter(name string, class Class) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	c, ok := r.st.counters[full]
+	if !ok {
+		c = &Counter{class: class}
+		r.st.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (r *Registry) Gauge(name string, class Class) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	g, ok := r.st.gauges[full]
+	if !ok {
+		g = &Gauge{class: class}
+		r.st.gauges[full] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given upper bounds (ascending; ignored after first registration).
+func (r *Registry) Histogram(name string, class Class, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := r.prefix + name
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	h, ok := r.st.hists[full]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...), counts: make([]atomic.Uint64, len(bounds)+1), class: class}
+		r.st.hists[full] = h
+	}
+	return h
+}
+
+// Spans returns the virtual-time span log — root registries only (nil on
+// a Sub view): the log is single-writer by contract, and only the root's
+// serial round/version loop may append.
+func (r *Registry) Spans() *SpanLog {
+	if r == nil || r.prefix != "" {
+		return nil
+	}
+	return &r.st.spans
+}
+
+// WallSpans returns the wall-clock stage-span log, or nil unless this is
+// a root registry built with CaptureWall.
+func (r *Registry) WallSpans() *SpanLog {
+	if r == nil || r.prefix != "" || !r.st.opts.CaptureWall {
+		return nil
+	}
+	return &r.st.wall
+}
+
+// Value is one named reading — the dashboard's bulk-read unit.
+type Value struct {
+	Name  string
+	Value float64
+}
+
+// GaugeValues returns every gauge whose full name starts with prefix,
+// sorted by name. Live-view helper (the watch dashboard's per-cell share
+// table); classes are not filtered.
+func (r *Registry) GaugeValues(prefix string) []Value {
+	if r == nil {
+		return nil
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	var out []Value
+	for name, g := range r.st.gauges {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, Value{Name: name, Value: g.Value()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CounterValues returns every counter whose full name starts with
+// prefix, sorted by name (values as float64 for uniform consumption).
+func (r *Registry) CounterValues(prefix string) []Value {
+	if r == nil {
+		return nil
+	}
+	r.st.mu.Lock()
+	defer r.st.mu.Unlock()
+	var out []Value
+	for name, c := range r.st.counters {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, Value{Name: name, Value: float64(c.Value())})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// traceEvent mirrors the Chrome trace_event fields the schema check
+// cares about.
+type traceEvent struct {
+	Ph   string         `json:"ph"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Name string         `json:"name"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// ParseTrace decodes trace_event JSON — shared by the CI schema check.
+func parseTrace(t *testing.T, data []byte) traceFile {
+	t.Helper()
+	var f traceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("trace does not parse as trace_event JSON: %v\n%s", err, data)
+	}
+	return f
+}
+
+func spanFixture() []Span {
+	return []Span{
+		{Actor: "round", Kind: KindRound, Start: 0, End: 10 * sim.Second, Round: 1},
+		{Actor: "GW@n0", Kind: "Network", Start: sim.Second, End: 2 * sim.Second, Round: 1},
+		{Actor: "Top", Kind: "Agg", Start: 2 * sim.Second, End: 3*sim.Second + 500*sim.Microsecond + 250*sim.Nanosecond, Round: 1},
+		{Actor: "round", Kind: KindRound, Start: 10 * sim.Second, End: 19 * sim.Second, Round: 2},
+		{Actor: "Top", Kind: "Eval", Start: 12 * sim.Second, End: 13 * sim.Second, Round: 2},
+	}
+}
+
+// TestPerfettoSchemaAndNesting is the export contract CI validates: the
+// output parses as trace_event JSON, every non-round span nests inside
+// its round's envelope span, and timestamps carry exact microseconds.
+func TestPerfettoSchemaAndNesting(t *testing.T) {
+	data := PerfettoTrace(spanFixture(), nil)
+	f := parseTrace(t, data)
+	rounds := map[int][2]float64{}
+	for _, e := range f.TraceEvents {
+		if e.Ph == "X" && e.Args != nil {
+			if r, ok := e.Args["round"].(float64); ok && e.Name == "round "+itoa(int(r)) {
+				rounds[int(r)] = [2]float64{e.TS, e.TS + e.Dur}
+			}
+		}
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("want 2 round envelopes, got %v", rounds)
+	}
+	checked := 0
+	for _, e := range f.TraceEvents {
+		if e.Ph != "X" || e.Name == "round 1" || e.Name == "round 2" {
+			continue
+		}
+		r := int(e.Args["round"].(float64))
+		env, ok := rounds[r]
+		if !ok {
+			t.Fatalf("span %q has no round envelope %d", e.Name, r)
+		}
+		if e.TS < env[0] || e.TS+e.Dur > env[1] {
+			t.Fatalf("span %q [%v,%v] escapes round %d envelope %v", e.Name, e.TS, e.TS+e.Dur, r, env)
+		}
+		checked++
+	}
+	if checked != 3 {
+		t.Fatalf("nesting-checked %d spans, want 3", checked)
+	}
+	// Exact microsecond rendering: the 1 s + 500.25 µs Agg span.
+	if !bytes.Contains(data, []byte(`"ts":2000000.000,"dur":1000500.250`)) {
+		t.Fatalf("Agg span not rendered with ns-exact microseconds:\n%s", data)
+	}
+}
+
+func itoa(n int) string {
+	return string(rune('0' + n))
+}
+
+// TestPerfettoDeterminismAndWallGate: same spans, same bytes; wall spans
+// appear only under CaptureWall, as a second process.
+func TestPerfettoDeterminismAndWallGate(t *testing.T) {
+	a := PerfettoTrace(spanFixture(), nil)
+	b := PerfettoTrace(spanFixture(), nil)
+	if !bytes.Equal(a, b) {
+		t.Fatal("perfetto export is not byte-deterministic")
+	}
+	if bytes.Contains(a, []byte(`"pid":2`)) {
+		t.Fatal("wall process rendered without wall spans")
+	}
+	wall := []Span{{Actor: "stage", Kind: "Select", Start: 0, End: sim.Millisecond, Round: 1}}
+	withWall := PerfettoTrace(spanFixture(), wall)
+	if !bytes.Contains(withWall, []byte(`"pid":2`)) || !bytes.Contains(withWall, []byte(`"name":"wall-clock"`)) {
+		t.Fatalf("wall spans missing from export:\n%s", withWall)
+	}
+
+	reg := New(Options{}) // no CaptureWall: registry export must gate wall out
+	reg.Spans().Add(spanFixture()[0])
+	reg.WallSpans().Add(wall[0]) // nil log; dropped
+	if bytes.Contains(reg.Perfetto(), []byte(`"pid":2`)) {
+		t.Fatal("registry without CaptureWall exported wall spans")
+	}
+}

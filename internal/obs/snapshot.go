@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotSchema versions the snapshot layout; bump on any field change
+// so stored snapshots stay self-describing.
+const SnapshotSchema = "lifl-telemetry/1"
+
+// Snapshot serializes the registry as versioned JSON. The bytes are the
+// determinism contract's unit of account: metric names sort, floats
+// format shortest-round-trip, and only Det metrics appear — so a fixed
+// seed yields byte-identical snapshots for any worker count, sweep
+// parallelism or retention window. Under CaptureWall a trailing "wall"
+// object carries the Volatile metrics and the wall stage-span count;
+// those bytes are expected to differ run over run, which is why they
+// exist only behind the opt-in.
+func (r *Registry) Snapshot() []byte {
+	var b strings.Builder
+	b.WriteString(`{"schema":`)
+	b.WriteString(strconv.Quote(SnapshotSchema))
+	if r != nil {
+		r.st.mu.Lock()
+		defer r.st.mu.Unlock()
+		b.WriteString(`,"counters":`)
+		writeCounters(&b, r.st.counters, Det)
+		b.WriteString(`,"gauges":`)
+		writeGauges(&b, r.st.gauges, Det)
+		b.WriteString(`,"histograms":`)
+		writeHists(&b, r.st.hists, Det)
+		b.WriteString(`,"spans":`)
+		writeSpanSummary(&b, &r.st.spans)
+		if r.st.opts.CaptureWall {
+			b.WriteString(`,"wall":{"counters":`)
+			writeCounters(&b, r.st.counters, Volatile)
+			b.WriteString(`,"gauges":`)
+			writeGauges(&b, r.st.gauges, Volatile)
+			b.WriteString(`,"histograms":`)
+			writeHists(&b, r.st.hists, Volatile)
+			b.WriteString(`,"stage_spans":`)
+			b.WriteString(strconv.Itoa(r.st.wall.Len()))
+			b.WriteByte('}')
+		}
+	}
+	b.WriteByte('}')
+	return []byte(b.String())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeCounters(b *strings.Builder, m map[string]*Counter, class Class) {
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(m) {
+		if m[k].class != class {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatUint(m[k].Value(), 10))
+	}
+	b.WriteByte('}')
+}
+
+func writeGauges(b *strings.Builder, m map[string]*Gauge, class Class) {
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(m) {
+		if m[k].class != class {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.WriteString(formatFloat(m[k].Value()))
+	}
+	b.WriteByte('}')
+}
+
+func writeHists(b *strings.Builder, m map[string]*Histogram, class Class) {
+	b.WriteByte('{')
+	first := true
+	for _, k := range sortedKeys(m) {
+		h := m[k]
+		if h.class != class {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(strconv.Quote(k))
+		b.WriteString(`:{"bounds":[`)
+		for i, bound := range h.bounds {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(formatFloat(bound))
+		}
+		b.WriteString(`],"counts":[`)
+		for i, c := range h.Counts() {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatUint(c, 10))
+		}
+		b.WriteString(`],"total":`)
+		b.WriteString(strconv.FormatUint(h.Total(), 10))
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+}
+
+// writeSpanSummary serializes the span log as aggregate counts, not raw
+// spans — the snapshot stays round-count-independent in size; the full
+// timeline export is Perfetto's job.
+func writeSpanSummary(b *strings.Builder, l *SpanLog) {
+	byKind := map[string]int{}
+	for _, s := range l.Spans() {
+		byKind[s.Kind]++
+	}
+	b.WriteString(`{"by_kind":{`)
+	for i, k := range sortedKeys(byKind) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(k))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(byKind[k]))
+	}
+	b.WriteString(`},"dropped":`)
+	b.WriteString(strconv.FormatUint(l.Dropped(), 10))
+	b.WriteString(`,"recorded":`)
+	b.WriteString(strconv.Itoa(l.Len()))
+	b.WriteByte('}')
+}
+
+// formatFloat renders v as a JSON number: shortest round-trip form, with
+// the non-finite values JSON lacks mapped to null.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/ebpf"
 	"repro/internal/fedavg"
 	"repro/internal/gateway"
+	"repro/internal/obs"
 	"repro/internal/runtime"
 	"repro/internal/shm"
 	"repro/internal/sim"
@@ -275,13 +276,32 @@ func (s *Async) CPUTime() sim.Duration {
 // startup), so the metrics maps are the async plane's only per-version
 // records.
 func (s *Async) RetireRound(last int) {
+	samples := 0
 	for _, n := range s.Cluster.Nodes {
-		n.SKMSG.RetireRound(last)
+		samples += n.SKMSG.RetireRound(last)
 	}
+	s.cfg.Obs.Counter("ctrl/ebpf_samples_evicted", obs.Volatile).Add(uint64(samples))
 }
 
-// Finalize implements AsyncService.
-func (s *Async) Finalize() { s.Mgr.SettleUpkeep() }
+// Finalize implements AsyncService: settles upkeep and, like LIFL,
+// publishes the eBPF sidecar load signals.
+func (s *Async) Finalize() {
+	s.Mgr.SettleUpkeep()
+	if s.cfg.Obs == nil {
+		return
+	}
+	var runs, redirects, drops, entries uint64
+	for _, n := range s.Cluster.Nodes {
+		runs += n.SKMSG.Runs
+		redirects += n.SKMSG.Redirects
+		drops += n.SKMSG.Drops
+		entries += uint64(n.SockMap.Len())
+	}
+	s.cfg.Obs.Gauge("ebpf/skmsg_runs", obs.Det).Set(float64(runs))
+	s.cfg.Obs.Gauge("ebpf/redirects", obs.Det).Set(float64(redirects))
+	s.cfg.Obs.Gauge("ebpf/drops", obs.Det).Set(float64(drops))
+	s.cfg.Obs.Gauge("ebpf/sockmap_entries", obs.Volatile).Set(float64(entries))
+}
 
 // Pending returns updates parked or queued but not yet folded.
 func (s *Async) Pending() int { return len(s.pending) + s.buffer.Pending() }
@@ -420,6 +440,7 @@ func (s *Async) onBuffer(top *aggcore.Aggregator, out aggcore.Update) {
 	}
 	s.global = next
 	s.version++
+	s.cfg.Obs.Counter("ctrl/versions_installed", obs.Det).Inc()
 	v := AsyncVersion{
 		Version:   s.version,
 		FirstFold: s.firstFold,

@@ -21,6 +21,14 @@
 // schedule: Reports are byte-identical for any retention window (see
 // docs/MEMORY.md for the full lifecycle).
 //
+// With Config.Obs set (internal/obs, wired from core's RunConfig.
+// Telemetry), the control planes count their churn: ctrl/* creation
+// counters are deterministic; retirement/eviction counters are Volatile
+// (their values depend on the retention window) and appear only in
+// wall-opt-in snapshots. Finalize publishes the eBPF data-plane gauges
+// (skmsg runs, redirects, drops, sockmap size) and load/* planner
+// inputs.
+//
 // Layer (DESIGN.md): wires the component models into whole systems —
 // the only package that knows what LIFL or a baseline is. core drives these
 // assemblies; nothing below imports this package.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fedavg"
 	"repro/internal/gateway"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/runtime"
 	"repro/internal/shm"
@@ -155,11 +156,28 @@ func (s *LIFL) ActiveAggregators() int {
 	return n
 }
 
-// Finalize implements Service.
+// Finalize implements Service. Besides settling deferred upkeep it
+// publishes the eBPF sidecar load signals: run/redirect/drop totals are
+// virtual-time deterministic, while live sockmap occupancy depends on
+// how aggressively the caller retired rounds (Volatile).
 func (s *LIFL) Finalize() {
 	for _, m := range s.Mgrs {
 		m.SettleUpkeep()
 	}
+	if s.cfg.Obs == nil {
+		return
+	}
+	var runs, redirects, drops, entries uint64
+	for _, n := range s.Cluster.Nodes {
+		runs += n.SKMSG.Runs
+		redirects += n.SKMSG.Redirects
+		drops += n.SKMSG.Drops
+		entries += uint64(n.SockMap.Len())
+	}
+	s.cfg.Obs.Gauge("ebpf/skmsg_runs", obs.Det).Set(float64(runs))
+	s.cfg.Obs.Gauge("ebpf/redirects", obs.Det).Set(float64(redirects))
+	s.cfg.Obs.Gauge("ebpf/drops", obs.Det).Set(float64(drops))
+	s.cfg.Obs.Gauge("ebpf/sockmap_entries", obs.Volatile).Set(float64(entries))
 }
 
 // createdTotal sums cold creations across nodes.
@@ -402,16 +420,24 @@ func (s *LIFL) RetireRound(last int) {
 		s.evictRound(s.hist[r])
 		delete(s.hist, r)
 	}
+	samples := 0
 	for _, n := range s.Cluster.Nodes {
-		n.SKMSG.RetireRound(last)
+		samples += n.SKMSG.RetireRound(last)
 	}
 	s.Ckpt.Retire(last)
 	s.Metrics.TrimAll(metricsKeep)
+	// Eviction telemetry is Volatile by construction: how much is retired
+	// (and when) is a function of the caller's retention window, which the
+	// deterministic snapshot must not depend on.
+	s.cfg.Obs.Counter("ctrl/rounds_evicted", obs.Volatile).Add(uint64(len(rounds)))
+	s.cfg.Obs.Counter("ctrl/ebpf_samples_evicted", obs.Volatile).Add(uint64(samples))
 }
 
 // evictRound retires one closed round's registrations and references.
 func (s *LIFL) evictRound(rs *liflRound) {
-	for _, name := range s.roundNames(rs) {
+	names := s.roundNames(rs)
+	refs := 0
+	for _, name := range names {
 		for _, n := range s.Cluster.Nodes {
 			n.SockMap.Remove(name)
 		}
@@ -421,8 +447,11 @@ func (s *LIFL) evictRound(rs *liflRound) {
 		for _, u := range rs.pending[name] {
 			u.Release()
 		}
+		refs += len(rs.pending[name])
 		delete(rs.pending, name)
 	}
+	s.cfg.Obs.Counter("ctrl/registrations_retired", obs.Volatile).Add(uint64(len(names)))
+	s.cfg.Obs.Counter("ctrl/shm_refs_released", obs.Volatile).Add(uint64(refs))
 }
 
 // roundNames lists a round's logical aggregator names in deterministic
@@ -531,6 +560,9 @@ func traceNameFor(name string, role aggcore.Role) string {
 // its node, inter-node routes on every gateway, pending queue drain.
 func (s *LIFL) bindAgg(rs *liflRound, name string, la *liflAgg) {
 	rs.bind[name] = la
+	// Registration creation tracks the planned topology, not the retention
+	// window — deterministic for a fixed seed.
+	s.cfg.Obs.Counter("ctrl/registrations_created", obs.Det).Inc()
 	n := s.Cluster.Nodes[la.node]
 	n.SockMap.Register(name, func(msg ebpf.Message) {
 		s.deliverFromShm(rs, la, msg)
@@ -736,6 +768,7 @@ func (s *LIFL) convert(rs *liflRound, node int, name string, role aggcore.Role, 
 	rs.started[name] = true
 	s.reuse.MarkConversion()
 	s.TotalConversions++
+	s.cfg.Obs.Counter("ctrl/conversions", obs.Det).Inc()
 	// Locate the instance wrapper.
 	var la *liflAgg
 	for _, cand := range rs.bind {
@@ -864,6 +897,9 @@ func (s *LIFL) finishRound(rs *liflRound) {
 	}
 	s.Metrics.Record("act_seconds", act.Seconds())
 	s.Metrics.Record("active_aggs", float64(s.ActiveAggregators()))
+	s.cfg.Obs.Gauge("load/act_seconds", obs.Det).Set(act.Seconds())
+	s.cfg.Obs.Gauge("load/active_aggs", obs.Det).Set(float64(s.ActiveAggregators()))
+	s.cfg.Obs.Gauge("load/arrival_rate_per_min", obs.Det).Set(s.Metrics.Meter("arrivals", sim.Minute).Rate())
 	if rs.done != nil {
 		rs.done(res)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/cluster"
 	"repro/internal/fedavg"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/runtime"
 	"repro/internal/sidecar"
@@ -282,16 +283,19 @@ func (s *SL) RetireRound(last int) {
 		s.evictRound(s.hist[r])
 		delete(s.hist, r)
 	}
+	s.cfg.Obs.Counter("ctrl/rounds_evicted", obs.Volatile).Add(uint64(len(rounds)))
 }
 
 // evictRound retires one closed round's broker topics and bindings.
 func (s *SL) evictRound(rs *slRound) {
-	for _, name := range s.roundNames(rs) {
+	names := s.roundNames(rs)
+	for _, name := range names {
 		for _, b := range s.Brokers {
 			b.RetireTopic(name)
 		}
 		delete(s.aggSidecar, name)
 	}
+	s.cfg.Obs.Counter("ctrl/topics_retired", obs.Volatile).Add(uint64(len(names)))
 }
 
 // roundNames lists a round's logical aggregator names in deterministic
@@ -359,6 +363,7 @@ func (s *SL) ensure(rs *slRound, node int, name string) {
 		return
 	}
 	rs.started[name] = true
+	s.cfg.Obs.Counter("ctrl/topics_created", obs.Det).Inc()
 	role, goal, dst := s.roleFor(rs, node, name)
 	n := s.Cluster.Nodes[node]
 	agg := aggcore.New(name, role, n, s.algo, s.cfg.Model.PhysLen(), s.cfg.Model.Params)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/fedavg"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -67,6 +68,10 @@ type Config struct {
 	ServerOpt fedavg.ServerOpt
 	// Tracer, when set, records Network/Agg/Eval spans for the timelines.
 	Tracer *trace.Recorder
+	// Obs, when set, receives control-plane and load telemetry (see
+	// internal/obs). A nil registry keeps every instrumented site a no-op;
+	// systems never allocate one themselves.
+	Obs *obs.Registry
 }
 
 // withDefaults fills unset fields.

@@ -2,6 +2,12 @@
 // experiments can regenerate the paper's Gantt-style figures (Fig. 4 and
 // Fig. 7(c): Network / Agg / Eval bars per aggregator) and round logs.
 //
+// A Recorder is one producer feeding an obs.SpanLog (trace.Span is an
+// alias of obs.Span): with a private log it backs the standalone Gantt
+// renderers; pointed at a registry's span log (which core does when
+// RunConfig.Telemetry is set) the same spans also drive the telemetry
+// plane's snapshot summary and Perfetto export.
+//
 // Layer (DESIGN.md): component support under internal/core — task spans
-// for Fig. 7(c)-style timelines.
+// for Fig. 7(c)-style timelines, storage shared with internal/obs.
 package trace

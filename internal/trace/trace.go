@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -17,19 +18,19 @@ const (
 	KindQueue   = "Queue"   // time spent queued before service
 )
 
-// Span is one task execution by one actor.
-type Span struct {
-	Actor string // e.g. "Top", "LF1", "GW@node-0"
-	Kind  string
-	Start sim.Duration
-	End   sim.Duration
-	Round int
-}
+// Span is one task execution by one actor. It is the telemetry plane's
+// span type: a Recorder is one producer feeding an obs.SpanLog, so the
+// same spans a Gantt renders also drive the Perfetto export.
+type Span = obs.Span
 
-// Recorder accumulates spans. The zero value is ready to use.
+// Recorder accumulates spans. The zero value is ready to use: it
+// lazily allocates a private bounded log on first Add. Point Log at a
+// registry's Spans() log instead to share storage with the telemetry
+// plane (core does this when RunConfig.Telemetry is set).
 type Recorder struct {
-	Spans []Span
-	// Enabled gates recording; a nil Recorder is also safely disabled.
+	// Log is the backing span store; nil until first Add.
+	Log *obs.SpanLog
+	// Disabled gates recording; a nil Recorder is also safely disabled.
 	Disabled bool
 }
 
@@ -38,13 +39,25 @@ func (r *Recorder) Add(actor, kind string, start, end sim.Duration, round int) {
 	if r == nil || r.Disabled {
 		return
 	}
-	r.Spans = append(r.Spans, Span{Actor: actor, Kind: kind, Start: start, End: end, Round: round})
+	if r.Log == nil {
+		r.Log = &obs.SpanLog{}
+	}
+	r.Log.Add(Span{Actor: actor, Kind: kind, Start: start, End: end, Round: round})
+}
+
+// Spans returns the recorded spans (shared backing; callers must not
+// mutate).
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	return r.Log.Spans()
 }
 
 // ByActor groups spans per actor, each sorted by start time.
 func (r *Recorder) ByActor() map[string][]Span {
 	out := make(map[string][]Span)
-	for _, s := range r.Spans {
+	for _, s := range r.Spans() {
 		out[s.Actor] = append(out[s.Actor], s)
 	}
 	for _, ss := range out {
@@ -55,7 +68,7 @@ func (r *Recorder) ByActor() map[string][]Span {
 
 // RoundBounds returns the first start and last end among spans of the round.
 func (r *Recorder) RoundBounds(round int) (start, end sim.Duration, ok bool) {
-	for _, s := range r.Spans {
+	for _, s := range r.Spans() {
 		if s.Round != round {
 			continue
 		}
@@ -73,7 +86,7 @@ func (r *Recorder) RoundBounds(round int) (start, end sim.Duration, ok bool) {
 // TotalByKind sums span durations per kind for one actor ("" = all actors).
 func (r *Recorder) TotalByKind(actor string) map[string]sim.Duration {
 	out := make(map[string]sim.Duration)
-	for _, s := range r.Spans {
+	for _, s := range r.Spans() {
 		if actor != "" && s.Actor != actor {
 			continue
 		}
@@ -99,7 +112,7 @@ func (r *Recorder) RenderGantt(actors []string, horizon sim.Duration, width int)
 		width = 100
 	}
 	if horizon <= 0 {
-		for _, s := range r.Spans {
+		for _, s := range r.Spans() {
 			if s.End > horizon {
 				horizon = s.End
 			}

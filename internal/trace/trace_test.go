@@ -58,7 +58,7 @@ func TestNilRecorderSafe(t *testing.T) {
 func TestDisabledRecorder(t *testing.T) {
 	r := &Recorder{Disabled: true}
 	r.Add("a", KindAgg, 0, sim.Second, 1)
-	if len(r.Spans) != 0 {
+	if len(r.Spans()) != 0 {
 		t.Fatal("disabled recorder stored spans")
 	}
 }

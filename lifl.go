@@ -34,6 +34,12 @@
 //     lean reports, and Trajectory sinks (internal/trajstore) that
 //     stream every round into a bounded-memory columnar store for
 //     post-hoc replay — flat RSS at a million rounds.
+//   - Telemetry (RunConfig.Telemetry / NewTelemetry): the deterministic
+//     run-observability plane (internal/obs) — counters, gauges,
+//     histograms and span logs with byte-identical snapshots for a fixed
+//     seed, a Chrome/Perfetto trace export, and opt-in wall-clock
+//     capture. Off by default; cmd/liflsim's -telemetry/-perfetto flags
+//     and watch/spans verbs are the CLI face.
 //   - Models: the ResNet-18/34/152 specs of the paper's workloads.
 //
 // Deeper layers (the discrete-event engine, shared-memory store, eBPF
@@ -49,6 +55,7 @@ import (
 	"repro/internal/flwork"
 	"repro/internal/harness"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/scenario"
 	"repro/internal/systems"
 	"repro/internal/trajstore"
@@ -140,6 +147,13 @@ type (
 	// TrajectoryCrossing is a milestone first-crossing reconstructed from
 	// a trajectory file (TrajectorySummary.Crossings).
 	TrajectoryCrossing = trajstore.Crossing
+	// TelemetryRegistry collects a run's counters, gauges, histograms and
+	// span logs (RunConfig.Telemetry); see internal/obs for the plane's
+	// determinism contract and exports (Snapshot, Perfetto).
+	TelemetryRegistry = obs.Registry
+	// TelemetryOptions configures a TelemetryRegistry: CaptureWall opts
+	// into wall-clock metrics and stage spans, MaxSpans bounds span logs.
+	TelemetryOptions = obs.Options
 )
 
 // The paper's model zoo.
@@ -210,6 +224,15 @@ func Sweep(runs []ScenarioRun, workers int) []SweepResult { return harness.Sweep
 func NewTrajectory(path string, cfg RunConfig) (*trajstore.Sink, error) {
 	return trajstore.NewSink(path, cfg, trajstore.Options{})
 }
+
+// NewTelemetry builds an empty telemetry registry. Assign it to
+// RunConfig.Telemetry before Run, then export with Snapshot (versioned
+// JSON, byte-identical for a fixed seed at any worker count, sweep
+// parallelism or retention window) or Perfetto (Chrome trace_event JSON
+// of the run's virtual-time spans; load at https://ui.perfetto.dev).
+// Telemetry is off by default — a nil registry keeps every instrumented
+// site a no-op.
+func NewTelemetry(opts TelemetryOptions) *TelemetryRegistry { return obs.New(opts) }
 
 // ReplayTrajectory scans a stored trajectory end to end — verifying every
 // block checksum — and folds it into the summary the live run reported.
